@@ -1,0 +1,66 @@
+"""Table 2: Django vs Jacqueline translation of an ORM join query.
+
+The paper's Table 2 shows how ``EventGuest.objects.filter(guest__name="Alice")``
+translates to SQL in Django and in Jacqueline: the FORM additionally selects
+the ``jid``/``jvars`` meta-data columns and joins the foreign key on ``jid``.
+The assertions check those structural differences; the benchmark measures the
+end-to-end faceted join query against SQLite.
+
+Run ``python benchmarks/bench_table2_query_translation.py`` to print both
+translations.
+"""
+
+from __future__ import annotations
+
+from repro.apps.calendar import Event, EventGuest, UserProfile, setup_calendar
+from repro.db import Database, SqliteBackend
+from repro.db.sqlgen import django_style_sql, jacqueline_style_sql
+from repro.form import use_form, viewer_context
+
+QUERY_KWARGS = dict(
+    base_table="EventGuest",
+    columns=["event", "guest"],
+    join_table="UserProfile",
+    fk_column="guest_id",
+    where_column="name",
+    where_value="Alice",
+)
+
+
+def test_table2_translation_differences():
+    django_sql = django_style_sql(**QUERY_KWARGS)
+    jacqueline_sql = jacqueline_style_sql(**QUERY_KWARGS)
+    assert "jvars" not in django_sql and "jid" not in django_sql
+    assert "EventGuest.jid" in jacqueline_sql
+    assert "EventGuest.jvars" in jacqueline_sql
+    assert "UserProfile.jvars" in jacqueline_sql
+    assert "ON EventGuest.guest_id = UserProfile.id" in django_sql
+    assert "ON EventGuest.guest_id = UserProfile.jid" in jacqueline_sql
+
+
+def test_table2_faceted_join_query(benchmark):
+    form = setup_calendar(Database(SqliteBackend()))
+    with use_form(form):
+        alice = UserProfile.objects.create(name="Alice")
+        for index in range(16):
+            event = Event.objects.create(
+                name=f"Event {index}", location=f"Location {index}", description=""
+            )
+            EventGuest.objects.create(event=event, guest=alice)
+
+        def run_query():
+            with viewer_context(alice):
+                return list(EventGuest.objects.filter(guest__name="Alice"))
+
+        result = benchmark(run_query)
+    assert len(result) == 16
+
+
+def main() -> None:
+    print("Table 2: translated ORM queries")
+    print("\nDjango translation:\n  " + django_style_sql(**QUERY_KWARGS))
+    print("\nJacqueline translation:\n  " + jacqueline_style_sql(**QUERY_KWARGS))
+
+
+if __name__ == "__main__":
+    main()

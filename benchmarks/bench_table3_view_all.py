@@ -1,0 +1,86 @@
+"""Table 3: time to view the list of all papers / all users.
+
+Paper numbers (EC2 m3.2xlarge, FunkLoad over HTTP): viewing all papers goes
+from 0.241s (8 papers) to 10.729s (1024) in Jacqueline versus 0.201s-6.055s
+in Django, i.e. at most ~1.75x overhead; viewing all users is close to parity
+throughout.  The assertions here check the shape: both stacks scale roughly
+linearly and Jacqueline's overhead on these pages stays within a small
+constant factor.
+
+Run ``python benchmarks/bench_table3_view_all.py`` for the full 8..N sweep.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.bench.timing import time_request
+
+from bench_fig9_stress import _django_conf_client, _jacqueline_conf_client
+
+BENCH_SIZE = 128
+SWEEP_SIZES = (8, 16, 32, 64, 128, 256)
+PAPER_VIEW_ALL_PAPERS = {8: (0.241, 0.201), 1024: (10.729, 6.055)}
+
+
+def test_table3_view_all_papers_jacqueline(benchmark):
+    client = _jacqueline_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/papers")).ok
+
+
+def test_table3_view_all_papers_django(benchmark):
+    client = _django_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/papers")).ok
+
+
+def test_table3_view_all_users_jacqueline(benchmark):
+    client = _jacqueline_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/users")).ok
+
+
+def test_table3_view_all_users_django(benchmark):
+    client = _django_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/users")).ok
+
+
+def test_table3_overhead_shape():
+    """Jacqueline stays within a small constant factor of the baseline."""
+    size = 64
+    jacq = _jacqueline_conf_client(size)
+    django = _django_conf_client(size)
+    jacq_time, _ = time_request(jacq, "/papers", repeats=3)
+    django_time, _ = time_request(django, "/papers", repeats=3)
+    # The paper reports at most 1.75x; allow headroom for timer noise on a
+    # shared machine while still catching asymptotic regressions.
+    assert jacq_time <= django_time * 4 + 0.05
+
+
+def test_table3_scaling_is_roughly_linear():
+    """Quadrupling the data should not blow the time up super-linearly."""
+    small = _jacqueline_conf_client(16)
+    large = _jacqueline_conf_client(64)
+    small_time, _ = time_request(small, "/papers", repeats=3)
+    large_time, _ = time_request(large, "/papers", repeats=3)
+    assert large_time <= small_time * 16 + 0.05
+
+
+def main(sizes=SWEEP_SIZES, repeats=5) -> None:
+    rows_papers = []
+    rows_users = []
+    for size in sizes:
+        jacq = _jacqueline_conf_client(size)
+        django = _django_conf_client(size)
+        rows_papers.append(
+            [size, time_request(jacq, "/papers", repeats)[0], time_request(django, "/papers", repeats)[0]]
+        )
+        rows_users.append(
+            [size, time_request(jacq, "/users", repeats)[0], time_request(django, "/users", repeats)[0]]
+        )
+    print(format_table(["# papers", "Jacqueline (s)", "Django (s)"], rows_papers,
+                       title="Table 3 (left): time to view all papers"))
+    print()
+    print(format_table(["# users", "Jacqueline (s)", "Django (s)"], rows_users,
+                       title="Table 3 (right): time to view all users"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Table 4: time to view a single paper / single user profile.
+
+The paper reports that single-record pages are constant in the database size
+(~0.16s) and that Jacqueline is *on par with or faster than* Django for the
+single-paper page, because Django's view iterates over related rows a second
+time to apply its hand-coded checks while Jacqueline resolves each policy
+once.  The assertions check constancy in N and near-parity between stacks.
+
+Run ``python benchmarks/bench_table4_single.py`` for the full sweep.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.bench.timing import time_request
+
+from bench_fig9_stress import _django_conf_client, _jacqueline_conf_client
+
+BENCH_SIZE = 128
+SWEEP_SIZES = (8, 32, 128, 256)
+
+
+def test_table4_single_paper_jacqueline(benchmark):
+    client = _jacqueline_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/paper/10")).ok
+
+
+def test_table4_single_paper_django(benchmark):
+    client = _django_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/paper/10")).ok
+
+
+def test_table4_single_user_jacqueline(benchmark):
+    client = _jacqueline_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/user/6")).ok
+
+
+def test_table4_single_user_django(benchmark):
+    client = _django_conf_client(BENCH_SIZE)
+    assert benchmark(lambda: client.get("/user/6")).ok
+
+
+def test_table4_single_record_time_constant_in_database_size():
+    small = _jacqueline_conf_client(8)
+    large = _jacqueline_conf_client(128)
+    small_time, _ = time_request(small, "/paper/3", repeats=5)
+    large_time, _ = time_request(large, "/paper/3", repeats=5)
+    # Viewing one paper must not scale with the total number of papers.
+    assert large_time <= small_time * 3 + 0.02
+
+
+def test_table4_jacqueline_competitive_on_single_paper():
+    jacq = _jacqueline_conf_client(64)
+    django = _django_conf_client(64)
+    jacq_time, _ = time_request(jacq, "/paper/5", repeats=5)
+    django_time, _ = time_request(django, "/paper/5", repeats=5)
+    assert jacq_time <= django_time * 3 + 0.02
+
+
+def main(sizes=SWEEP_SIZES, repeats=10) -> None:
+    rows_paper = []
+    rows_user = []
+    for size in sizes:
+        jacq = _jacqueline_conf_client(size)
+        django = _django_conf_client(size)
+        rows_paper.append(
+            [size, time_request(jacq, "/paper/3", repeats)[0], time_request(django, "/paper/3", repeats)[0]]
+        )
+        rows_user.append(
+            [size, time_request(jacq, "/user/3", repeats)[0], time_request(django, "/user/3", repeats)[0]]
+        )
+    print(format_table(["# papers", "Jacqueline (s)", "Django (s)"], rows_paper,
+                       title="Table 4 (left): time to view a single paper"))
+    print()
+    print(format_table(["# users", "Jacqueline (s)", "Django (s)"], rows_user,
+                       title="Table 4 (right): time to view a single user"))
+
+
+if __name__ == "__main__":
+    main()

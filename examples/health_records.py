@@ -1,0 +1,63 @@
+"""HIPAA-style health records: role- and state-dependent visibility.
+
+Demonstrates the health record manager case study: the same record list is
+rendered for a patient, their doctor, an unrelated doctor, and two insurers
+(one holding a permission waiver, one not).  The views contain no policy
+code; everything is driven by the ``label_for`` policies on the models.
+
+Run with::
+
+    python examples/health_records.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.apps.health import Waiver, build_health_app, seed_health, setup_health
+from repro.form import use_form
+from repro.web import TestClient
+
+
+def visible_diagnoses(app, user) -> int:
+    client = TestClient(app)
+    client.force_login(user.jid, user.name)
+    body = client.get("/records").body
+    return body.count("Diagnosis")
+
+
+def main() -> None:
+    form = setup_health()
+    created = seed_health(form, patients=8, doctors=2, insurers=2, records_per_patient=1)
+    app = build_health_app(form)
+
+    patient = created["patients"][0]
+    treating_doctor = created["doctors"][0]      # treats even-indexed patients
+    other_doctor = created["doctors"][1]
+    waived_insurer = created["insurers"][0]      # holds waivers from some patients
+    other_insurer = created["insurers"][1]
+
+    total = len(created["records"])
+    print(f"{total} records in the system.\n")
+    for title, user in [
+        ("patient0 (sees only their own record)", patient),
+        ("doctor0 (treats half the patients)", treating_doctor),
+        ("doctor1 (treats the other half)", other_doctor),
+        ("insurer0 (holds waivers)", waived_insurer),
+        ("insurer1 (no waivers)", other_insurer),
+    ]:
+        print(f"  {title:45s} -> {visible_diagnoses(app, user)} diagnosis(es) visible")
+
+    # Visibility is stateful: signing a waiver immediately changes what the
+    # insurer can see, without touching any view code.
+    with use_form(form):
+        Waiver.objects.create(patient=created["patients"][1], insurer=other_insurer)
+    print("\nAfter patient1 signs a waiver for insurer1:")
+    print(f"  insurer1 now sees {visible_diagnoses(app, other_insurer)} diagnosis(es)")
+
+
+if __name__ == "__main__":
+    main()

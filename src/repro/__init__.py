@@ -1,0 +1,24 @@
+"""repro: a reproduction of "Precise, Dynamic Information Flow for
+Database-Backed Applications" (Yang et al., PLDI 2016).
+
+The package provides:
+
+* :mod:`repro.core` -- the Jeeves faceted-execution runtime;
+* :mod:`repro.solver` -- the SAT substrate used for label assignment;
+* :mod:`repro.lambda_jdb` -- an executable interpreter for the λJDB core
+  calculus used in the paper's formal development;
+* :mod:`repro.db` -- relational database substrates (in-memory engine and a
+  SQLite backend);
+* :mod:`repro.form` -- the faceted object-relational mapping (FORM);
+* :mod:`repro.web` -- the Jacqueline-style model-view-controller framework;
+* :mod:`repro.baseline` -- a non-faceted ORM/stack for hand-coded-policy
+  comparisons;
+* :mod:`repro.apps` -- the paper's case studies (conference manager, health
+  record manager, course manager, and the Section 2 calendar example);
+* :mod:`repro.bench` -- workload generators and the harness that regenerates
+  the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

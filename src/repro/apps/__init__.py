@@ -1,0 +1,11 @@
+"""Case-study applications from the paper's evaluation (Section 6).
+
+* :mod:`repro.apps.calendar` -- the Section 2 introductory example (events
+  with guest-list policies);
+* :mod:`repro.apps.conf` -- the conference management system, implemented
+  both with Jacqueline (policies in the schema) and in the Django style
+  (hand-coded policy checks in views);
+* :mod:`repro.apps.health` -- the HIPAA-inspired health record manager;
+* :mod:`repro.apps.course` -- the course manager whose all-courses page
+  drives the Early Pruning experiment (Table 5).
+"""

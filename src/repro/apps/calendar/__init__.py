@@ -1,0 +1,6 @@
+"""The social-calendar example of Section 2 (Carol's surprise party)."""
+
+from repro.apps.calendar.models import Event, EventGuest, UserProfile
+from repro.apps.calendar.app import build_calendar_app, setup_calendar
+
+__all__ = ["Event", "EventGuest", "UserProfile", "build_calendar_app", "setup_calendar"]

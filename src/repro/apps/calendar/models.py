@@ -1,0 +1,65 @@
+"""Schemas and policies for the calendar example (Figure 2 of the paper).
+
+The ``Event`` fields ``name`` and ``location`` share one label per event: a
+viewer sees the real values only if they appear on the event's guest list,
+and the guest-list policy itself queries the protected ``EventGuest`` table
+(a circular dependency Jacqueline handles through its constraint semantics).
+"""
+
+from __future__ import annotations
+
+from repro.form import CharField, DateTimeField, ForeignKey, JModel, jacqueline, label_for
+
+
+class UserProfile(JModel):
+    """A calendar user."""
+
+    name = CharField(max_length=64)
+    email = CharField(max_length=128)
+
+
+class Event(JModel):
+    """A calendar event with guest-only visibility of its details."""
+
+    name = CharField(max_length=256)
+    location = CharField(max_length=512)
+    time = DateTimeField()
+    description = CharField(max_length=1024)
+
+    @staticmethod
+    def jacqueline_get_public_name(event):
+        """Public value for the name field."""
+        return "Private event"
+
+    @staticmethod
+    def jacqueline_get_public_location(event):
+        """Public value for the location field."""
+        return "Undisclosed location"
+
+    @staticmethod
+    @label_for("name", "location")
+    @jacqueline
+    def jacqueline_restrict_event(event, ctxt):
+        """Only guests of the event may see its name and location."""
+        return EventGuest.objects.get(event=event, guest=ctxt) is not None
+
+
+class EventGuest(JModel):
+    """The guest list: one row per (event, guest) pair."""
+
+    event = ForeignKey(Event)
+    guest = ForeignKey(UserProfile)
+
+    @staticmethod
+    @label_for("guest")
+    @jacqueline
+    def jacqueline_restrict_guest(eventguest, ctxt):
+        """A viewer must themselves be on the guest list to see who is invited.
+
+        The policy for the ``guest`` field depends on the guest list itself --
+        the mutual-dependency example of Section 2.3.
+        """
+        return EventGuest.objects.get(event_id=eventguest.event_id, guest=ctxt) is not None
+
+
+CALENDAR_MODELS = [UserProfile, Event, EventGuest]

@@ -1,0 +1,60 @@
+"""The conference management system case study (Section 6.1).
+
+Two parallel implementations of the same application:
+
+* :mod:`repro.apps.conf.models` / :mod:`repro.apps.conf.views` -- the
+  Jacqueline version; every information-flow policy lives in the model
+  definitions, views are policy-agnostic.
+* :mod:`repro.apps.conf.baseline_models` / :mod:`repro.apps.conf.baseline_views`
+  -- the Django-style version; the schema holds no policies and every view
+  calls hand-written policy checks and scrubs fields before rendering
+  (Figure 8).
+
+:mod:`repro.apps.conf.seed` populates either stack with synthetic users,
+papers, reviews and conflicts for the stress tests (Figure 9a, Tables 3-4).
+"""
+
+from repro.apps.conf.models import (
+    CONF_MODELS,
+    ConferencePhase,
+    ConfUser,
+    Paper,
+    PaperPCConflict,
+    Review,
+    ReviewAssignment,
+)
+from repro.apps.conf.views import build_conf_app, setup_conf
+from repro.apps.conf.baseline_models import (
+    BASELINE_CONF_MODELS,
+    BaselineConfPhase,
+    DjangoConfUser,
+    DjangoPaper,
+    DjangoPaperPCConflict,
+    DjangoReview,
+    DjangoReviewAssignment,
+)
+from repro.apps.conf.baseline_views import build_baseline_conf_app, setup_baseline_conf
+from repro.apps.conf.seed import seed_conference, seed_baseline_conference
+
+__all__ = [
+    "ConfUser",
+    "Paper",
+    "PaperPCConflict",
+    "Review",
+    "ReviewAssignment",
+    "ConferencePhase",
+    "CONF_MODELS",
+    "build_conf_app",
+    "setup_conf",
+    "DjangoConfUser",
+    "DjangoPaper",
+    "DjangoPaperPCConflict",
+    "DjangoReview",
+    "DjangoReviewAssignment",
+    "BaselineConfPhase",
+    "BASELINE_CONF_MODELS",
+    "build_baseline_conf_app",
+    "setup_baseline_conf",
+    "seed_conference",
+    "seed_baseline_conference",
+]

@@ -1,0 +1,124 @@
+"""Django-style models for the conference system (hand-coded policies).
+
+The schema itself carries no enforcement: each model exposes ``policy_*``
+methods (Figure 8) that *views must remember to call* before displaying a
+field.  Nothing stops a view from forgetting -- that is precisely the class
+of bug the policy-agnostic approach removes.
+"""
+
+from __future__ import annotations
+
+from repro.baseline import (
+    BooleanField,
+    CharField,
+    ForeignKey,
+    IntegerField,
+    Model,
+    TextField,
+)
+from repro.baseline.model import DoesNotExist
+
+
+class BaselineConfPhase:
+    """The conference phase for the baseline implementation."""
+
+    SUBMISSION = "submission"
+    REVIEW = "review"
+    FINAL = "final"
+
+    current = SUBMISSION
+
+    @classmethod
+    def set(cls, phase: str) -> None:
+        if phase not in (cls.SUBMISSION, cls.REVIEW, cls.FINAL):
+            raise ValueError(f"unknown conference phase {phase!r}")
+        cls.current = phase
+
+    @classmethod
+    def reset(cls) -> None:
+        cls.current = cls.SUBMISSION
+
+
+def _is_committee(user) -> bool:
+    return user is not None and getattr(user, "level", None) in ("pc", "chair")
+
+
+def _is_chair(user) -> bool:
+    return user is not None and getattr(user, "level", None) == "chair"
+
+
+class DjangoConfUser(Model):
+    """A conference user (baseline)."""
+
+    name = CharField(max_length=128)
+    affiliation = CharField(max_length=256)
+    email = CharField(max_length=128)
+    level = CharField(max_length=16, default="normal")
+
+    def policy_email(self, ctxt) -> bool:
+        """Hand-coded check: emails visible to the user and the chair."""
+        return (ctxt is not None and ctxt == self) or _is_chair(ctxt)
+
+
+class DjangoPaper(Model):
+    """A submitted paper (baseline)."""
+
+    title = CharField(max_length=256)
+    author = ForeignKey(DjangoConfUser)
+    accepted = BooleanField(default=False)
+
+    def policy_author(self, ctxt) -> bool:
+        """Hand-coded version of the Figure 7/8 author policy."""
+        if BaselineConfPhase.current == BaselineConfPhase.FINAL:
+            return True
+        try:
+            DjangoPaperPCConflict.objects.get(paper_id=self.pk, pc_id=getattr(ctxt, "pk", None))
+            return False
+        except DoesNotExist:
+            pass
+        return (
+            ctxt is not None and self.author_id == ctxt.pk
+        ) or _is_committee(ctxt)
+
+    def policy_accepted(self, ctxt) -> bool:
+        return BaselineConfPhase.current == BaselineConfPhase.FINAL or _is_chair(ctxt)
+
+
+class DjangoPaperPCConflict(Model):
+    paper = ForeignKey(DjangoPaper)
+    pc = ForeignKey(DjangoConfUser)
+
+
+class DjangoReviewAssignment(Model):
+    paper = ForeignKey(DjangoPaper)
+    pc = ForeignKey(DjangoConfUser)
+
+
+class DjangoReview(Model):
+    paper = ForeignKey(DjangoPaper)
+    reviewer = ForeignKey(DjangoConfUser)
+    contents = TextField()
+    score = IntegerField(default=0)
+
+    def policy_reviewer(self, ctxt) -> bool:
+        return _is_committee(ctxt)
+
+    def policy_contents(self, ctxt) -> bool:
+        if _is_committee(ctxt):
+            return True
+        if BaselineConfPhase.current != BaselineConfPhase.FINAL:
+            return False
+        try:
+            paper = DjangoPaper.objects.get(pk=self.paper_id)
+        except DoesNotExist:
+            return False
+        return ctxt is not None and paper.author_id == ctxt.pk
+
+
+BASELINE_CONF_MODELS = [
+    DjangoConfUser,
+    DjangoPaper,
+    DjangoPaperPCConflict,
+    DjangoReviewAssignment,
+    DjangoReview,
+]

@@ -1,0 +1,162 @@
+"""Django-style views with hand-coded policy checks.
+
+Every view that touches sensitive data must iterate over its query results,
+call the right ``policy_*`` methods and scrub fields the viewer may not see
+(the pattern of Figure 8).  The repeated checks are exactly the policy code
+that Figure 6 counts inside ``views.py`` for the Django implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baseline import BaselineDB, use_baseline_db
+from repro.baseline.model import DoesNotExist
+from repro.db.engine import Database
+from repro.web import BaselineApp, Response
+
+from repro.apps.conf.baseline_models import (
+    BASELINE_CONF_MODELS,
+    BaselineConfPhase,
+    DjangoConfUser,
+    DjangoPaper,
+    DjangoReview,
+    DjangoReviewAssignment,
+)
+from repro.apps.conf.views import (
+    PAPER_DETAIL_TEMPLATE,
+    PAPER_LIST_TEMPLATE,
+    USER_DETAIL_TEMPLATE,
+    USER_LIST_TEMPLATE,
+)
+
+
+def setup_baseline_conf(database: Optional[Database] = None) -> BaselineDB:
+    """Create a baseline database with the conference schema registered."""
+    db = BaselineDB(database or Database())
+    db.register_all(BASELINE_CONF_MODELS)
+    BaselineConfPhase.reset()
+    return db
+
+
+def build_baseline_conf_app(db: BaselineDB) -> BaselineApp:
+    """Assemble the hand-coded-policy conference application."""
+    app = BaselineApp(db, name="conf-django")
+    app.add_template("papers", PAPER_LIST_TEMPLATE)
+    app.add_template("paper", PAPER_DETAIL_TEMPLATE)
+    app.add_template("users", USER_LIST_TEMPLATE)
+    app.add_template("profile", USER_DETAIL_TEMPLATE)
+
+    def load_user(user_id):
+        with use_baseline_db(db):
+            try:
+                return DjangoConfUser.objects.get(pk=user_id)
+            except DoesNotExist:
+                return None
+
+    app.auth.set_user_loader(load_user)
+
+    @app.route("/login", methods=("POST",))
+    def login(request):
+        try:
+            user = DjangoConfUser.objects.get(name=request.form("username"))
+        except DoesNotExist:
+            return Response.forbidden("unknown user")
+        app.auth.force_login(request.session, user.pk, request.form("username"))
+        return Response.redirect("/papers")
+
+    @app.route("/papers", methods=("GET",), template="papers")
+    def all_papers(request):
+        # Hand-coded policy enforcement: iterate over the rows *again* and
+        # scrub the author field wherever the viewer fails the policy check.
+        papers = list(DjangoPaper.objects.all())
+        for paper in papers:
+            if not paper.policy_author(request.user):
+                paper.author_id = None
+                paper.__dict__.pop("_fk_cache_author", None)
+            if not paper.policy_accepted(request.user):
+                paper.accepted = False
+        return {"papers": papers}
+
+    @app.route("/paper/<pk>", methods=("GET",), template="paper")
+    def paper_detail(request):
+        pk = int(request.param("pk"))
+        try:
+            paper = DjangoPaper.objects.get(pk=pk)
+        except DoesNotExist:
+            return Response.not_found("no such paper")
+        if not paper.policy_author(request.user):
+            paper.author_id = None
+            paper.__dict__.pop("_fk_cache_author", None)
+        if not paper.policy_accepted(request.user):
+            paper.accepted = False
+        reviews = list(DjangoReview.objects.filter(paper_id=pk))
+        for review in reviews:
+            if not review.policy_reviewer(request.user):
+                review.reviewer_id = None
+                review.__dict__.pop("_fk_cache_reviewer", None)
+            if not review.policy_contents(request.user):
+                review.contents = "[review not yet available]"
+                review.score = 0
+        return {"paper": paper, "reviews": reviews}
+
+    @app.route("/users", methods=("GET",), template="users")
+    def all_users(request):
+        users = list(DjangoConfUser.objects.all())
+        for person in users:
+            if not person.policy_email(request.user):
+                person.email = "[hidden email]"
+        return {"users": users}
+
+    @app.route("/user/<pk>", methods=("GET",), template="profile")
+    def user_detail(request):
+        pk = int(request.param("pk"))
+        try:
+            profile = DjangoConfUser.objects.get(pk=pk)
+        except DoesNotExist:
+            return Response.not_found("no such user")
+        if not profile.policy_email(request.user):
+            profile.email = "[hidden email]"
+        papers = list(DjangoPaper.objects.filter(author_id=pk))
+        visible_papers = []
+        for paper in papers:
+            if paper.policy_author(request.user):
+                visible_papers.append(paper)
+        return {"profile": profile, "papers": visible_papers}
+
+    @app.route("/submit", methods=("POST",))
+    def submit_paper(request):
+        if request.user is None:
+            return Response.forbidden("login required")
+        DjangoPaper.objects.create(title=request.form("title"), author=request.user)
+        return Response.redirect("/papers")
+
+    @app.route("/review", methods=("POST",))
+    def submit_review(request):
+        if request.user is None:
+            return Response.forbidden("login required")
+        DjangoReview.objects.create(
+            paper_id=int(request.form("paper")),
+            reviewer=request.user,
+            contents=request.form("contents", ""),
+            score=int(request.form("score", 0)),
+        )
+        return Response.redirect("/papers")
+
+    @app.route("/assign", methods=("POST",))
+    def assign_review(request):
+        if not request.user or getattr(request.user, "level", "") != "chair":
+            return Response.forbidden("chair only")
+        DjangoReviewAssignment.objects.create(
+            paper_id=int(request.form("paper")), pc_id=int(request.form("pc"))
+        )
+        return Response.redirect("/papers")
+
+    @app.route("/phase", methods=("POST",))
+    def set_phase(request):
+        if not request.user or getattr(request.user, "level", "") != "chair":
+            return Response.forbidden("chair only")
+        BaselineConfPhase.set(request.form("phase"))
+        return Response.redirect("/papers")
+
+    return app

@@ -1,0 +1,136 @@
+"""Workload seeding for the conference management system stress tests.
+
+The paper's stress tests scale the number of papers or users from 8 to 1024
+(Figure 9a, Tables 3 and 4).  These helpers populate either stack with a
+deterministic synthetic workload: one chair, a block of PC members, authors,
+one paper per author (unless overridden), one review and one PC conflict per
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.form import FORM, use_form
+from repro.baseline import BaselineDB, use_baseline_db
+
+from repro.apps.conf.models import (
+    ConfUser,
+    Paper,
+    PaperPCConflict,
+    Review,
+    ReviewAssignment,
+)
+from repro.apps.conf.baseline_models import (
+    DjangoConfUser,
+    DjangoPaper,
+    DjangoPaperPCConflict,
+    DjangoReview,
+    DjangoReviewAssignment,
+)
+
+
+def seed_conference(
+    form: FORM,
+    papers: int = 8,
+    users: Optional[int] = None,
+    pc_members: int = 4,
+    reviews_per_paper: int = 1,
+) -> Dict[str, list]:
+    """Populate a Jacqueline conference database.
+
+    Returns the created objects keyed by kind, so callers (benchmarks, tests)
+    can log in as specific users.
+    """
+    users = users if users is not None else papers
+    created: Dict[str, list] = {"users": [], "pc": [], "papers": [], "reviews": []}
+    with use_form(form):
+        chair = ConfUser.objects.create(
+            name="chair", affiliation="CMU", email="chair@conf.org", level="chair"
+        )
+        created["chair"] = [chair]
+        for index in range(pc_members):
+            member = ConfUser.objects.create(
+                name=f"pc{index}",
+                affiliation=f"University {index}",
+                email=f"pc{index}@conf.org",
+                level="pc",
+            )
+            created["pc"].append(member)
+        for index in range(users):
+            author = ConfUser.objects.create(
+                name=f"author{index}",
+                affiliation=f"Institute {index % 17}",
+                email=f"author{index}@conf.org",
+                level="normal",
+            )
+            created["users"].append(author)
+        for index in range(papers):
+            author = created["users"][index % len(created["users"])]
+            paper = Paper.objects.create(title=f"Paper {index}", author=author)
+            created["papers"].append(paper)
+            pc = created["pc"][index % pc_members] if pc_members else chair
+            ReviewAssignment.objects.create(paper=paper, pc=pc)
+            if pc_members > 1:
+                conflicted = created["pc"][(index + 1) % pc_members]
+                PaperPCConflict.objects.create(paper=paper, pc=conflicted)
+            for review_index in range(reviews_per_paper):
+                review = Review.objects.create(
+                    paper=paper,
+                    reviewer=pc,
+                    contents=f"Review {review_index} of paper {index}",
+                    score=(index + review_index) % 5 + 1,
+                )
+                created["reviews"].append(review)
+    return created
+
+
+def seed_baseline_conference(
+    db: BaselineDB,
+    papers: int = 8,
+    users: Optional[int] = None,
+    pc_members: int = 4,
+    reviews_per_paper: int = 1,
+) -> Dict[str, list]:
+    """Populate the hand-coded-policy stack with the same workload."""
+    users = users if users is not None else papers
+    created: Dict[str, list] = {"users": [], "pc": [], "papers": [], "reviews": []}
+    with use_baseline_db(db):
+        chair = DjangoConfUser.objects.create(
+            name="chair", affiliation="CMU", email="chair@conf.org", level="chair"
+        )
+        created["chair"] = [chair]
+        for index in range(pc_members):
+            member = DjangoConfUser.objects.create(
+                name=f"pc{index}",
+                affiliation=f"University {index}",
+                email=f"pc{index}@conf.org",
+                level="pc",
+            )
+            created["pc"].append(member)
+        for index in range(users):
+            author = DjangoConfUser.objects.create(
+                name=f"author{index}",
+                affiliation=f"Institute {index % 17}",
+                email=f"author{index}@conf.org",
+                level="normal",
+            )
+            created["users"].append(author)
+        for index in range(papers):
+            author = created["users"][index % len(created["users"])]
+            paper = DjangoPaper.objects.create(title=f"Paper {index}", author=author)
+            created["papers"].append(paper)
+            pc = created["pc"][index % pc_members] if pc_members else chair
+            DjangoReviewAssignment.objects.create(paper=paper, pc=pc)
+            if pc_members > 1:
+                conflicted = created["pc"][(index + 1) % pc_members]
+                DjangoPaperPCConflict.objects.create(paper=paper, pc=conflicted)
+            for review_index in range(reviews_per_paper):
+                review = DjangoReview.objects.create(
+                    paper=paper,
+                    reviewer=pc,
+                    contents=f"Review {review_index} of paper {index}",
+                    score=(index + review_index) % 5 + 1,
+                )
+                created["reviews"].append(review)
+    return created

@@ -1,0 +1,23 @@
+"""The course manager case study (Section 6.1, Table 5)."""
+
+from repro.apps.course.models import (
+    COURSE_MODELS,
+    Assignment,
+    Course,
+    CourseUser,
+    Enrollment,
+    Submission,
+)
+from repro.apps.course.app import build_course_app, seed_courses, setup_courses
+
+__all__ = [
+    "CourseUser",
+    "Course",
+    "Enrollment",
+    "Assignment",
+    "Submission",
+    "COURSE_MODELS",
+    "setup_courses",
+    "seed_courses",
+    "build_course_app",
+]

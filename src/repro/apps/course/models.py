@@ -1,0 +1,126 @@
+"""Jacqueline models for the course manager.
+
+Policies depend on the viewer's role and on stateful information such as
+whether an assignment has been submitted or graded:
+
+* a course's **instructor** is visible to people associated with the course
+  (the instructor and enrolled students) -- resolving it requires a lookup
+  per course, which is what makes the all-courses page explode without Early
+  Pruning (Table 5);
+* a submission's **contents** are visible to the submitting student and the
+  course's instructor;
+* a submission's **grade** is additionally withheld from the student until
+  the instructor marks it graded.
+"""
+
+from __future__ import annotations
+
+from repro.form import (
+    BooleanField,
+    CharField,
+    DateTimeField,
+    ForeignKey,
+    IntegerField,
+    JModel,
+    TextField,
+    jacqueline,
+    label_for,
+)
+
+
+class CourseUser(JModel):
+    """A user of the course manager: instructor or student."""
+
+    name = CharField(max_length=128)
+    role = CharField(max_length=16, default="student")  # student | instructor
+
+
+class Course(JModel):
+    """A course taught by an instructor."""
+
+    title = CharField(max_length=256)
+    instructor = ForeignKey(CourseUser)
+
+    @staticmethod
+    def jacqueline_get_public_instructor(course):
+        return None
+
+    @staticmethod
+    @label_for("instructor")
+    @jacqueline
+    def jacqueline_restrict_instructor(course, ctxt):
+        """Course staffing is visible to people associated with the course."""
+        if ctxt is None:
+            return False
+        if course.instructor_id is not None and ctxt.jid == course.instructor_id:
+            return True
+        return Enrollment.objects.get(course=course, student=ctxt) is not None
+
+
+class Enrollment(JModel):
+    """Student membership in a course."""
+
+    course = ForeignKey(Course)
+    student = ForeignKey(CourseUser)
+
+
+class Assignment(JModel):
+    """An assignment within a course."""
+
+    course = ForeignKey(Course)
+    title = CharField(max_length=256)
+    due = DateTimeField()
+    graded = BooleanField(default=False)
+
+
+class Submission(JModel):
+    """A student's submission for an assignment."""
+
+    assignment = ForeignKey(Assignment)
+    student = ForeignKey(CourseUser)
+    contents = TextField()
+    grade = IntegerField(default=0)
+
+    @staticmethod
+    def jacqueline_get_public_contents(submission):
+        return "[not visible]"
+
+    @staticmethod
+    @label_for("contents")
+    @jacqueline
+    def jacqueline_restrict_contents(submission, ctxt):
+        """Submissions are visible to their author and the course instructor."""
+        if ctxt is None:
+            return False
+        if submission.student_id is not None and ctxt.jid == submission.student_id:
+            return True
+        assignment = Assignment.objects.get(jid=submission.assignment_id)
+        if assignment is None:
+            return False
+        course = Course.objects.get(jid=assignment.course_id)
+        return course is not None and course.instructor_id == ctxt.jid
+
+    @staticmethod
+    def jacqueline_get_public_grade(submission):
+        return 0
+
+    @staticmethod
+    @label_for("grade")
+    @jacqueline
+    def jacqueline_restrict_grade(submission, ctxt):
+        """Grades are visible to the instructor always, and to the student
+        once the assignment has been graded."""
+        if ctxt is None:
+            return False
+        assignment = Assignment.objects.get(jid=submission.assignment_id)
+        if assignment is None:
+            return False
+        course = Course.objects.get(jid=assignment.course_id)
+        if course is not None and course.instructor_id == ctxt.jid:
+            return True
+        if submission.student_id is not None and ctxt.jid == submission.student_id:
+            return bool(assignment.graded)
+        return False
+
+
+COURSE_MODELS = [CourseUser, Course, Enrollment, Assignment, Submission]

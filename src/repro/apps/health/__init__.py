@@ -1,0 +1,21 @@
+"""The HIPAA-inspired health record manager case study (Section 6.1)."""
+
+from repro.apps.health.models import (
+    HEALTH_MODELS,
+    HealthRecord,
+    HealthUser,
+    TreatmentRelationship,
+    Waiver,
+)
+from repro.apps.health.app import build_health_app, seed_health, setup_health
+
+__all__ = [
+    "HealthUser",
+    "HealthRecord",
+    "TreatmentRelationship",
+    "Waiver",
+    "HEALTH_MODELS",
+    "setup_health",
+    "seed_health",
+    "build_health_app",
+]

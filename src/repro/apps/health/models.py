@@ -1,0 +1,104 @@
+"""Jacqueline models for the health record manager.
+
+The policies capture a representative fragment of the HIPAA privacy rule the
+paper describes: an individual may always see their own record; the treating
+provider may see records of their patients; an insurance company may see a
+record only when the patient has signed a permission waiver.  Visibility thus
+depends on roles *and* on stateful information (the waiver table), which is
+exactly the combination the paper highlights.
+"""
+
+from __future__ import annotations
+
+from repro.form import (
+    BooleanField,
+    CharField,
+    DateTimeField,
+    ForeignKey,
+    JModel,
+    TextField,
+    jacqueline,
+    label_for,
+)
+
+
+class HealthUser(JModel):
+    """A person in the system: patient, doctor or insurer."""
+
+    name = CharField(max_length=128)
+    role = CharField(max_length=16, default="patient")  # patient | doctor | insurer
+    email = CharField(max_length=128)
+
+    @staticmethod
+    def jacqueline_get_public_email(user):
+        return "[hidden]"
+
+    @staticmethod
+    @label_for("email")
+    @jacqueline
+    def jacqueline_restrict_email(user, ctxt):
+        """Contact details are visible to the person themselves and to their
+        treating doctors."""
+        if ctxt is None:
+            return False
+        if ctxt == user:
+            return True
+        return (
+            getattr(ctxt, "role", None) == "doctor"
+            and TreatmentRelationship.objects.get(patient=user, doctor=ctxt) is not None
+        )
+
+
+class TreatmentRelationship(JModel):
+    """Doctor X treats patient Y."""
+
+    patient = ForeignKey(HealthUser)
+    doctor = ForeignKey(HealthUser)
+
+
+class Waiver(JModel):
+    """A patient's permission waiver allowing an insurer to read their records."""
+
+    patient = ForeignKey(HealthUser)
+    insurer = ForeignKey(HealthUser)
+
+
+class HealthRecord(JModel):
+    """One entry in a patient's medical history."""
+
+    patient = ForeignKey(HealthUser)
+    doctor = ForeignKey(HealthUser)
+    diagnosis = CharField(max_length=256)
+    notes = TextField()
+    date = DateTimeField()
+
+    @staticmethod
+    def jacqueline_get_public_diagnosis(record):
+        return "[protected health information]"
+
+    @staticmethod
+    def jacqueline_get_public_notes(record):
+        return ""
+
+    @staticmethod
+    @label_for("diagnosis", "notes")
+    @jacqueline
+    def jacqueline_restrict_record(record, ctxt):
+        """HIPAA fragment: the patient, the treating doctor, or an insurer
+        holding a waiver from the patient."""
+        if ctxt is None:
+            return False
+        if record.patient_id is not None and ctxt.jid == record.patient_id:
+            return True
+        role = getattr(ctxt, "role", None)
+        if role == "doctor":
+            return (
+                TreatmentRelationship.objects.get(patient_id=record.patient_id, doctor=ctxt)
+                is not None
+            )
+        if role == "insurer":
+            return Waiver.objects.get(patient_id=record.patient_id, insurer=ctxt) is not None
+        return False
+
+
+HEALTH_MODELS = [HealthUser, TreatmentRelationship, Waiver, HealthRecord]

@@ -1,0 +1,48 @@
+"""A plain (non-faceted) ORM used for the hand-coded-policy baseline.
+
+The paper compares Jacqueline against "traditional applications with
+hand-coded policy checks" written in Django (Figure 8): the schema holds no
+policies, and every view must remember to call the right policy functions and
+scrub the data it renders.  This package provides the Django stand-in: the
+same field vocabulary and query API as :mod:`repro.form`, but values are
+stored and returned verbatim, foreign keys reference primary keys, and ``get``
+raises :class:`DoesNotExist` when nothing matches (as Django does).
+"""
+
+from repro.baseline.model import (
+    BaselineManager,
+    BaselineQuerySet,
+    DoesNotExist,
+    Model,
+    use_baseline_db,
+    current_baseline_db,
+    BaselineDB,
+)
+from repro.baseline.fields import (
+    BooleanField,
+    CharField,
+    DateTimeField,
+    Field,
+    FloatField,
+    ForeignKey,
+    IntegerField,
+    TextField,
+)
+
+__all__ = [
+    "Model",
+    "BaselineManager",
+    "BaselineQuerySet",
+    "DoesNotExist",
+    "BaselineDB",
+    "use_baseline_db",
+    "current_baseline_db",
+    "Field",
+    "CharField",
+    "TextField",
+    "IntegerField",
+    "FloatField",
+    "BooleanField",
+    "DateTimeField",
+    "ForeignKey",
+]

@@ -1,0 +1,65 @@
+"""Field declarations for the baseline (non-faceted) ORM.
+
+These mirror :mod:`repro.form.fields` but foreign keys reference the target's
+primary key (``id``) rather than a facet identifier, exactly like Django.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type, TYPE_CHECKING
+
+from repro.form.fields import (
+    BooleanField,
+    CharField,
+    DateTimeField,
+    Field,
+    FloatField,
+    IntegerField,
+    TextField,
+)
+from repro.db.schema import ColumnType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.baseline.model import Model
+
+__all__ = [
+    "Field",
+    "CharField",
+    "TextField",
+    "IntegerField",
+    "FloatField",
+    "BooleanField",
+    "DateTimeField",
+    "ForeignKey",
+]
+
+
+class ForeignKey(Field):
+    """A reference to another baseline model, stored as ``<name>_id`` = pk."""
+
+    column_type = ColumnType.INTEGER
+
+    def __init__(self, to: Any, **kwargs: Any) -> None:
+        kwargs.setdefault("indexed", True)
+        super().__init__(**kwargs)
+        self._to = to
+
+    @property
+    def column_name(self) -> str:
+        return f"{self.name}_id"
+
+    def target_model(self) -> Type["Model"]:
+        if isinstance(self._to, str):
+            from repro.baseline.model import BaselineRegistry
+
+            return BaselineRegistry.get(self._to)
+        return self._to
+
+    def to_db(self, value: Any) -> Any:
+        from repro.baseline.model import Model
+
+        if value is None:
+            return None
+        if isinstance(value, Model):
+            return value.pk
+        return int(value)

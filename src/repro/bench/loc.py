@@ -1,0 +1,132 @@
+"""Lines-of-code classification for the Figure 6 experiment.
+
+Figure 6 compares, for the conference management system, how many lines of
+*policy* code versus other code live in the models (``models.py``) and the
+controllers (``views.py``) of the Jacqueline and Django implementations.  The
+classifier here works on source text: a line counts as policy code if it
+belongs to a policy declaration (a ``label_for``/``jacqueline_get_public``
+block in Jacqueline models, a ``policy_*`` method in Django models) or, for
+Django views, to a hand-coded enforcement block (a policy call or the
+scrubbing statements it guards).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+#: Function-name markers that make a whole def a policy definition.
+_POLICY_DEF_PREFIXES = ("jacqueline_restrict", "jacqueline_get_public", "jeeves_restrict", "policy_")
+
+#: Call/attribute markers that make a statement hand-coded policy enforcement.
+_POLICY_CALL_MARKERS = ("policy_", "label_for", "restrict")
+
+
+@dataclass
+class LocBreakdown:
+    """Line counts for one source artifact."""
+
+    policy: int
+    non_policy: int
+
+    @property
+    def total(self) -> int:
+        return self.policy + self.non_policy
+
+    def __add__(self, other: "LocBreakdown") -> "LocBreakdown":
+        return LocBreakdown(self.policy + other.policy, self.non_policy + other.non_policy)
+
+
+def _code_lines(source: str) -> Set[int]:
+    """Line numbers that contain code (not blank, not pure comments)."""
+    lines = set()
+    for number, text in enumerate(source.splitlines(), start=1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            lines.add(number)
+    return lines
+
+
+def _node_lines(node: ast.AST) -> Set[int]:
+    start = getattr(node, "lineno", None)
+    end = getattr(node, "end_lineno", None)
+    if start is None or end is None:
+        return set()
+    # include decorators
+    for decorator in getattr(node, "decorator_list", []):
+        start = min(start, decorator.lineno)
+    return set(range(start, end + 1))
+
+
+def _is_policy_def(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    if any(node.name.startswith(prefix) for prefix in _POLICY_DEF_PREFIXES):
+        return True
+    for decorator in node.decorator_list:
+        text = ast.dump(decorator)
+        if "label_for" in text or "jacqueline" in text or "jeeves" in text:
+            return True
+    return False
+
+
+def _statement_mentions_policy(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and any(
+            child.attr.startswith(marker) for marker in _POLICY_CALL_MARKERS
+        ):
+            return True
+        if isinstance(child, ast.Name) and any(
+            child.id.startswith(marker) for marker in _POLICY_CALL_MARKERS
+        ):
+            return True
+        if isinstance(child, ast.Call):
+            callee = child.func
+            name = getattr(callee, "attr", getattr(callee, "id", ""))
+            if isinstance(name, str) and any(
+                name.startswith(marker) for marker in _POLICY_CALL_MARKERS
+            ):
+                return True
+    return False
+
+
+def classify_source(source: str) -> LocBreakdown:
+    """Classify one module's source into policy vs non-policy code lines."""
+    tree = ast.parse(source)
+    code = _code_lines(source)
+    policy_lines: Set[int] = set()
+
+    for node in ast.walk(tree):
+        if _is_policy_def(node):
+            policy_lines |= _node_lines(node)
+
+    # Hand-coded enforcement in views: `if not x.policy_*(...)` blocks,
+    # including the scrubbing statements in their bodies.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _statement_mentions_policy(node.test):
+            policy_lines |= _node_lines(node)
+        elif isinstance(node, (ast.Expr, ast.Assign, ast.Try)) and _statement_mentions_policy(node):
+            policy_lines |= _node_lines(node)
+
+    policy = len(policy_lines & code)
+    return LocBreakdown(policy=policy, non_policy=len(code) - policy)
+
+
+def count_module(module_name: str) -> LocBreakdown:
+    """Classify an importable module by name."""
+    module = importlib.import_module(module_name)
+    source = inspect.getsource(module)
+    return classify_source(source)
+
+
+def figure6_breakdown() -> dict:
+    """The four bars of Figure 6 for this reproduction's conference apps."""
+    return {
+        ("jacqueline", "models.py"): count_module("repro.apps.conf.models"),
+        ("jacqueline", "views.py"): count_module("repro.apps.conf.views"),
+        ("django", "models.py"): count_module("repro.apps.conf.baseline_models"),
+        ("django", "views.py"): count_module("repro.apps.conf.baseline_views"),
+    }

@@ -1,0 +1,38 @@
+"""Request timing helpers.
+
+The paper averages over 10 rapid sequential HTTP requests issued by
+FunkLoad; :func:`time_request` does the same through the in-process test
+client (the network constant is absent, the server-side work is identical).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Tuple
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 10) -> Tuple[float, Any]:
+    """Average wall-clock seconds per call over ``repeats`` calls.
+
+    Returns ``(seconds_per_call, last_result)``.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    last = None
+    start = time.perf_counter()
+    for _ in range(repeats):
+        last = fn()
+    elapsed = time.perf_counter() - start
+    return elapsed / repeats, last
+
+
+def time_request(client, path: str, repeats: int = 10, **params: Any) -> Tuple[float, Any]:
+    """Average seconds per GET request to ``path`` (checks it succeeded)."""
+
+    def issue():
+        response = client.get(path, **params)
+        if response.status >= 400:
+            raise RuntimeError(f"GET {path} failed with status {response.status}")
+        return response
+
+    return time_callable(issue, repeats=repeats)

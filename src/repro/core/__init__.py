@@ -1,0 +1,102 @@
+"""Faceted execution runtime (the Jeeves core).
+
+This package implements the paper's application-side runtime: faceted
+values, labels, path conditions, policies, guarded mutable state and
+concretisation at computation sinks.  The faceted ORM (:mod:`repro.form`)
+and the web framework (:mod:`repro.web`) are built on top of it.
+"""
+
+from repro.core.errors import (
+    ConcretizationError,
+    JeevesError,
+    MixedFacetError,
+    PathConditionError,
+    PolicyError,
+    UnassignedValueError,
+)
+from repro.core.facets import (
+    UNASSIGNED,
+    Facet,
+    Unassigned,
+    collect_labels,
+    facet_apply,
+    facet_cond,
+    facet_depth,
+    facet_leaf_count,
+    facet_map,
+    fand,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    fne,
+    fnot,
+    for_,
+    is_facet,
+    iter_leaves,
+    mk_facet,
+    mk_facet_branches,
+    project,
+    project_assignment,
+    prune,
+)
+from repro.core.labels import Branch, Label, View, branches_visible_to
+from repro.core.namespace import Cell, Namespace
+from repro.core.pathcondition import EMPTY_PC, PathCondition
+from repro.core.policy import Policy, PolicyEnv, always_allow, never_allow
+from repro.core.concretize import concretize, faceted_bool_to_formula, resolve_labels
+from repro.core.runtime import JeevesRuntime, get_runtime, reset_runtime, set_runtime
+
+__all__ = [
+    "JeevesError",
+    "PolicyError",
+    "PathConditionError",
+    "UnassignedValueError",
+    "MixedFacetError",
+    "ConcretizationError",
+    "Facet",
+    "Unassigned",
+    "UNASSIGNED",
+    "is_facet",
+    "mk_facet",
+    "mk_facet_branches",
+    "facet_apply",
+    "facet_map",
+    "facet_cond",
+    "facet_depth",
+    "facet_leaf_count",
+    "feq",
+    "fne",
+    "flt",
+    "fle",
+    "fgt",
+    "fge",
+    "fnot",
+    "fand",
+    "for_",
+    "project",
+    "project_assignment",
+    "prune",
+    "collect_labels",
+    "iter_leaves",
+    "Label",
+    "Branch",
+    "View",
+    "branches_visible_to",
+    "PathCondition",
+    "EMPTY_PC",
+    "Policy",
+    "PolicyEnv",
+    "always_allow",
+    "never_allow",
+    "Cell",
+    "Namespace",
+    "concretize",
+    "resolve_labels",
+    "faceted_bool_to_formula",
+    "JeevesRuntime",
+    "get_runtime",
+    "set_runtime",
+    "reset_runtime",
+]

@@ -1,0 +1,120 @@
+"""Concretisation: resolving faceted values at computation sinks.
+
+When a faceted value reaches an output (the ``print {viewer} value``
+statement of λJDB, or page rendering in Jacqueline), the runtime must decide
+every label occurring in the value.  This module implements the [F-PRINT]
+recipe from Appendix A:
+
+1. compute ``closeK``, the transitive closure of labels reachable from the
+   value through policy results;
+2. evaluate each label's policy for the viewer, obtaining a (possibly
+   faceted) boolean;
+3. translate the faceted booleans into propositional formulas over label
+   variables and solve ``k => policy_k`` for all labels, preferring ``True``
+   (show) assignments;
+4. project the value under the resulting assignment.
+
+When no policy result mentions a label (no mutual dependencies) the solver
+degenerates to direct policy evaluation, which is the common fast path the
+paper relies on ("unless there are mutual dependencies, Jacqueline may
+determine label values by evaluating policies directly").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Set
+
+from repro.core.errors import ConcretizationError
+from repro.core.facets import Facet, collect_labels, project_assignment
+from repro.core.labels import Label
+from repro.core.policy import PolicyEnv
+from repro.solver.assignment import LabelAssigner, UnsatisfiableError
+from repro.solver.formula import FALSE, TRUE, Formula, Or, And, Not, Var
+
+
+def faceted_bool_to_formula(value: Any) -> Formula:
+    """Translate a faceted boolean into a propositional formula.
+
+    ``<k ? hi : lo>`` becomes ``(k ∧ hi') ∨ (¬k ∧ lo')``.  Raw values are
+    coerced with ``bool``.
+    """
+    if isinstance(value, Facet):
+        var = Var(value.label.name)
+        high = faceted_bool_to_formula(value.high)
+        low = faceted_bool_to_formula(value.low)
+        return Or(And(var, high), And(Not(var), low)).simplify()
+    return TRUE if bool(value) else FALSE
+
+
+def close_labels(
+    value: Any, policy_env: PolicyEnv, viewer: Any
+) -> Dict[Label, Formula]:
+    """Compute ``closeK`` and evaluate policies along the way.
+
+    Returns a mapping from every reachable label to the propositional formula
+    of its evaluated policy.  The closure follows labels that appear in
+    policy *results*: a policy that reads sensitive data yields a faceted
+    boolean mentioning further labels, which must also be resolved.
+    """
+    pending: Set[Label] = set(collect_labels(value))
+    resolved: Dict[Label, Formula] = {}
+    while pending:
+        label = pending.pop()
+        if label in resolved:
+            continue
+        outcome = policy_env.evaluate(label, viewer)
+        formula = faceted_bool_to_formula(outcome)
+        resolved[label] = formula
+        for nested in collect_labels(outcome):
+            if nested not in resolved:
+                pending.add(nested)
+        # Formula variables may reference labels not introduced via facets
+        # (e.g. policies built directly from formulas); pull those in too.
+        for name in formula.free_vars():
+            nested_label = Label(hint=name, name=name)
+            if nested_label not in resolved:
+                pending.add(nested_label)
+    return resolved
+
+
+def resolve_labels(
+    value: Any,
+    policy_env: PolicyEnv,
+    viewer: Any,
+    extra_assignment: Optional[Mapping[Label, bool]] = None,
+) -> Dict[Label, bool]:
+    """Produce a total label assignment for ``value`` and ``viewer``."""
+    policies = close_labels(value, policy_env, viewer)
+    if not policies:
+        return dict(extra_assignment or {})
+
+    # Fast path: no policy result mentions any label, so there are no mutual
+    # dependencies and each label can be decided independently.
+    if all(not formula.free_vars() for formula in policies.values()):
+        assignment = {
+            label: formula == TRUE or (formula != FALSE and formula.evaluate({}))
+            for label, formula in policies.items()
+        }
+    else:
+        assigner = LabelAssigner()
+        by_name = {label.name: formula for label, formula in policies.items()}
+        try:
+            named = assigner.assign(by_name)
+        except UnsatisfiableError as exc:  # pragma: no cover - defensive
+            raise ConcretizationError(str(exc)) from exc
+        assignment = {label: named[label.name] for label in policies}
+
+    if extra_assignment:
+        assignment.update(extra_assignment)
+    return assignment
+
+
+def concretize(
+    value: Any,
+    viewer: Any,
+    policy_env: PolicyEnv,
+    extra_assignment: Optional[Mapping[Label, bool]] = None,
+) -> Any:
+    """Resolve all facets in ``value`` for ``viewer`` according to policies."""
+    assignment = resolve_labels(value, policy_env, viewer, extra_assignment)
+    return project_assignment(value, assignment)

@@ -1,0 +1,36 @@
+"""Exception types for the faceted execution runtime."""
+
+from __future__ import annotations
+
+
+class JeevesError(Exception):
+    """Base class for all errors raised by the faceted runtime."""
+
+
+class PolicyError(JeevesError):
+    """A policy is malformed or failed while being evaluated."""
+
+
+class PathConditionError(JeevesError):
+    """An operation produced an inconsistent path condition."""
+
+
+class UnassignedValueError(JeevesError):
+    """A computation observed a value that exists only on other paths.
+
+    The runtime represents "no value on this execution path" with the
+    :class:`repro.core.facets.Unassigned` sentinel; forcing it into a strict
+    operation raises this error.
+    """
+
+
+class MixedFacetError(JeevesError):
+    """A faceted value mixed incompatible kinds (e.g. a table and an int).
+
+    Mirrors the footnote in Section 4.2: programs that unnaturally mix
+    values get stuck.
+    """
+
+
+class ConcretizationError(JeevesError):
+    """Concretisation could not produce an output for the requested viewer."""

@@ -1,0 +1,417 @@
+"""Faceted values.
+
+A faceted value ``<k ? high : low>`` behaves as ``high`` for viewers
+authorised to see label ``k`` and as ``low`` for everyone else.  Facets nest,
+forming binary trees whose leaves are ordinary Python values.
+
+This module provides the value algebra used throughout the library:
+
+* :func:`mk_facet` implements the paper's ``⟨⟨k ? V_H : V_L⟩⟩`` constructor,
+  including the sharing optimisation (identical facets collapse);
+* :func:`facet_apply` implements the F-STRICT rule, pushing strict operations
+  into the facets of their arguments;
+* :func:`project` implements the view projection ``L(·)`` used in the
+  Projection and Non-Interference theorems;
+* the :class:`Facet` class overloads arithmetic so policy-agnostic code can
+  compute with sensitive values directly.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.errors import MixedFacetError, UnassignedValueError
+from repro.core.labels import Branch, Label, View
+from repro.core.pathcondition import EMPTY_PC, PathCondition
+
+
+class Unassigned:
+    """Sentinel for "no value on this execution path".
+
+    The Jeeves Python embedding uses an ``Unassigned()`` object for values
+    that exist only in some facets (Section 5.1.1).  Forcing it with a strict
+    operation raises :class:`UnassignedValueError`.
+    """
+
+    _instance: Optional["Unassigned"] = None
+
+    def __new__(cls) -> "Unassigned":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Unassigned()"
+
+    def __bool__(self) -> bool:
+        raise UnassignedValueError("cannot branch on an unassigned value")
+
+
+UNASSIGNED = Unassigned()
+
+
+class Facet:
+    """A faceted value ``<label ? high : low>``.
+
+    Facets are immutable.  ``high`` and ``low`` may themselves be facets or
+    arbitrary Python values.  Structural equality and hashing are provided so
+    facets can be stored in containers; *faceted* comparison (returning a
+    faceted boolean) is available via :func:`feq` and friends.
+    """
+
+    __slots__ = ("label", "high", "low")
+
+    def __init__(self, label: Label, high: Any, low: Any) -> None:
+        if not isinstance(label, Label):
+            raise TypeError(f"Facet label must be a Label, got {label!r}")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "high", high)
+        object.__setattr__(self, "low", low)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Facet is immutable")
+
+    # -- representation --------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<{self.label.name} ? {self.high!r} : {self.low!r}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Facet)
+            and other.label == self.label
+            and _leaf_eq(other.high, self.high)
+            and _leaf_eq(other.low, self.low)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Facet", self.label, _hashable(self.high), _hashable(self.low)))
+
+    def __bool__(self) -> bool:
+        raise MixedFacetError(
+            "cannot branch on a faceted value with a native 'if'; use "
+            "JeevesRuntime.jif or concretize the value first"
+        )
+
+    # -- arithmetic (policy-agnostic computation on sensitive values) ----------
+
+    def __add__(self, other: Any) -> Any:
+        return facet_apply(operator.add, self, other)
+
+    def __radd__(self, other: Any) -> Any:
+        return facet_apply(operator.add, other, self)
+
+    def __sub__(self, other: Any) -> Any:
+        return facet_apply(operator.sub, self, other)
+
+    def __rsub__(self, other: Any) -> Any:
+        return facet_apply(operator.sub, other, self)
+
+    def __mul__(self, other: Any) -> Any:
+        return facet_apply(operator.mul, self, other)
+
+    def __rmul__(self, other: Any) -> Any:
+        return facet_apply(operator.mul, other, self)
+
+    def __truediv__(self, other: Any) -> Any:
+        return facet_apply(operator.truediv, self, other)
+
+    def __rtruediv__(self, other: Any) -> Any:
+        return facet_apply(operator.truediv, other, self)
+
+    def __floordiv__(self, other: Any) -> Any:
+        return facet_apply(operator.floordiv, self, other)
+
+    def __mod__(self, other: Any) -> Any:
+        return facet_apply(operator.mod, self, other)
+
+    def __neg__(self) -> Any:
+        return facet_apply(operator.neg, self)
+
+    def __and__(self, other: Any) -> Any:
+        return facet_apply(operator.and_, self, other)
+
+    def __or__(self, other: Any) -> Any:
+        return facet_apply(operator.or_, self, other)
+
+    def __invert__(self) -> Any:
+        return facet_apply(operator.invert, self)
+
+    # -- attribute / item access ------------------------------------------------
+
+    def attr(self, name: str) -> Any:
+        """Faceted attribute access: ``facet.attr('f')`` maps over leaves."""
+        return facet_apply(lambda obj: getattr(obj, name), self)
+
+    def item(self, key: Any) -> Any:
+        """Faceted item access."""
+        return facet_apply(operator.getitem, self, key)
+
+    def call(self, *args: Any, **kwargs: Any) -> Any:
+        """Faceted function application when the callee is faceted."""
+        return facet_apply(lambda fn, *a: fn(*a, **kwargs), self, *args)
+
+
+def _leaf_eq(a: Any, b: Any) -> bool:
+    """Structural equality that never raises on heterogeneous leaves."""
+    try:
+        return bool(a == b)
+    except Exception:
+        return a is b
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return id(value)
+
+
+def is_facet(value: Any) -> bool:
+    """True if ``value`` is a faceted value (has at least one facet node)."""
+    return isinstance(value, Facet)
+
+
+def mk_facet(label: Label, high: Any, low: Any) -> Any:
+    """The ``⟨⟨k ? V_H : V_L⟩⟩`` constructor with sharing.
+
+    If both facets are structurally identical, no facet node is created
+    (the sharing optimisation described with the faceted-table join in
+    Section 4.2).  Nested facets over the same label are normalised.
+    """
+    if isinstance(high, Facet) and high.label == label:
+        high = high.high
+    if isinstance(low, Facet) and low.label == label:
+        low = low.low
+    if _facet_structural_eq(high, low):
+        return high
+    return Facet(label, high, low)
+
+
+def mk_facet_branches(branches: Iterable[Branch], high: Any, low: Any) -> Any:
+    """The ``⟨⟨B ? V_H : V_L⟩⟩`` constructor over a set of branches.
+
+    Follows the paper's recursive definition: positive branches put ``high``
+    on the authorised side, negative branches flip the facets.
+    """
+    branch_list = list(branches)
+    if not branch_list:
+        return high
+    first, rest = branch_list[0], branch_list[1:]
+    inner = mk_facet_branches(rest, high, low)
+    if first.positive:
+        return mk_facet(first.label, inner, low)
+    return mk_facet(first.label, low, inner)
+
+
+def _facet_structural_eq(a: Any, b: Any) -> bool:
+    if isinstance(a, Facet) and isinstance(b, Facet):
+        return (
+            a.label == b.label
+            and _facet_structural_eq(a.high, b.high)
+            and _facet_structural_eq(a.low, b.low)
+        )
+    if isinstance(a, Facet) or isinstance(b, Facet):
+        return False
+    return _leaf_eq(a, b)
+
+
+def facet_apply(fn: Callable[..., Any], *args: Any, pc: PathCondition = EMPTY_PC) -> Any:
+    """Apply a strict operation to possibly-faceted arguments (F-STRICT).
+
+    The operation is pushed into facets left to right; the result is a
+    faceted value whose leaves are ``fn`` applied to combinations of leaves.
+    Leaves that are :data:`UNASSIGNED` propagate unchanged rather than being
+    passed to ``fn``.
+    """
+    for index, arg in enumerate(args):
+        if isinstance(arg, Facet):
+            label = arg.label
+            polarity = pc.polarity_of(label)
+            if polarity is True:
+                new_args = args[:index] + (arg.high,) + args[index + 1 :]
+                return facet_apply(fn, *new_args, pc=pc)
+            if polarity is False:
+                new_args = args[:index] + (arg.low,) + args[index + 1 :]
+                return facet_apply(fn, *new_args, pc=pc)
+            high_args = args[:index] + (arg.high,) + args[index + 1 :]
+            low_args = args[:index] + (arg.low,) + args[index + 1 :]
+            high = facet_apply(fn, *high_args, pc=pc.extend_label(label, True))
+            low = facet_apply(fn, *low_args, pc=pc.extend_label(label, False))
+            return mk_facet(label, high, low)
+        if isinstance(arg, Unassigned):
+            return UNASSIGNED
+    return fn(*args)
+
+
+def facet_map(fn: Callable[[Any], Any], value: Any) -> Any:
+    """Map ``fn`` over every leaf of a faceted value (never strict on facets)."""
+    if isinstance(value, Facet):
+        return mk_facet(value.label, facet_map(fn, value.high), facet_map(fn, value.low))
+    return fn(value)
+
+
+def facet_cond(condition: Any, then_value: Any, else_value: Any) -> Any:
+    """A pure faceted conditional over values (no side effects).
+
+    ``condition`` may be faceted; booleans select the corresponding branch
+    value.  This is the value-level analogue of ``jif``.
+    """
+    if isinstance(condition, Facet):
+        return mk_facet(
+            condition.label,
+            facet_cond(condition.high, then_value, else_value),
+            facet_cond(condition.low, then_value, else_value),
+        )
+    if isinstance(condition, Unassigned):
+        return UNASSIGNED
+    return then_value if condition else else_value
+
+
+# -- faceted comparisons ------------------------------------------------------
+
+
+def feq(a: Any, b: Any) -> Any:
+    """Faceted equality (returns a faceted boolean when inputs are faceted)."""
+    return facet_apply(operator.eq, a, b)
+
+
+def fne(a: Any, b: Any) -> Any:
+    return facet_apply(operator.ne, a, b)
+
+
+def flt(a: Any, b: Any) -> Any:
+    return facet_apply(operator.lt, a, b)
+
+
+def fle(a: Any, b: Any) -> Any:
+    return facet_apply(operator.le, a, b)
+
+
+def fgt(a: Any, b: Any) -> Any:
+    return facet_apply(operator.gt, a, b)
+
+
+def fge(a: Any, b: Any) -> Any:
+    return facet_apply(operator.ge, a, b)
+
+
+def fnot(a: Any) -> Any:
+    return facet_apply(operator.not_, a)
+
+
+def fand(a: Any, b: Any) -> Any:
+    """Faceted logical conjunction (non-short-circuiting)."""
+    return facet_apply(lambda x, y: bool(x) and bool(y), a, b)
+
+
+def for_(a: Any, b: Any) -> Any:
+    """Faceted logical disjunction (non-short-circuiting)."""
+    return facet_apply(lambda x, y: bool(x) or bool(y), a, b)
+
+
+# -- projection / inspection ---------------------------------------------------
+
+
+def project(value: Any, view: View) -> Any:
+    """The projection ``L(value)``: collapse facets according to a view."""
+    if isinstance(value, Facet):
+        chosen = value.high if view.can_see(value.label) else value.low
+        return project(chosen, view)
+    if isinstance(value, list):
+        return [project(item, view) for item in value]
+    if isinstance(value, tuple):
+        return tuple(project(item, view) for item in value)
+    if isinstance(value, dict):
+        return {key: project(item, view) for key, item in value.items()}
+    return value
+
+
+def project_assignment(value: Any, assignment: Mapping[Label, bool]) -> Any:
+    """Collapse facets according to an explicit ``{Label: bool}`` assignment.
+
+    Labels missing from the assignment default to ``False`` (the safe side).
+    """
+    if isinstance(value, Facet):
+        chosen = value.high if assignment.get(value.label, False) else value.low
+        return project_assignment(chosen, assignment)
+    if isinstance(value, list):
+        return [project_assignment(item, assignment) for item in value]
+    if isinstance(value, tuple):
+        return tuple(project_assignment(item, assignment) for item in value)
+    if isinstance(value, dict):
+        return {key: project_assignment(item, assignment) for key, item in value.items()}
+    return value
+
+
+def collect_labels(value: Any) -> FrozenSet[Label]:
+    """All labels occurring anywhere in a (possibly nested) value."""
+    found: Set[Label] = set()
+    _collect_labels_into(value, found)
+    return frozenset(found)
+
+
+def _collect_labels_into(value: Any, found: Set[Label]) -> None:
+    if isinstance(value, Facet):
+        found.add(value.label)
+        _collect_labels_into(value.high, found)
+        _collect_labels_into(value.low, found)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect_labels_into(item, found)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect_labels_into(item, found)
+
+
+def iter_leaves(value: Any) -> Iterator[Tuple[Tuple[Branch, ...], Any]]:
+    """Yield ``(branches, leaf)`` pairs for every leaf of a faceted value."""
+
+    def walk(node: Any, branches: Tuple[Branch, ...]) -> Iterator[Tuple[Tuple[Branch, ...], Any]]:
+        if isinstance(node, Facet):
+            yield from walk(node.high, branches + (Branch(node.label, True),))
+            yield from walk(node.low, branches + (Branch(node.label, False),))
+        else:
+            yield branches, node
+
+    return walk(value, ())
+
+
+def prune(value: Any, pc: PathCondition) -> Any:
+    """Simplify a faceted value under a known path condition.
+
+    Facets whose label polarity is fixed by ``pc`` collapse to the matching
+    side.  This is the value-level form of the Early Pruning rule F-PRUNE.
+    """
+    if isinstance(value, Facet):
+        polarity = pc.polarity_of(value.label)
+        if polarity is True:
+            return prune(value.high, pc)
+        if polarity is False:
+            return prune(value.low, pc)
+        return mk_facet(
+            value.label,
+            prune(value.high, pc.extend_label(value.label, True)),
+            prune(value.low, pc.extend_label(value.label, False)),
+        )
+    if isinstance(value, list):
+        return [prune(item, pc) for item in value]
+    if isinstance(value, tuple):
+        return tuple(prune(item, pc) for item in value)
+    return value
+
+
+def facet_depth(value: Any) -> int:
+    """The number of facet nodes on the deepest path (0 for raw values)."""
+    if isinstance(value, Facet):
+        return 1 + max(facet_depth(value.high), facet_depth(value.low))
+    return 0
+
+
+def facet_leaf_count(value: Any) -> int:
+    """The number of leaves of a faceted value (1 for raw values)."""
+    if isinstance(value, Facet):
+        return facet_leaf_count(value.high) + facet_leaf_count(value.low)
+    return 1

@@ -1,0 +1,143 @@
+"""Information-flow labels and branches.
+
+A *label* is a boolean meta-variable guarding a facet: data associated with
+``k`` is visible only to viewers for whom ``k`` resolves to ``True``.  A
+*branch* is a label or its negation; path conditions and faceted database
+rows are sets of branches (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import FrozenSet, Iterable, Optional
+
+
+_COUNTER = itertools.count(1)
+_COUNTER_LOCK = threading.Lock()
+
+
+def _next_index() -> int:
+    with _COUNTER_LOCK:
+        return next(_COUNTER)
+
+
+class Label:
+    """A fresh boolean label.
+
+    Labels are compared by identity-backed unique names, so two labels
+    created with the same human-readable hint are still distinct (matching
+    the ``label k in e`` rule, which always allocates a fresh label).
+    """
+
+    __slots__ = ("name", "hint")
+
+    def __init__(self, hint: str = "k", name: Optional[str] = None) -> None:
+        self.hint = hint
+        self.name = name if name is not None else f"{hint}#{_next_index()}"
+
+    def __repr__(self) -> str:
+        return f"Label({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Label) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Label", self.name))
+
+    def __lt__(self, other: "Label") -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self.name < other.name
+
+
+class Branch:
+    """A label or its negation, used in path conditions and faceted rows."""
+
+    __slots__ = ("label", "positive")
+
+    def __init__(self, label: Label, positive: bool = True) -> None:
+        if not isinstance(label, Label):
+            raise TypeError(f"Branch expects a Label, got {label!r}")
+        self.label = label
+        self.positive = bool(positive)
+
+    def __repr__(self) -> str:
+        return f"{'' if self.positive else '¬'}{self.label.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Branch)
+            and other.label == self.label
+            and other.positive == self.positive
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Branch", self.label, self.positive))
+
+    def negate(self) -> "Branch":
+        """The branch with the opposite polarity."""
+        return Branch(self.label, not self.positive)
+
+    def visible_to(self, view: "View") -> bool:
+        """True if this branch is consistent with a concrete view."""
+        return view.can_see(self.label) == self.positive
+
+
+class View:
+    """A concrete view: the set of labels a viewer is authorised to see.
+
+    This corresponds to ``L`` in the paper's projection function.  The view
+    is total: any label not in the set resolves to ``False``.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[Label] = ()) -> None:
+        self._labels: FrozenSet[Label] = frozenset(labels)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(label.name for label in self._labels))
+        return f"View({{{inner}}})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, View) and other._labels == self._labels
+
+    def __hash__(self) -> int:
+        return hash(("View", self._labels))
+
+    def can_see(self, label: Label) -> bool:
+        """Whether this view is authorised for ``label``."""
+        return label in self._labels
+
+    def labels(self) -> FrozenSet[Label]:
+        return self._labels
+
+    def with_label(self, label: Label) -> "View":
+        """A copy of this view that can additionally see ``label``."""
+        return View(self._labels | {label})
+
+    def without_label(self, label: Label) -> "View":
+        """A copy of this view that cannot see ``label``."""
+        return View(self._labels - {label})
+
+    @classmethod
+    def from_assignment(cls, assignment: dict) -> "View":
+        """Build a view from a ``{Label: bool}`` or ``{name: bool}`` mapping."""
+        labels = []
+        for key, value in assignment.items():
+            if not value:
+                continue
+            if isinstance(key, Label):
+                labels.append(key)
+            else:
+                labels.append(Label(hint=str(key), name=str(key)))
+        return cls(labels)
+
+
+def branches_visible_to(branches: Iterable[Branch], view: View) -> bool:
+    """The paper's ``B ~ L`` relation: every branch is consistent with L."""
+    return all(branch.visible_to(view) for branch in branches)

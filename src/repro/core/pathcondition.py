@@ -1,0 +1,126 @@
+"""Path conditions (program counters) for faceted execution.
+
+A path condition ``pc`` is a set of branches recording which facets the
+current computation is visible to.  Evaluation of ``<k ? e1 : e2>`` adds
+``k`` to the pc while evaluating ``e1`` and ``¬k`` while evaluating ``e2``
+(rule F-SPLIT).  Writes performed under a non-empty pc are guarded so that
+other views observe the old value (rule F-ASSIGN).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.core.errors import PathConditionError
+from repro.core.labels import Branch, Label, View
+
+
+class PathCondition:
+    """An immutable, ordered set of branches.
+
+    Order is preserved for readable repr/debugging; semantics only depend on
+    the underlying set.
+    """
+
+    __slots__ = ("_branches", "_index")
+
+    def __init__(self, branches: Iterable[Branch] = ()) -> None:
+        ordered: Tuple[Branch, ...] = tuple(branches)
+        seen = set()
+        unique = []
+        for branch in ordered:
+            if branch not in seen:
+                seen.add(branch)
+                unique.append(branch)
+        self._branches: Tuple[Branch, ...] = tuple(unique)
+        self._index = {(b.label, b.positive) for b in self._branches}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "PathCondition":
+        return cls()
+
+    def extend(self, branch: Branch) -> "PathCondition":
+        """Return a new pc with ``branch`` appended.
+
+        Raises :class:`PathConditionError` if the opposite branch is already
+        present (the paper's rules never do this: F-LEFT/F-RIGHT short-circuit
+        instead).
+        """
+        if self.contains(branch.negate()):
+            raise PathConditionError(
+                f"cannot add {branch!r}: opposite branch already in {self!r}"
+            )
+        if self.contains(branch):
+            return self
+        return PathCondition(self._branches + (branch,))
+
+    def extend_label(self, label: Label, positive: bool) -> "PathCondition":
+        return self.extend(Branch(label, positive))
+
+    def union(self, branches: Iterable[Branch]) -> "PathCondition":
+        pc = self
+        for branch in branches:
+            pc = pc.extend(branch)
+        return pc
+
+    # -- queries ---------------------------------------------------------------
+
+    def contains(self, branch: Branch) -> bool:
+        return (branch.label, branch.positive) in self._index
+
+    def has_label(self, label: Label) -> bool:
+        """True if the pc mentions ``label`` in either polarity."""
+        return (label, True) in self._index or (label, False) in self._index
+
+    def polarity_of(self, label: Label) -> Optional[bool]:
+        """The polarity the pc holds for ``label``, or ``None``."""
+        if (label, True) in self._index:
+            return True
+        if (label, False) in self._index:
+            return False
+        return None
+
+    def consistent_with(self, branches: Iterable[Branch]) -> bool:
+        """The paper's "B consistent with pc": no contradictory branch."""
+        for branch in branches:
+            if self.contains(branch.negate()):
+                return False
+        return True
+
+    def visible_to(self, view: View) -> bool:
+        """The ``pc ~ L`` relation from the projection theorem."""
+        return all(branch.visible_to(view) for branch in self._branches)
+
+    def branches(self) -> Tuple[Branch, ...]:
+        return self._branches
+
+    def labels(self) -> FrozenSet[Label]:
+        return frozenset(branch.label for branch in self._branches)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Branch]:
+        return iter(self._branches)
+
+    def __len__(self) -> int:
+        return len(self._branches)
+
+    def __bool__(self) -> bool:
+        return bool(self._branches)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PathCondition) and set(other._branches) == set(
+            self._branches
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PathCondition", frozenset(self._branches)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(branch) for branch in self._branches)
+        return f"PathCondition([{inner}])"
+
+
+EMPTY_PC = PathCondition.empty()

@@ -1,0 +1,65 @@
+"""Relational database substrate.
+
+The faceted object-relational mapping stores faceted values in *ordinary*
+relational tables augmented with ``jid``/``jvars`` meta-data columns, and the
+paper stresses that this works with existing relational database
+implementations.  This package provides two interchangeable backends behind a
+single interface:
+
+* :class:`repro.db.memory_backend.MemoryBackend` -- a pure-Python relational
+  engine (tables, typed schemas, where-expressions, joins, ordering,
+  aggregation, secondary indexes);
+* :class:`repro.db.sqlite_backend.SqliteBackend` -- the same interface on top
+  of the standard library's ``sqlite3`` (a real relational database).
+
+:mod:`repro.db.sqlgen` renders queries to SQL text, reproducing the Table 2
+translation between Django-style and Jacqueline-style queries.
+"""
+
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.expr import (
+    AndExpr,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    NotExpr,
+    OrExpr,
+    col,
+    lit,
+)
+from repro.db.query import Aggregate, Join, Order, Query
+from repro.db.table import Table
+from repro.db.engine import Database
+from repro.db.backend import Backend
+from repro.db.memory_backend import MemoryBackend
+from repro.db.sqlite_backend import SqliteBackend
+from repro.db.sqlgen import query_to_sql, schema_to_sql
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "InList",
+    "col",
+    "lit",
+    "Query",
+    "Join",
+    "Order",
+    "Aggregate",
+    "Table",
+    "Database",
+    "Backend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "query_to_sql",
+    "schema_to_sql",
+]

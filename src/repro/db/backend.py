@@ -1,0 +1,83 @@
+"""The backend interface shared by the in-memory engine and SQLite.
+
+The FORM and the baseline ORM are written against this interface, which
+mirrors the subset of SQL the paper's FORM needs: create/drop, insert,
+select (with joins, ordering and limits), update, delete and aggregates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.db.expr import Expression
+from repro.db.query import Query
+from repro.db.schema import TableSchema
+
+
+class Backend(abc.ABC):
+    """Abstract relational backend."""
+
+    # -- schema management -------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_table(self, schema: TableSchema) -> None:
+        """Create a table (no-op if it already exists with the same name)."""
+
+    @abc.abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Drop a table if it exists."""
+
+    @abc.abstractmethod
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+
+    @abc.abstractmethod
+    def schema(self, name: str) -> TableSchema:
+        """The schema of an existing table."""
+
+    @abc.abstractmethod
+    def table_names(self) -> List[str]:
+        """Names of all existing tables."""
+
+    # -- data manipulation ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, table: str, values: Dict[str, Any]) -> int:
+        """Insert one row; returns the assigned primary key."""
+
+    def insert_many(self, table: str, rows: Sequence[Dict[str, Any]]) -> List[int]:
+        """Insert many rows; default implementation loops over :meth:`insert`."""
+        return [self.insert(table, row) for row in rows]
+
+    @abc.abstractmethod
+    def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
+        """Update matching rows; returns the number of rows changed."""
+
+    @abc.abstractmethod
+    def delete(self, table: str, where: Optional[Expression]) -> int:
+        """Delete matching rows; returns the number of rows removed."""
+
+    # -- queries -----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(self, query: Query) -> List[Dict[str, Any]]:
+        """Run a select query; join results use qualified column keys."""
+
+    @abc.abstractmethod
+    def aggregate(self, query: Query) -> Any:
+        """Run an aggregate query and return the scalar result."""
+
+    def count(self, table: str, where: Optional[Expression] = None) -> int:
+        """Convenience COUNT(*) helper."""
+        query = Query(table=table, where=where).with_aggregate("COUNT")
+        return int(self.aggregate(query) or 0)
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Remove all rows from all tables (schemas are kept)."""
+
+    def close(self) -> None:
+        """Release any underlying resources (optional)."""

@@ -1,0 +1,103 @@
+"""A small façade over a backend: the ``Database`` object.
+
+Applications (and the ORMs in :mod:`repro.form` and :mod:`repro.baseline`)
+hold a ``Database``, which owns a backend and provides convenience helpers
+for schema creation and query construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.db.backend import Backend
+from repro.db.expr import Expression, filters_to_expr
+from repro.db.memory_backend import MemoryBackend
+from repro.db.query import Query
+from repro.db.schema import Column, ColumnType, TableSchema
+
+
+class Database:
+    """A backend plus convenience helpers.
+
+    ``Database()`` defaults to the in-memory engine; pass
+    ``Database(SqliteBackend())`` to run against SQLite.
+    """
+
+    def __init__(self, backend: Optional[Backend] = None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+
+    # -- schema helpers ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.backend.create_table(schema)
+
+    def define_table(self, name: str, **columns: ColumnType) -> TableSchema:
+        """Define and create a table with an implicit ``id`` primary key."""
+        schema = TableSchema(
+            name,
+            (Column("id", ColumnType.INTEGER, primary_key=True),)
+            + tuple(Column(column, ctype) for column, ctype in columns.items()),
+        )
+        self.backend.create_table(schema)
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        self.backend.drop_table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.backend.has_table(name)
+
+    # -- data helpers --------------------------------------------------------------------
+
+    def insert(self, table: str, **values: Any) -> int:
+        return self.backend.insert(table, values)
+
+    def insert_row(self, table: str, values: Dict[str, Any]) -> int:
+        return self.backend.insert(table, values)
+
+    def update(self, table: str, where: Optional[Expression], **values: Any) -> int:
+        return self.backend.update(table, where, values)
+
+    def delete(self, table: str, where: Optional[Expression] = None) -> int:
+        return self.backend.delete(table, where)
+
+    def query(self, table: str) -> Query:
+        """Start a fluent query against ``table``."""
+        return Query(table=table)
+
+    def rows(
+        self,
+        table: str,
+        where: Optional[Expression] = None,
+        order_by: Optional[Sequence[str]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        query = Query(table=table, where=where)
+        for column in order_by or ():
+            query = query.ordered_by(column)
+        if limit is not None:
+            query = query.limited(limit)
+        return self.backend.execute(query)
+
+    def find(self, table: str, **filters: Any) -> List[Dict[str, Any]]:
+        """Django-style keyword filtering."""
+        return self.rows(table, where=filters_to_expr(filters))
+
+    def get(self, table: str, **filters: Any) -> Optional[Dict[str, Any]]:
+        matches = self.find(table, **filters)
+        return matches[0] if matches else None
+
+    def count(self, table: str, where: Optional[Expression] = None) -> int:
+        return self.backend.count(table, where)
+
+    def execute(self, query: Query) -> List[Dict[str, Any]]:
+        return self.backend.execute(query)
+
+    def aggregate(self, query: Query) -> Any:
+        return self.backend.aggregate(query)
+
+    def clear(self) -> None:
+        self.backend.clear()
+
+    def close(self) -> None:
+        self.backend.close()

@@ -1,0 +1,243 @@
+"""WHERE-clause expressions.
+
+Expressions form a small tree evaluated row-by-row by the in-memory engine
+and rendered to parameterised SQL by the SQLite backend and the SQL
+generator.  Column references may be qualified (``"Event.location"``) for
+join queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Expression:
+    """Base class for boolean/scalar expressions over rows."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        """Render to a SQL fragment and its bound parameters."""
+        raise NotImplementedError
+
+    def columns(self) -> List[str]:
+        """Column names referenced by this expression."""
+        return []
+
+    # boolean combinators ------------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return AndExpr(self, other)
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return OrExpr(self, other)
+
+    def __invert__(self) -> "Expression":
+        return NotExpr(self)
+
+
+def _lookup(row: Dict[str, Any], name: str) -> Any:
+    """Resolve a (possibly qualified) column name against a row dict."""
+    if name in row:
+        return row[name]
+    if "." in name:
+        _, bare = name.rsplit(".", 1)
+        if bare in row:
+            return row[bare]
+    else:
+        for key, value in row.items():
+            if key.endswith("." + name):
+                return value
+    raise KeyError(f"row has no column {name!r}")
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column, optionally table-qualified."""
+
+    name: str
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return _lookup(row, self.name)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        return self.name, []
+
+    def columns(self) -> List[str]:
+        return [self.name]
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return self.value
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        return "?", [self.value]
+
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison between two expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return _OPERATORS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        left_sql, left_params = self.left.to_sql()
+        right_sql, right_params = self.right.to_sql()
+        return f"{left_sql} {self.op} {right_sql}", left_params + right_params
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """Membership test ``column IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: Tuple[Any, ...]
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return self.operand.evaluate(row) in self.values
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        operand_sql, params = self.operand.to_sql()
+        placeholders = ", ".join("?" for _ in self.values)
+        return f"{operand_sql} IN ({placeholders})", params + list(self.values)
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class AndExpr(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        left_sql, left_params = self.left.to_sql()
+        right_sql, right_params = self.right.to_sql()
+        return f"({left_sql} AND {right_sql})", left_params + right_params
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class OrExpr(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        left_sql, left_params = self.left.to_sql()
+        right_sql, right_params = self.right.to_sql()
+        return f"({left_sql} OR {right_sql})", left_params + right_params
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class NotExpr(Expression):
+    operand: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        operand_sql, params = self.operand.to_sql()
+        return f"(NOT {operand_sql})", params
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``column IS NULL`` / ``IS NOT NULL`` tests."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        operand_sql, params = self.operand.to_sql()
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{operand_sql} {keyword}", params
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+
+# -- convenience constructors ----------------------------------------------------
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for a literal."""
+    return Literal(value)
+
+
+def eq(column: str, value: Any) -> Comparison:
+    """``column = value`` where ``value`` may be a column reference."""
+    right = value if isinstance(value, Expression) else Literal(value)
+    return Comparison("=", ColumnRef(column), right)
+
+
+def ne(column: str, value: Any) -> Comparison:
+    right = value if isinstance(value, Expression) else Literal(value)
+    return Comparison("!=", ColumnRef(column), right)
+
+
+def and_all(expressions: Sequence[Expression]) -> Optional[Expression]:
+    """Conjunction of a sequence of expressions (``None`` for empty input)."""
+    result: Optional[Expression] = None
+    for expression in expressions:
+        result = expression if result is None else AndExpr(result, expression)
+    return result
+
+
+def filters_to_expr(filters: Dict[str, Any]) -> Optional[Expression]:
+    """Translate a Django-style ``{column: value}`` filter dict to an expression."""
+    return and_all([eq(name, value) for name, value in filters.items()])

@@ -1,0 +1,137 @@
+"""A pure-Python relational backend built on :class:`repro.db.table.Table`."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.db.backend import Backend
+from repro.db.expr import Expression
+from repro.db.query import Query, apply_limit, apply_order, compute_aggregate
+from repro.db.schema import SchemaError, TableSchema
+from repro.db.table import Table
+
+
+class MemoryBackend(Backend):
+    """Keeps every table in memory; useful for tests and fast benchmarks."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    # -- schema management ---------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            return
+        self._tables[schema.name] = Table(schema)
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def schema(self, name: str) -> TableSchema:
+        return self._table(name).schema
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise SchemaError(f"no such table {name!r}") from exc
+
+    # -- data manipulation -------------------------------------------------------------
+
+    def insert(self, table: str, values: Dict[str, Any]) -> int:
+        return self._table(table).insert(values)
+
+    def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
+        return self._table(table).update(where, values)
+
+    def delete(self, table: str, where: Optional[Expression]) -> int:
+        return self._table(table).delete(where)
+
+    # -- queries --------------------------------------------------------------------------
+
+    def execute(self, query: Query) -> List[Dict[str, Any]]:
+        rows = self._join_rows(query)
+        if query.where is not None:
+            rows = [row for row in rows if query.where.evaluate(row)]
+        rows = apply_order(rows, query.order_by)
+        rows = apply_limit(rows, query.limit, query.offset)
+        columns = query.qualified_columns() if query.is_join() else query.columns
+        if columns:
+            rows = [self._pick_columns(row, columns) for row in rows]
+        return rows
+
+    def aggregate(self, query: Query) -> Any:
+        if query.aggregate is None:
+            raise ValueError("aggregate() requires a query with an aggregate")
+        rows = self._join_rows(query)
+        if query.where is not None:
+            rows = [row for row in rows if query.where.evaluate(row)]
+        if query.group_by:
+            grouped: Dict[tuple, List[Dict[str, Any]]] = {}
+            for row in rows:
+                key = tuple(row.get(column) for column in query.group_by)
+                grouped.setdefault(key, []).append(row)
+            return {
+                key: compute_aggregate(group, query.aggregate)
+                for key, group in grouped.items()
+            }
+        return compute_aggregate(rows, query.aggregate)
+
+    def clear(self) -> None:
+        for table in self._tables.values():
+            table.clear()
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _join_rows(self, query: Query) -> List[Dict[str, Any]]:
+        """Materialise the FROM/JOIN part of a query.
+
+        Joined rows use qualified keys (``Table.column``); single-table
+        queries keep bare column names, matching the SQLite backend.
+        """
+        base = self._table(query.table)
+        if not query.is_join():
+            return base.rows()
+        rows = [self._qualify(query.table, row) for row in base.rows()]
+        for join in query.joins:
+            other = self._table(join.table)
+            other_rows = [self._qualify(join.table, row) for row in other.rows()]
+            left_key = self._qualify_name(query.table, join.left_column)
+            right_key = self._qualify_name(join.table, join.right_column)
+            index: Dict[Any, List[Dict[str, Any]]] = {}
+            for other_row in other_rows:
+                index.setdefault(other_row.get(right_key), []).append(other_row)
+            joined: List[Dict[str, Any]] = []
+            for row in rows:
+                for match in index.get(row.get(left_key), []):
+                    combined = dict(row)
+                    combined.update(match)
+                    joined.append(combined)
+            rows = joined
+        return rows
+
+    @staticmethod
+    def _qualify(table: str, row: Dict[str, Any]) -> Dict[str, Any]:
+        return {f"{table}.{name}": value for name, value in row.items()}
+
+    @staticmethod
+    def _qualify_name(table: str, column: str) -> str:
+        return column if "." in column else f"{table}.{column}"
+
+    @staticmethod
+    def _pick_columns(row: Dict[str, Any], columns) -> Dict[str, Any]:
+        picked = {}
+        for name in columns:
+            if name in row:
+                picked[name] = row[name]
+            elif "." in name and name.rsplit(".", 1)[-1] in row:
+                picked[name] = row[name.rsplit(".", 1)[-1]]
+            else:
+                picked[name] = None
+        return picked

@@ -1,0 +1,159 @@
+"""Query descriptions: selects, joins, ordering and aggregates.
+
+A :class:`Query` is a declarative description executed by a backend.  Joins
+produce rows whose keys are qualified (``"Table.column"``) so that columns
+with the same name in different tables do not collide -- exactly what the
+FORM needs when it adds ``jvars`` columns from every joined table (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.expr import Expression
+
+
+@dataclass(frozen=True)
+class Join:
+    """An inner join clause: ``JOIN table ON left_column = right_column``."""
+
+    table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class Order:
+    """An ORDER BY term."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate computation: COUNT, SUM, AVG, MIN or MAX over a column."""
+
+    function: str
+    column: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.function.upper() not in {"COUNT", "SUM", "AVG", "MIN", "MAX"}:
+            raise ValueError(f"unknown aggregate function {self.function!r}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A declarative select query against one table plus optional joins."""
+
+    table: str
+    columns: Optional[Tuple[str, ...]] = None
+    where: Optional[Expression] = None
+    joins: Tuple[Join, ...] = ()
+    order_by: Tuple[Order, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    aggregate: Optional[Aggregate] = None
+    group_by: Tuple[str, ...] = ()
+
+    # -- fluent builders --------------------------------------------------------------
+
+    def select(self, *columns: str) -> "Query":
+        return replace(self, columns=tuple(columns) if columns else None)
+
+    def filter(self, expression: Expression) -> "Query":
+        from repro.db.expr import AndExpr
+
+        combined = expression if self.where is None else AndExpr(self.where, expression)
+        return replace(self, where=combined)
+
+    def join(self, table: str, left_column: str, right_column: str) -> "Query":
+        return replace(self, joins=self.joins + (Join(table, left_column, right_column),))
+
+    def ordered_by(self, column: str, ascending: bool = True) -> "Query":
+        return replace(self, order_by=self.order_by + (Order(column, ascending),))
+
+    def limited(self, limit: int, offset: int = 0) -> "Query":
+        return replace(self, limit=limit, offset=offset)
+
+    def with_aggregate(self, function: str, column: str = "*") -> "Query":
+        return replace(self, aggregate=Aggregate(function, column))
+
+    def grouped_by(self, *columns: str) -> "Query":
+        return replace(self, group_by=tuple(columns))
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def is_join(self) -> bool:
+        return bool(self.joins)
+
+    def qualified_columns(self) -> Optional[Tuple[str, ...]]:
+        """Requested columns qualified with the base table when unqualified."""
+        if self.columns is None:
+            return None
+        qualified = []
+        for name in self.columns:
+            qualified.append(name if "." in name else f"{self.table}.{name}")
+        return tuple(qualified)
+
+
+def apply_order(rows: List[Dict[str, Any]], order_by: Sequence[Order]) -> List[Dict[str, Any]]:
+    """Sort rows by a sequence of order terms (stable, None-safe)."""
+    result = list(rows)
+    for order in reversed(order_by):
+        def key(row: Dict[str, Any], column: str = order.column) -> Tuple[int, Any]:
+            value = _qualified_get(row, column)
+            return (value is None, value)
+
+        result.sort(key=key, reverse=not order.ascending)
+    return result
+
+
+def apply_limit(
+    rows: List[Dict[str, Any]], limit: Optional[int], offset: int
+) -> List[Dict[str, Any]]:
+    if offset:
+        rows = rows[offset:]
+    if limit is not None:
+        rows = rows[:limit]
+    return rows
+
+
+def compute_aggregate(rows: List[Dict[str, Any]], aggregate: Aggregate) -> Any:
+    """Evaluate an aggregate over already-filtered rows."""
+    function = aggregate.function.upper()
+    if function == "COUNT":
+        if aggregate.column == "*":
+            return len(rows)
+        return sum(1 for row in rows if _qualified_get(row, aggregate.column) is not None)
+    values = [
+        value
+        for row in rows
+        if (value := _qualified_get(row, aggregate.column)) is not None
+    ]
+    if not values:
+        return None
+    if function == "SUM":
+        return sum(values)
+    if function == "AVG":
+        return sum(values) / len(values)
+    if function == "MIN":
+        return min(values)
+    if function == "MAX":
+        return max(values)
+    raise ValueError(f"unknown aggregate function {function!r}")  # pragma: no cover
+
+
+def _qualified_get(row: Dict[str, Any], column: str) -> Any:
+    if column in row:
+        return row[column]
+    if "." in column:
+        bare = column.rsplit(".", 1)[-1]
+        if bare in row:
+            return row[bare]
+    else:
+        for key, value in row.items():
+            if key.endswith("." + column):
+                return value
+    return None

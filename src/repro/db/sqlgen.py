@@ -1,0 +1,146 @@
+"""SQL text generation.
+
+Renders schemas and :class:`~repro.db.query.Query` objects to SQL.  Also
+provides :func:`django_style_sql` and :func:`jacqueline_style_sql`, which
+reproduce the Table 2 comparison from the paper: the Jacqueline translation
+of an ORM query selects the ``jid``/``jvars`` meta-data columns of every
+joined table and joins foreign keys on ``jid`` instead of the primary key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.query import Query
+from repro.db.schema import TableSchema
+
+
+def schema_to_sql(schema: TableSchema) -> str:
+    """CREATE TABLE statement for a schema."""
+    parts = []
+    for column in schema.columns:
+        fragment = f'"{column.name}" {column.type.sql_type()}'
+        if column.primary_key:
+            fragment += " PRIMARY KEY AUTOINCREMENT"
+        elif not column.nullable:
+            fragment += " NOT NULL"
+        parts.append(fragment)
+    body = ", ".join(parts)
+    return f'CREATE TABLE IF NOT EXISTS "{schema.name}" ({body})'
+
+
+def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
+    """Render a query to a SELECT statement and its bound parameters."""
+    params: List[Any] = []
+
+    if query.aggregate is not None:
+        column = query.aggregate.column
+        target = column if column == "*" else _quote_name(column)
+        select_clause = f"{query.aggregate.function.upper()}({target})"
+    elif query.columns:
+        names = query.qualified_columns() if qualify else query.columns
+        select_clause = ", ".join(_quote_name(name) for name in names)
+    elif qualify:
+        select_clause = ", ".join(
+            f'"{table}".*' for table in [query.table] + [join.table for join in query.joins]
+        )
+    else:
+        select_clause = "*"
+
+    statement = f'SELECT {select_clause} FROM "{query.table}"'
+
+    for join in query.joins:
+        left = _quote_name(
+            join.left_column if "." in join.left_column else f"{query.table}.{join.left_column}"
+        )
+        right = _quote_name(
+            join.right_column if "." in join.right_column else f"{join.table}.{join.right_column}"
+        )
+        statement += f' JOIN "{join.table}" ON {left} = {right}'
+
+    if query.where is not None:
+        where_sql, where_params = query.where.to_sql()
+        statement += f" WHERE {_quote_where(where_sql)}"
+        params.extend(where_params)
+
+    if query.group_by:
+        statement += " GROUP BY " + ", ".join(_quote_name(c) for c in query.group_by)
+
+    if query.order_by:
+        terms = []
+        for order in query.order_by:
+            direction = "ASC" if order.ascending else "DESC"
+            terms.append(f"{_quote_name(order.column)} {direction}")
+        statement += " ORDER BY " + ", ".join(terms)
+
+    if query.limit is not None:
+        statement += f" LIMIT {int(query.limit)}"
+        if query.offset:
+            statement += f" OFFSET {int(query.offset)}"
+
+    return statement, params
+
+
+def _quote_name(name: str) -> str:
+    if "." in name:
+        table, column = name.rsplit(".", 1)
+        return f'"{table}"."{column}"'
+    return f'"{name}"'
+
+
+def _quote_where(fragment: str) -> str:
+    """Qualify bare column tokens in a rendered where clause.
+
+    Expression.to_sql emits bare names; SQLite accepts them as-is, so the
+    clause only needs cosmetic quoting for qualified names.
+    """
+    return fragment
+
+
+# -- Table 2: Django vs. Jacqueline translations ----------------------------------------
+
+
+def django_style_sql(
+    base_table: str,
+    columns: Sequence[str],
+    join_table: str,
+    fk_column: str,
+    where_column: str,
+    where_value: str,
+) -> str:
+    """The SQL Django would issue for ``filter(rel__field=value)`` (Table 2, left)."""
+    select = ", ".join(f"{base_table}.{name}" for name in columns)
+    return (
+        f"SELECT {select} "
+        f"FROM {base_table} "
+        f"JOIN {join_table} ON {base_table}.{fk_column} = {join_table}.id "
+        f"WHERE {join_table}.{where_column} = '{where_value}';"
+    )
+
+
+def jacqueline_style_sql(
+    base_table: str,
+    columns: Sequence[str],
+    join_table: str,
+    fk_column: str,
+    where_column: str,
+    where_value: str,
+) -> str:
+    """The SQL the FORM issues for the same query (Table 2, right).
+
+    Differences from the Django translation, exactly as in the paper:
+
+    * the base table's ``jid`` and ``jvars`` columns and the joined table's
+      ``jvars`` column are added to the SELECT list;
+    * the foreign key joins on the referenced table's ``jid`` rather than its
+      primary key ``id``.
+    """
+    select_columns = [f"{base_table}.{name}" for name in columns]
+    select_columns += [f"{base_table}.jid", f"{base_table}.jvars", f"{join_table}.jvars"]
+    select = ", ".join(select_columns)
+    return (
+        f"SELECT {select} "
+        f"FROM {base_table} "
+        f"JOIN {join_table} ON {base_table}.{fk_column} = {join_table}.jid "
+        f"WHERE {join_table}.{where_column} = '{where_value}';"
+    )

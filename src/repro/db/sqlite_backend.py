@@ -1,0 +1,200 @@
+"""A backend on top of the standard library's ``sqlite3``.
+
+This demonstrates the paper's claim that the FORM "works with existing
+relational database implementations": the same meta-data manipulation used
+by the in-memory engine runs unmodified against a real SQL database.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.db.backend import Backend
+from repro.db.expr import Expression
+from repro.db.query import Query, compute_aggregate
+from repro.db.schema import Column, ColumnType, SchemaError, TableSchema
+from repro.db.sqlgen import query_to_sql, schema_to_sql
+
+
+class SqliteBackend(Backend):
+    """Stores tables in a SQLite database (in-memory by default)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._connection.row_factory = sqlite3.Row
+        self._lock = threading.Lock()
+        self._schemas: Dict[str, TableSchema] = {}
+
+    # -- schema management ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._schemas:
+            return
+        statement = schema_to_sql(schema)
+        with self._lock:
+            self._connection.execute(statement)
+            for column in schema.indexed_columns():
+                self._connection.execute(
+                    f'CREATE INDEX IF NOT EXISTS "idx_{schema.name}_{column.name}" '
+                    f'ON "{schema.name}" ("{column.name}")'
+                )
+            self._connection.commit()
+        self._schemas[schema.name] = schema
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            self._connection.execute(f'DROP TABLE IF EXISTS "{name}"')
+            self._connection.commit()
+        self._schemas.pop(name, None)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schema(self, name: str) -> TableSchema:
+        try:
+            return self._schemas[name]
+        except KeyError as exc:
+            raise SchemaError(f"no such table {name!r}") from exc
+
+    def table_names(self) -> List[str]:
+        return sorted(self._schemas)
+
+    # -- data manipulation ---------------------------------------------------------------
+
+    def insert(self, table: str, values: Dict[str, Any]) -> int:
+        schema = self.schema(table)
+        row = schema.validate_row(values)
+        pk_name = schema.primary_key.name
+        if row.get(pk_name) is None:
+            row.pop(pk_name, None)
+        columns = list(row.keys())
+        placeholders = ", ".join("?" for _ in columns)
+        column_sql = ", ".join(f'"{name}"' for name in columns)
+        params = [self._encode(schema.column(name), row[name]) for name in columns]
+        statement = f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
+        with self._lock:
+            cursor = self._connection.execute(statement, params)
+            self._connection.commit()
+            return int(cursor.lastrowid)
+
+    def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
+        schema = self.schema(table)
+        assignments = ", ".join(f'"{name}" = ?' for name in values)
+        params: List[Any] = [
+            self._encode(schema.column(name), value) for name, value in values.items()
+        ]
+        statement = f'UPDATE "{table}" SET {assignments}'
+        if where is not None:
+            where_sql, where_params = where.to_sql()
+            statement += f" WHERE {where_sql}"
+            params.extend(self._encode_params(where_params))
+        with self._lock:
+            cursor = self._connection.execute(statement, params)
+            self._connection.commit()
+            return cursor.rowcount
+
+    def delete(self, table: str, where: Optional[Expression]) -> int:
+        statement = f'DELETE FROM "{table}"'
+        params: List[Any] = []
+        if where is not None:
+            where_sql, where_params = where.to_sql()
+            statement += f" WHERE {where_sql}"
+            params.extend(self._encode_params(where_params))
+        with self._lock:
+            cursor = self._connection.execute(statement, params)
+            self._connection.commit()
+            return cursor.rowcount
+
+    # -- queries ------------------------------------------------------------------------------
+
+    def execute(self, query: Query) -> List[Dict[str, Any]]:
+        statement, params = query_to_sql(query, qualify=query.is_join())
+        with self._lock:
+            cursor = self._connection.execute(statement, self._encode_params(params))
+            raw_rows = cursor.fetchall()
+        if query.is_join():
+            columns = self._join_column_names(query)
+            rows = [dict(zip(columns, tuple(row))) for row in raw_rows]
+        else:
+            rows = [dict(row) for row in raw_rows]
+            rows = [self._decode_row(self.schema(query.table), row) for row in rows]
+        return rows
+
+    def aggregate(self, query: Query) -> Any:
+        if query.aggregate is None:
+            raise ValueError("aggregate() requires a query with an aggregate")
+        if query.group_by:
+            rows = self.execute(Query(table=query.table, where=query.where, joins=query.joins))
+            grouped: Dict[tuple, List[Dict[str, Any]]] = {}
+            for row in rows:
+                key = tuple(row.get(column) for column in query.group_by)
+                grouped.setdefault(key, []).append(row)
+            return {
+                key: compute_aggregate(group, query.aggregate)
+                for key, group in grouped.items()
+            }
+        statement, params = query_to_sql(query, qualify=query.is_join())
+        with self._lock:
+            cursor = self._connection.execute(statement, self._encode_params(params))
+            row = cursor.fetchone()
+        return row[0] if row is not None else None
+
+    def clear(self) -> None:
+        with self._lock:
+            for name in self._schemas:
+                self._connection.execute(f'DELETE FROM "{name}"')
+            self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # -- encoding ---------------------------------------------------------------------------------
+
+    @staticmethod
+    def _encode(column: Column, value: Any) -> Any:
+        if value is None:
+            return None
+        if column.type is ColumnType.BOOLEAN:
+            return 1 if value else 0
+        if column.type is ColumnType.DATETIME:
+            return value.isoformat() if isinstance(value, datetime.datetime) else str(value)
+        return value
+
+    @staticmethod
+    def _encode_params(params: List[Any]) -> List[Any]:
+        encoded = []
+        for value in params:
+            if isinstance(value, bool):
+                encoded.append(1 if value else 0)
+            elif isinstance(value, datetime.datetime):
+                encoded.append(value.isoformat())
+            else:
+                encoded.append(value)
+        return encoded
+
+    @staticmethod
+    def _decode_row(schema: TableSchema, row: Dict[str, Any]) -> Dict[str, Any]:
+        decoded = {}
+        for name, value in row.items():
+            if schema.has_column(name) and value is not None:
+                column = schema.column(name)
+                if column.type is ColumnType.BOOLEAN:
+                    value = bool(value)
+                elif column.type is ColumnType.DATETIME and isinstance(value, str):
+                    value = datetime.datetime.fromisoformat(value)
+            decoded[name] = value
+        return decoded
+
+    def _join_column_names(self, query: Query) -> List[str]:
+        """Qualified output column names for a join query, in SELECT order."""
+        requested = query.qualified_columns()
+        if requested:
+            return list(requested)
+        names: List[str] = []
+        for table in [query.table] + [join.table for join in query.joins]:
+            for column in self.schema(table).columns:
+                names.append(f"{table}.{column.name}")
+        return names

@@ -1,0 +1,137 @@
+"""In-memory table storage with secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.db.expr import Expression
+from repro.db.schema import SchemaError, TableSchema
+
+
+class Table:
+    """A heap of rows plus hash indexes on the columns marked ``indexed``.
+
+    Rows are stored as dicts keyed by column name; the integer primary key is
+    auto-assigned on insert when missing.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Dict[str, Any]] = {}
+        self._next_pk = 1
+        self._indexes: Dict[str, Dict[Any, set]] = {
+            column.name: {} for column in schema.indexed_columns()
+        }
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(list(self._rows.values()))
+
+    # -- modification -------------------------------------------------------------
+
+    def insert(self, values: Dict[str, Any]) -> int:
+        """Insert a row, returning its primary key."""
+        row = self.schema.validate_row(values)
+        pk_name = self.schema.primary_key.name
+        if row.get(pk_name) is None:
+            row[pk_name] = self._next_pk
+            self._next_pk += 1
+        else:
+            pk = int(row[pk_name])
+            if pk in self._rows:
+                raise SchemaError(f"duplicate primary key {pk} in {self.schema.name!r}")
+            self._next_pk = max(self._next_pk, pk + 1)
+        pk = row[pk_name]
+        self._rows[pk] = row
+        self._index_add(row)
+        return pk
+
+    def update(self, where: Optional[Expression], values: Dict[str, Any]) -> int:
+        """Update matching rows in place; returns the number updated."""
+        count = 0
+        for row in self._candidate_rows(where):
+            if where is None or where.evaluate(row):
+                self._index_remove(row)
+                for name, value in values.items():
+                    row[name] = self.schema.column(name).coerce(value)
+                self._index_add(row)
+                count += 1
+        return count
+
+    def delete(self, where: Optional[Expression]) -> int:
+        """Delete matching rows; returns the number deleted."""
+        doomed = [
+            row
+            for row in self._candidate_rows(where)
+            if where is None or where.evaluate(row)
+        ]
+        for row in doomed:
+            pk = row[self.schema.primary_key.name]
+            self._index_remove(row)
+            del self._rows[pk]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._next_pk = 1
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def get(self, pk: int) -> Optional[Dict[str, Any]]:
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def scan(self, where: Optional[Expression] = None) -> List[Dict[str, Any]]:
+        """Return copies of all rows matching ``where`` (all rows if ``None``)."""
+        result = []
+        for row in self._candidate_rows(where):
+            if where is None or where.evaluate(row):
+                result.append(dict(row))
+        return result
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self._rows.values()]
+
+    # -- indexes ------------------------------------------------------------------------
+
+    def _candidate_rows(self, where: Optional[Expression]) -> List[Dict[str, Any]]:
+        """Use an index to narrow the scan when the filter allows it."""
+        if where is not None:
+            point = self._point_lookup(where)
+            if point is not None:
+                column, value = point
+                pks = self._indexes.get(column, {}).get(value, set())
+                return [self._rows[pk] for pk in sorted(pks) if pk in self._rows]
+        return list(self._rows.values())
+
+    def _point_lookup(self, where: Expression) -> Optional[Tuple[str, Any]]:
+        """Detect a top-level ``indexed_column = literal`` pattern."""
+        from repro.db.expr import Comparison, ColumnRef, Literal, AndExpr
+
+        if isinstance(where, Comparison) and where.op == "=":
+            if isinstance(where.left, ColumnRef) and isinstance(where.right, Literal):
+                name = where.left.name.rsplit(".", 1)[-1]
+                if name in self._indexes:
+                    return name, where.right.value
+        if isinstance(where, AndExpr):
+            return self._point_lookup(where.left) or self._point_lookup(where.right)
+        return None
+
+    def _index_add(self, row: Dict[str, Any]) -> None:
+        pk = row[self.schema.primary_key.name]
+        for column, index in self._indexes.items():
+            index.setdefault(row.get(column), set()).add(pk)
+
+    def _index_remove(self, row: Dict[str, Any]) -> None:
+        pk = row[self.schema.primary_key.name]
+        for column, index in self._indexes.items():
+            bucket = index.get(row.get(column))
+            if bucket is not None:
+                bucket.discard(pk)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={len(self._rows)})"

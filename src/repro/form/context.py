@@ -1,0 +1,138 @@
+"""FORM context: which database/runtime is active, and who the viewer is.
+
+A :class:`FORM` bundles a relational :class:`~repro.db.engine.Database` with
+a :class:`~repro.core.runtime.JeevesRuntime`.  Model managers resolve the
+active FORM through a thread-local stack so the same model classes can be
+re-pointed at fresh databases between tests and benchmark iterations.
+
+The viewer context implements the Early Pruning hook: inside
+``with viewer_context(user):`` queries resolve policies immediately for
+``user`` and fetch only the visible facet rows (Section 3.2).  Outside a
+viewer context, queries build full faceted results and policies are resolved
+only at concretisation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.core.runtime import JeevesRuntime
+from repro.db.engine import Database
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.form.model import JModel
+
+
+class FORM:
+    """A faceted ORM instance: database + runtime + registered models."""
+
+    def __init__(self, database: Optional[Database] = None, runtime: Optional[JeevesRuntime] = None) -> None:
+        self.database = database if database is not None else Database()
+        self.runtime = runtime if runtime is not None else JeevesRuntime()
+        self._models: Dict[str, type] = {}
+        self._jid_counters: Dict[str, int] = {}
+        #: label names whose policies have already been attached to the runtime
+        self.registered_labels: set = set()
+
+    # -- model registration -------------------------------------------------------
+
+    def register(self, model: type) -> None:
+        """Create the model's augmented table in this FORM's database."""
+        options = model._meta
+        self.database.create_table(options.table_schema())
+        self._models[options.table_name] = model
+        self._jid_counters.setdefault(options.table_name, 0)
+
+    def register_all(self, models: List[type]) -> None:
+        for model in models:
+            self.register(model)
+
+    def registered_models(self) -> List[type]:
+        return list(self._models.values())
+
+    # -- jid allocation --------------------------------------------------------------
+
+    def next_jid(self, table_name: str) -> int:
+        """Allocate the next facet identifier for a table."""
+        current = self._jid_counters.get(table_name, 0) + 1
+        self._jid_counters[table_name] = current
+        return current
+
+    def note_jid(self, table_name: str, jid: int) -> None:
+        """Record an externally chosen jid so future allocations stay unique."""
+        if jid > self._jid_counters.get(table_name, 0):
+            self._jid_counters[table_name] = jid
+
+    # -- convenience -----------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Delete all rows and reset jid counters (schemas are kept)."""
+        self.database.clear()
+        self.runtime.reset()
+        self.registered_labels.clear()
+        for name in self._jid_counters:
+            self._jid_counters[name] = 0
+
+
+_state = threading.local()
+
+
+def _form_stack() -> List[FORM]:
+    stack = getattr(_state, "form_stack", None)
+    if stack is None:
+        stack = [FORM()]
+        _state.form_stack = stack
+    return stack
+
+
+def current_form() -> FORM:
+    """The FORM model managers are currently bound to."""
+    return _form_stack()[-1]
+
+
+@contextlib.contextmanager
+def use_form(form: FORM) -> Iterator[FORM]:
+    """Temporarily make ``form`` the active FORM (thread-local)."""
+    stack = _form_stack()
+    stack.append(form)
+    try:
+        yield form
+    finally:
+        stack.pop()
+
+
+def set_form(form: FORM) -> None:
+    """Install ``form`` as the active FORM for this thread (not scoped)."""
+    _state.form_stack = [form]
+
+
+def _viewer_stack() -> List[Any]:
+    stack = getattr(_state, "viewer_stack", None)
+    if stack is None:
+        stack = []
+        _state.viewer_stack = stack
+    return stack
+
+
+def current_viewer() -> Any:
+    """The speculated viewer for Early Pruning, or ``None``."""
+    stack = _viewer_stack()
+    return stack[-1] if stack else None
+
+
+@contextlib.contextmanager
+def viewer_context(viewer: Any) -> Iterator[Any]:
+    """Speculate on the viewer (the session user) for the enclosed queries.
+
+    ``viewer_context(None)`` can be used to explicitly disable pruning inside
+    an outer viewer context (e.g. for "post" handlers that write shared
+    state).
+    """
+    stack = _viewer_stack()
+    stack.append(viewer)
+    try:
+        yield viewer
+    finally:
+        stack.pop()

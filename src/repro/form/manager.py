@@ -1,0 +1,484 @@
+"""Managers and query sets: the Jacqueline query API.
+
+``Model.objects`` exposes the Django-style entry points (``create``,
+``all``, ``filter``, ``get``, ``count``); a :class:`QuerySet` describes one
+query and executes it against the active FORM.
+
+Execution has two modes:
+
+* **Pruned** (inside ``viewer_context(user)``): policies are resolved for the
+  known viewer while unmarshalling and only the visible facet rows are kept,
+  so results are plain Python lists of model instances.  This is the Early
+  Pruning optimisation the paper's web benchmarks rely on.
+* **Faceted** (no viewer context): results are faceted collections that must
+  be concretised with ``runtime.concretize(value, viewer)`` before display.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.core.facets import Facet
+from repro.core.labels import Label
+from repro.db.expr import Expression, eq
+from repro.db.query import Query
+from repro.form.context import FORM, current_form, current_viewer
+from repro.form.fields import ForeignKey
+from repro.form.marshal import (
+    JvarBranch,
+    build_faceted_collection,
+    label_name_for,
+    parse_jvars,
+)
+
+
+class DoesNotExist(Exception):
+    """Raised by :meth:`Manager.get_or_raise` when no record matches."""
+
+
+class QuerySet:
+    """A lazily executed query over one Jacqueline model."""
+
+    def __init__(
+        self,
+        model: Type,
+        filters: Optional[Dict[str, Any]] = None,
+        order_fields: Tuple[Tuple[str, bool], ...] = (),
+        limit: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.filters = dict(filters or {})
+        self.order_fields = order_fields
+        self.limit = limit
+
+    # -- chaining -------------------------------------------------------------------
+
+    def filter(self, **filters: Any) -> "QuerySet":
+        combined = dict(self.filters)
+        combined.update(filters)
+        return QuerySet(self.model, combined, self.order_fields, self.limit)
+
+    def order_by(self, *fields: str) -> "QuerySet":
+        order = list(self.order_fields)
+        for field in fields:
+            ascending = not field.startswith("-")
+            order.append((field.lstrip("-"), ascending))
+        return QuerySet(self.model, self.filters, tuple(order), self.limit)
+
+    def limited(self, limit: int) -> "QuerySet":
+        return QuerySet(self.model, self.filters, self.order_fields, limit)
+
+    # -- execution --------------------------------------------------------------------
+
+    def fetch(self) -> Any:
+        """Execute the query.
+
+        Returns a plain list of instances inside a viewer context, or a
+        faceted collection otherwise.
+        """
+        form = current_form()
+        entries = self._fetch_entries(form)
+        self._register_policies(form, entries)
+        viewer = current_viewer()
+        if viewer is not None:
+            return self._pruned(form, entries, viewer)
+        return build_faceted_collection(
+            [(branches, instance) for _jid, branches, instance in entries]
+        )
+
+    def __iter__(self) -> Iterator[Any]:
+        result = self.fetch()
+        if isinstance(result, Facet):
+            raise TypeError(
+                "cannot iterate a faceted result directly; use runtime.jfor or "
+                "run the query inside viewer_context()"
+            )
+        return iter(result)
+
+    def __len__(self) -> int:
+        result = self.fetch()
+        if isinstance(result, Facet):
+            raise TypeError("faceted result has no plain length; use count()")
+        return len(result)
+
+    def first(self) -> Any:
+        """The first matching record (or ``None`` / a faceted option)."""
+        result = self.fetch()
+        if isinstance(result, Facet):
+            from repro.core.facets import facet_map
+
+            return facet_map(lambda items: items[0] if items else None, result)
+        return result[0] if result else None
+
+    def count(self) -> Any:
+        """The number of matching records (faceted outside a viewer context)."""
+        result = self.fetch()
+        if isinstance(result, Facet):
+            from repro.core.facets import facet_map
+
+            return facet_map(len, result)
+        return len(result)
+
+    def exists(self) -> Any:
+        count = self.count()
+        if isinstance(count, Facet):
+            from repro.core.facets import facet_map
+
+            return facet_map(bool, count)
+        return bool(count)
+
+    def delete(self) -> int:
+        """Delete every facet row of every matching record."""
+        form = current_form()
+        entries = self._fetch_entries(form)
+        table = self.model._meta.table_name
+        deleted = 0
+        for jid in {jid for jid, _branches, _instance in entries}:
+            deleted += form.database.delete(table, eq("jid", jid))
+        return deleted
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _fetch_entries(self, form: FORM) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
+        """Run the relational query and unmarshal rows into
+        ``(jid, branches, instance)`` entries (one per facet row)."""
+        meta = self.model._meta
+        query, joined_tables = self._build_query(meta)
+        rows = form.database.execute(query)
+        entries: List[Tuple[int, Tuple[JvarBranch, ...], Any]] = []
+        for row in rows:
+            values = self._base_values(meta, row, joined_tables)
+            branches = list(parse_jvars(values.get("jvars")))
+            # Joins contribute the jvars of every joined table (Table 2).
+            for table in joined_tables:
+                branches.extend(parse_jvars(row.get(f"{table}.jvars")))
+            jid = values.get("jid")
+            instance = _instance_from_row(self.model, values)
+            entries.append((int(jid), tuple(dict.fromkeys(branches)), instance))
+        return entries
+
+    def _build_query(self, meta) -> Tuple[Query, List[str]]:
+        query = Query(table=meta.table_name)
+        joined: List[str] = []
+        has_join = any("__" in lookup for lookup in self.filters)
+        for lookup, value in self.filters.items():
+            query = self._apply_filter(meta, query, joined, lookup, value, has_join)
+        for field, ascending in self.order_fields:
+            column = self._column_for(meta, field)
+            query = query.ordered_by(column, ascending)
+        if self.limit is not None and not joined:
+            query = query.limited(self.limit)
+        return query, joined
+
+    def _apply_filter(
+        self, meta, query: Query, joined: List[str], lookup: str, value: Any, has_join: bool = False
+    ) -> Query:
+        from repro.form.model import JModel
+
+        if "__" in lookup:
+            fk_name, _, related = lookup.partition("__")
+            field = meta.fields.get(fk_name)
+            if not isinstance(field, ForeignKey):
+                raise ValueError(f"{lookup!r}: {fk_name!r} is not a foreign key")
+            target = field.target_model()
+            target_meta = target._meta
+            if target_meta.table_name not in joined:
+                query = query.join(
+                    target_meta.table_name, field.column_name, "jid"
+                )
+                joined.append(target_meta.table_name)
+            column = (
+                "jid"
+                if related in ("jid", "pk")
+                else target_meta.field_column(related)
+            )
+            if isinstance(value, JModel):
+                value = value.jid
+            return query.filter(eq(f"{target_meta.table_name}.{column}", value))
+
+        if lookup in ("jid", "pk"):
+            column = f"{meta.table_name}.jid" if has_join else "jid"
+            return query.filter(eq(column, value))
+        field = meta.fields.get(lookup)
+        if field is None and lookup.endswith("_id"):
+            # Allow filtering on the raw foreign-key column (``event_id=...``).
+            field = meta.fields.get(lookup[:-3])
+        if field is None:
+            raise ValueError(f"unknown field {lookup!r} on {meta.table_name}")
+        if isinstance(value, JModel):
+            value = value.jid
+        elif not isinstance(value, Facet):
+            value = field.to_db(value)
+        column = field.column_name
+        if has_join:
+            column = f"{meta.table_name}.{column}"
+        return query.filter(eq(column, value))
+
+    @staticmethod
+    def _column_for(meta, field_name: str) -> str:
+        if field_name in ("jid", "pk", "id"):
+            return "jid"
+        field = meta.fields.get(field_name)
+        return field.column_name if field is not None else field_name
+
+    @staticmethod
+    def _base_values(meta, row: Dict[str, Any], joined_tables: List[str]) -> Dict[str, Any]:
+        """Extract the base table's columns from a (possibly joined) row."""
+        if not joined_tables:
+            return dict(row)
+        prefix = f"{meta.table_name}."
+        return {
+            name[len(prefix):]: value for name, value in row.items() if name.startswith(prefix)
+        }
+
+    # -- policy registration -----------------------------------------------------------------
+
+    def _register_policies(
+        self, form: FORM, entries: Sequence[Tuple[int, Tuple[JvarBranch, ...], Any]]
+    ) -> None:
+        """Attach each record's policies to its labels in the runtime.
+
+        Policies are evaluated lazily against the *current* database state
+        (the paper enforces policies "with respect to ... the state of the
+        system at the time of output"), so the closure re-reads the secret
+        facet of the row when invoked.
+        """
+        meta = self.model._meta
+        for jid in {jid for jid, _branches, _instance in entries}:
+            for group in meta.policy_groups:
+                name = label_name_for(meta.table_name, jid, group.key)
+                if name in form.registered_labels:
+                    continue
+                form.registered_labels.add(name)
+                label = Label(hint=name, name=name)
+                form.runtime.policy_env.declare(label)
+                form.runtime.policy_env.restrict(
+                    label, _policy_closure(self.model, jid, group, form)
+                )
+
+    def _pruned(
+        self,
+        form: FORM,
+        entries: Sequence[Tuple[int, Tuple[JvarBranch, ...], Any]],
+        viewer: Any,
+    ) -> List[Any]:
+        """Early Pruning: keep only the facet rows visible to ``viewer``.
+
+        Policies of *this* model are evaluated against the secret facet
+        instance already fetched by the query (when present), so a pruned
+        page resolves each policy exactly once per record instead of
+        re-reading the row -- the effect behind the paper's observation that
+        Jacqueline can beat hand-coded checks on some pages.
+        """
+        meta = self.model._meta
+        prefix = f"{meta.table_name}."
+        secret_instances: Dict[int, Any] = {}
+        for jid, branches, instance in entries:
+            own = [polarity for name, polarity in branches if name.startswith(prefix)]
+            if all(own):
+                secret_instances.setdefault(jid, instance)
+
+        groups_by_key = {group.key: group for group in meta.policy_groups}
+        cache: Dict[str, bool] = {}
+        result: List[Any] = []
+        for jid, branches, instance in entries:
+            visible = True
+            for label_name, polarity in branches:
+                actual = cache.get(label_name)
+                if actual is None:
+                    actual = self._resolve_with_hint(
+                        form, label_name, viewer, prefix, groups_by_key, secret_instances
+                    )
+                    cache[label_name] = actual
+                if actual != polarity:
+                    visible = False
+                    break
+            if visible:
+                result.append(instance)
+        return result
+
+    @staticmethod
+    def _resolve_with_hint(
+        form: FORM,
+        label_name: str,
+        viewer: Any,
+        prefix: str,
+        groups_by_key: Dict[str, Any],
+        secret_instances: Dict[int, Any],
+    ) -> bool:
+        hint_group = None
+        hint_instance = None
+        if label_name.startswith(prefix):
+            parts = label_name.split(".")
+            if len(parts) == 3:
+                hint_group = groups_by_key.get(parts[2])
+                hint_instance = secret_instances.get(int(parts[1]))
+        if hint_group is None or hint_instance is None:
+            return _resolve_label(form, label_name, viewer)
+
+        # Same re-entrancy guard as _resolve_label: a policy that queries the
+        # data it guards sees its own label optimistically as visible.
+        resolving = getattr(form, "_resolving_labels", None)
+        if resolving is None:
+            resolving = set()
+            form._resolving_labels = resolving
+        key = (label_name, id(viewer))
+        if key in resolving:
+            return True
+        resolving.add(key)
+        try:
+            outcome = hint_group.method(hint_instance, viewer)
+            if isinstance(outcome, Facet):
+                outcome = form.runtime.concretize(outcome, viewer)
+            return bool(outcome)
+        finally:
+            resolving.discard(key)
+
+
+class Manager:
+    """The per-model query entry point (``Model.objects``)."""
+
+    def __init__(self, model: Type) -> None:
+        self.model = model
+
+    def __get__(self, instance: Any, owner: Type) -> "Manager":
+        return self
+
+    # -- creation ---------------------------------------------------------------------
+
+    def create(self, **kwargs: Any) -> Any:
+        instance = self.model(**kwargs)
+        instance.save()
+        return instance
+
+    # -- querying ----------------------------------------------------------------------
+
+    def all(self) -> QuerySet:
+        return QuerySet(self.model)
+
+    def filter(self, **filters: Any) -> QuerySet:
+        return QuerySet(self.model, filters)
+
+    def get(self, **filters: Any) -> Any:
+        """The matching record, or ``None`` (the Jacqueline API never raises
+        for a missing row, unlike Django -- see Figure 7 vs Figure 8)."""
+        return QuerySet(self.model, filters).first()
+
+    def get_or_raise(self, **filters: Any) -> Any:
+        found = self.get(**filters)
+        if found is None:
+            raise DoesNotExist(f"{self.model.__name__} matching {filters!r} does not exist")
+        return found
+
+    def get_by_jid(self, jid: Any) -> Any:
+        if isinstance(jid, Facet):
+            from repro.core.facets import facet_map
+
+            return facet_map(lambda j: self.get(jid=j) if j is not None else None, jid)
+        return self.get(jid=jid)
+
+    def count(self) -> Any:
+        return QuerySet(self.model).count()
+
+
+def _instance_from_row(model: Type, values: Dict[str, Any]) -> Any:
+    """Build a model instance from one database row (already unqualified)."""
+    meta = model._meta
+    instance = model.__new__(model)
+    instance.jid = values.get("jid")
+    for name, field in meta.fields.items():
+        column = field.column_name
+        raw = values.get(column)
+        setattr(instance, column, field.from_db(raw))
+    return instance
+
+
+def _secret_instance(model: Type, jid: int, form: FORM) -> Any:
+    """The secret (all labels True) facet of a record, freshly read.
+
+    Used when evaluating policies: the policy sees the actual field values of
+    the row at the time of output.
+    """
+    meta = model._meta
+    rows = form.database.find(meta.table_name, jid=jid)
+    if not rows:
+        return None
+    best = None
+    best_score = -1
+    for row in rows:
+        branches = parse_jvars(row.get("jvars"))
+        score = sum(1 for _name, polarity in branches if polarity)
+        if all(polarity for _name, polarity in branches) and score >= best_score:
+            best, best_score = row, score
+    if best is None:
+        best = rows[0]
+    return _instance_from_row(model, best)
+
+
+def _policy_closure(model: Type, jid: int, group, form: FORM):
+    """A policy callable bound to one record's policy group."""
+
+    def policy(viewer: Any) -> Any:
+        row = _secret_instance(model, jid, form)
+        if row is None:
+            return False
+        return group.method(row, viewer)
+
+    return policy
+
+
+def _resolve_label(form: FORM, label_name: str, viewer: Any) -> bool:
+    """Resolve one label for a known viewer (Early Pruning).
+
+    Labels named by the FORM convention ``Table.jid.group`` are resolved by
+    evaluating the model's policy directly; other labels (e.g. created by
+    application code through the runtime) fall back to the runtime's policy
+    environment.
+
+    Policies may depend on the data they guard (the guest-list example of
+    Section 2.3): evaluating such a policy issues a query whose pruning asks
+    for the very label being resolved.  Mirroring the constraint semantics --
+    which prefers the show-maximising consistent assignment -- a label that
+    is already being resolved is optimistically treated as visible inside its
+    own policy evaluation.
+    """
+    resolving = getattr(form, "_resolving_labels", None)
+    if resolving is None:
+        resolving = set()
+        form._resolving_labels = resolving
+    key = (label_name, id(viewer))
+    if key in resolving:
+        return True
+    resolving.add(key)
+    try:
+        return _resolve_label_inner(form, label_name, viewer)
+    finally:
+        resolving.discard(key)
+
+
+def _resolve_label_inner(form: FORM, label_name: str, viewer: Any) -> bool:
+    parts = label_name.split(".")
+    if len(parts) == 3:
+        table, jid_text, group_key = parts
+        from repro.form.model import ModelRegistry
+
+        try:
+            model = ModelRegistry.get(table)
+        except LookupError:
+            model = None
+        if model is not None:
+            meta = model._meta
+            group = next((g for g in meta.policy_groups if g.key == group_key), None)
+            if group is not None:
+                row = _secret_instance(model, int(jid_text), form)
+                if row is None:
+                    return False
+                outcome = group.method(row, viewer)
+                if isinstance(outcome, Facet):
+                    outcome = form.runtime.concretize(outcome, viewer)
+                return bool(outcome)
+    label = Label(hint=label_name, name=label_name)
+    outcome = form.runtime.policy_env.evaluate(label, viewer)
+    if isinstance(outcome, Facet):
+        outcome = form.runtime.concretize(outcome, viewer)
+    return bool(outcome)

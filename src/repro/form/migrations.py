@@ -1,0 +1,92 @@
+"""Migrating legacy (non-faceted) data into the FORM representation.
+
+Section 3.1.2: "Adding policies to legacy data involves adding meta-data
+columns."  These helpers take an existing application table without
+``jid``/``jvars`` and produce the augmented layout, seeding ``jid`` from the
+primary key and ``jvars`` with the empty string (visible to everyone) so
+that policies added afterwards apply uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type
+
+from repro.db.engine import Database
+from repro.db.schema import Column, ColumnType, TableSchema
+
+
+def add_metadata_columns(schema: TableSchema) -> TableSchema:
+    """Return the schema augmented with the FORM's ``jid``/``jvars`` columns."""
+    extra = (
+        Column("jid", ColumnType.INTEGER, indexed=True),
+        Column("jvars", ColumnType.TEXT, default=""),
+    )
+    return schema.with_extra_columns(extra)
+
+
+def migrate_legacy_rows(
+    database: Database,
+    legacy_table: str,
+    target_schema: TableSchema,
+    jid_from: str = "id",
+) -> int:
+    """Copy rows from a legacy table into an augmented table.
+
+    Each legacy row becomes a single facet row visible in every context
+    (``jvars = ""``) whose ``jid`` is taken from ``jid_from`` (normally the
+    old primary key).  Returns the number of rows migrated.  The target table
+    is created if missing; when the target *is* the legacy table (in-place
+    augmentation), the table is rebuilt with the extra meta-data columns --
+    the equivalent of the ``ALTER TABLE ... ADD COLUMN`` a production
+    migration would run.
+    """
+    rows = database.rows(legacy_table)
+    if legacy_table == target_schema.name:
+        existing = database.backend.schema(legacy_table)
+        if not existing.has_column("jid"):
+            database.drop_table(legacy_table)
+        database.create_table(target_schema)
+        migrated = 0
+        for row in rows:
+            values = {
+                name: value
+                for name, value in row.items()
+                if target_schema.has_column(name) and name != "id"
+            }
+            values["jid"] = row.get(jid_from)
+            values["jvars"] = ""
+            database.insert_row(target_schema.name, values)
+            migrated += 1
+        return migrated
+    database.create_table(target_schema)
+    migrated = 0
+    for row in rows:
+        values: Dict[str, Any] = {
+            name: value
+            for name, value in row.items()
+            if target_schema.has_column(name) and name != "id"
+        }
+        values["jid"] = row.get(jid_from)
+        values["jvars"] = ""
+        database.insert_row(target_schema.name, values)
+        migrated += 1
+    return migrated
+
+
+def register_legacy_model(form, model: Type, legacy_table: str, jid_from: str = "id") -> int:
+    """Register ``model`` with ``form`` and pull its data from a legacy table.
+
+    Afterwards the legacy data is queryable through the Jacqueline API and
+    new policies added to the model apply to it; updating policies later only
+    requires changing policy code (Section 3.1.2).
+    """
+    form.register(model)
+    count = migrate_legacy_rows(
+        form.database, legacy_table, model._meta.table_schema(), jid_from=jid_from
+    )
+    max_jid = 0
+    for row in form.database.rows(model._meta.table_name):
+        if row.get("jid"):
+            max_jid = max(max_jid, int(row["jid"]))
+    form.note_jid(model._meta.table_name, max_jid)
+    return count

@@ -1,0 +1,401 @@
+"""Jacqueline model classes (the ``JModel`` base and its metaclass).
+
+A model declares fields, optional ``jacqueline_get_public_<field>`` methods
+computing public facets, and ``@label_for`` policies.  The metaclass collects
+these into :class:`ModelOptions`; instances carry (possibly faceted) field
+values; ``save`` expands them into jid/jvars-annotated rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.facets import Facet
+from repro.db.expr import eq
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.form.context import FORM, current_form
+from repro.form.fields import Field, ForeignKey
+from repro.form.marshal import (
+    JvarBranch,
+    expand_value_facets,
+    format_jvars,
+    label_name_for,
+    parse_jvars,
+)
+from repro.form.policies import POLICY_ATTRIBUTE, PUBLIC_METHOD_PREFIX
+
+
+class PolicyGroup:
+    """One ``@label_for`` declaration: a set of fields guarded by one label."""
+
+    def __init__(self, fields: Tuple[str, ...], method: Callable[[Any, Any], Any]) -> None:
+        self.fields = fields
+        self.method = method
+        #: stable key used in label names; the first guarded field.
+        self.key = fields[0]
+
+    def __repr__(self) -> str:
+        return f"PolicyGroup(fields={self.fields!r})"
+
+
+class ModelRegistry:
+    """Global name → model class registry (resolves string foreign keys)."""
+
+    _models: Dict[str, Type["JModel"]] = {}
+
+    @classmethod
+    def register(cls, model: Type["JModel"]) -> None:
+        cls._models[model.__name__] = model
+
+    @classmethod
+    def get(cls, name: str) -> Type["JModel"]:
+        try:
+            return cls._models[name]
+        except KeyError as exc:
+            raise LookupError(f"unknown model {name!r}") from exc
+
+
+class ModelOptions:
+    """Per-model metadata: fields, policies, public-value methods, schema."""
+
+    #: Names of the FORM meta-data columns added to every table.
+    METADATA_COLUMNS = ("jid", "jvars")
+
+    def __init__(self, model: Type["JModel"], fields: Dict[str, Field]) -> None:
+        self.model = model
+        self.table_name = model.__name__
+        self.fields = fields
+        self.policy_groups: List[PolicyGroup] = []
+        self.public_methods: Dict[str, Callable[[Any], Any]] = {}
+
+    # -- schema -------------------------------------------------------------------
+
+    def table_schema(self) -> TableSchema:
+        """The augmented schema: application columns plus ``jid``/``jvars``."""
+        columns: List[Column] = [Column("id", ColumnType.INTEGER, primary_key=True)]
+        for field in self.fields.values():
+            columns.append(field.to_column())
+        columns.append(Column("jid", ColumnType.INTEGER, indexed=True))
+        columns.append(Column("jvars", ColumnType.TEXT, default=""))
+        return TableSchema(self.table_name, tuple(columns))
+
+    # -- policies ------------------------------------------------------------------
+
+    def group_for_field(self, field_name: str) -> Optional[PolicyGroup]:
+        for group in self.policy_groups:
+            if field_name in group.fields:
+                return group
+        return None
+
+    def public_value(self, field_name: str, instance: "JModel") -> Any:
+        """The public facet of a field, computed by the declared method.
+
+        Falls back to ``None`` when no ``jacqueline_get_public_<field>``
+        method exists (the field is simply hidden).
+        """
+        method = self.public_methods.get(field_name)
+        if method is None:
+            return None
+        return method(instance)
+
+    def field_column(self, field_name: str) -> str:
+        return self.fields[field_name].column_name
+
+    def __repr__(self) -> str:
+        return f"ModelOptions({self.table_name!r})"
+
+
+class ModelMeta(type):
+    """Collects fields and policy declarations into ``cls._meta``."""
+
+    def __new__(mcls, name: str, bases: Tuple[type, ...], namespace: Dict[str, Any]):
+        cls = super().__new__(mcls, name, bases, dict(namespace))
+        if name in {"JModel"} and not bases:
+            return cls
+
+        fields: Dict[str, Field] = {}
+        for base in bases:
+            base_meta = getattr(base, "_meta", None)
+            if base_meta is not None:
+                fields.update(base_meta.fields)
+        for attr_name, attr_value in list(namespace.items()):
+            if isinstance(attr_value, Field):
+                attr_value.name = attr_name
+                attr_value.model = cls
+                fields[attr_name] = attr_value
+                delattr(cls, attr_name)
+
+        options = ModelOptions(cls, fields)
+
+        for attr_name, attr_value in namespace.items():
+            target = attr_value.__func__ if isinstance(attr_value, staticmethod) else attr_value
+            guarded = getattr(target, POLICY_ATTRIBUTE, None)
+            if guarded:
+                options.policy_groups.append(PolicyGroup(tuple(guarded), target))
+            if attr_name.startswith(PUBLIC_METHOD_PREFIX) and callable(target):
+                field_name = attr_name[len(PUBLIC_METHOD_PREFIX):]
+                options.public_methods[field_name] = target
+
+        cls._meta = options
+        ModelRegistry.register(cls)
+
+        from repro.form.manager import Manager  # deferred to break the import cycle
+
+        cls.objects = Manager(cls)
+        return cls
+
+
+class JModel(metaclass=ModelMeta):
+    """Base class for Jacqueline models.
+
+    Instances are plain attribute bags; field values may be faceted.  The
+    ``jid`` attribute identifies the logical record across its facet rows
+    (``None`` until the instance is saved).
+    """
+
+    _meta: ModelOptions
+
+    def __init__(self, **kwargs: Any) -> None:
+        self.jid: Optional[int] = kwargs.pop("jid", None)
+        meta = type(self)._meta
+        for name, field in meta.fields.items():
+            if name in kwargs:
+                self._set_field(name, field, kwargs.pop(name))
+            elif isinstance(field, ForeignKey) and f"{name}_id" in kwargs:
+                setattr(self, f"{name}_id", kwargs.pop(f"{name}_id"))
+            else:
+                setattr(self, field.column_name, field.default)
+        if kwargs:
+            raise TypeError(f"unexpected field(s) {sorted(kwargs)} for {type(self).__name__}")
+
+    def _set_field(self, name: str, field: Field, value: Any) -> None:
+        if isinstance(field, ForeignKey):
+            if isinstance(value, JModel) or isinstance(value, Facet):
+                object.__setattr__(self, f"_fk_cache_{name}", value)
+                setattr(self, field.column_name, field.to_db(value) if not isinstance(value, Facet) else value)
+            else:
+                setattr(self, field.column_name, value)
+        else:
+            setattr(self, name, value)
+
+    # -- identity -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JModel):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        if self.jid is None or other.jid is None:
+            return self is other
+        return self.jid == other.jid
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.jid if self.jid is not None else id(self)))
+
+    def __repr__(self) -> str:
+        meta = type(self)._meta
+        parts = [f"jid={self.jid}"]
+        for name, field in list(meta.fields.items())[:4]:
+            parts.append(f"{name}={getattr(self, field.column_name, None)!r}")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+    # -- foreign key resolution ----------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        meta = type(self).__dict__.get("_meta") or type(self)._meta
+        field = meta.fields.get(name)
+        if isinstance(field, ForeignKey):
+            cache_name = f"_fk_cache_{name}"
+            if cache_name in self.__dict__:
+                return self.__dict__[cache_name]
+            target_jid = self.__dict__.get(field.column_name)
+            if target_jid is None:
+                return None
+            target = field.target_model()
+            resolved = target.objects.get_by_jid(target_jid)
+            self.__dict__[cache_name] = resolved
+            return resolved
+        raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    # -- persistence -------------------------------------------------------------------------
+
+    def field_values(self) -> Dict[str, Any]:
+        """Current column values of this instance (possibly faceted)."""
+        meta = type(self)._meta
+        values: Dict[str, Any] = {}
+        for name, field in meta.fields.items():
+            raw = self.__dict__.get(field.column_name)
+            values[field.column_name] = raw if isinstance(raw, Facet) else field.to_db(raw)
+        return values
+
+    def save(self, form: Optional[FORM] = None) -> "JModel":
+        """Write this instance to the database as jid/jvars-annotated facet rows.
+
+        Saving under a non-empty path condition (inside ``runtime.jif`` on a
+        sensitive condition) guards the update: viewers outside the branch
+        keep seeing the previous contents, as in the Dagstuhl-description
+        example of Section 2.2.
+        """
+        form = form or current_form()
+        meta = type(self)._meta
+        table = meta.table_name
+        created = self.jid is None
+        if created:
+            self.jid = form.next_jid(table)
+        else:
+            form.note_jid(table, self.jid)
+
+        rows = self._facet_rows(form)
+        pc = form.runtime.current_pc()
+
+        if created and not pc:
+            for branches, values in rows:
+                self._insert_row(form, values, branches)
+            return self
+
+        existing = form.database.find(table, jid=self.jid)
+        if not pc:
+            form.database.delete(table, eq("jid", self.jid))
+            for branches, values in rows:
+                self._insert_row(form, values, branches)
+            return self
+
+        # Guarded update: new rows apply where the path condition holds; the
+        # previously stored rows remain for every assignment falsifying it.
+        pc_branches = [(branch.label.name, branch.positive) for branch in pc.branches()]
+        form.database.delete(table, eq("jid", self.jid))
+        seen = set()
+        for branches, values in rows:
+            combined = tuple(sorted(set(branches) | set(pc_branches)))
+            if _branches_contradictory(combined):
+                continue
+            key = (combined, _freeze_values(values))
+            if key not in seen:
+                seen.add(key)
+                self._insert_row(form, values, combined)
+        for old_row in existing:
+            old_branches = parse_jvars(old_row.get("jvars"))
+            old_values = {
+                name: old_row.get(name)
+                for name in old_row
+                if name not in ("id", "jid", "jvars")
+            }
+            for negated in _complement_assignments(pc_branches):
+                combined = tuple(sorted(set(old_branches) | set(negated)))
+                if _branches_contradictory(combined):
+                    continue
+                key = (combined, _freeze_values(old_values))
+                if key not in seen:
+                    seen.add(key)
+                    self._insert_row(form, old_values, combined)
+        return self
+
+    def delete(self, form: Optional[FORM] = None) -> None:
+        """Remove every facet row of this record."""
+        if self.jid is None:
+            return
+        form = form or current_form()
+        form.database.delete(type(self)._meta.table_name, eq("jid", self.jid))
+
+    # -- row expansion ----------------------------------------------------------------------------
+
+    def _facet_rows(self, form: FORM) -> List[Tuple[Tuple[JvarBranch, ...], Dict[str, Any]]]:
+        """Expand this instance into (branches, concrete column values) rows.
+
+        Two sources of facets are combined: facets already present in the
+        field values (data derived from other sensitive data) and the policy
+        groups declared on the model (each contributing one fresh label whose
+        False side holds the computed public values).
+        """
+        meta = type(self)._meta
+        base_rows = expand_value_facets(self.field_values())
+
+        group_labels: List[Tuple[str, PolicyGroup]] = []
+        for group in meta.policy_groups:
+            group_labels.append((label_name_for(meta.table_name, self.jid, group.key), group))
+
+        if not group_labels:
+            return base_rows
+
+        expanded: List[Tuple[Tuple[JvarBranch, ...], Dict[str, Any]]] = []
+        for branches, values in base_rows:
+            for assignment in itertools.product([True, False], repeat=len(group_labels)):
+                row_values = dict(values)
+                row_branches = list(branches)
+                for (label_name, group), visible in zip(group_labels, assignment):
+                    row_branches.append((label_name, visible))
+                    if not visible:
+                        for field_name in group.fields:
+                            column = meta.field_column(field_name)
+                            field = meta.fields[field_name]
+                            public = meta.public_value(field_name, self)
+                            row_values[column] = (
+                                field.to_db(public) if not isinstance(public, Facet) else public
+                            )
+                expanded.append((tuple(row_branches), row_values))
+        return _merge_rows(expanded)
+
+    def _insert_row(
+        self, form: FORM, values: Dict[str, Any], branches: Sequence[JvarBranch]
+    ) -> None:
+        row = dict(values)
+        row["jid"] = self.jid
+        row["jvars"] = format_jvars(branches)
+        concrete = {
+            name: (value if not isinstance(value, Facet) else None)
+            for name, value in row.items()
+        }
+        form.database.insert_row(type(self)._meta.table_name, concrete)
+
+
+def _branches_contradictory(branches: Sequence[JvarBranch]) -> bool:
+    polarity: Dict[str, bool] = {}
+    for name, value in branches:
+        if name in polarity and polarity[name] != value:
+            return True
+        polarity[name] = value
+    return False
+
+
+def _complement_assignments(
+    pc_branches: Sequence[JvarBranch],
+) -> List[Tuple[JvarBranch, ...]]:
+    """All assignments of the pc labels that falsify the path condition."""
+    names = [name for name, _ in pc_branches]
+    satisfied = tuple(pc_branches)
+    result = []
+    for assignment in itertools.product([True, False], repeat=len(names)):
+        candidate = tuple(zip(names, assignment))
+        if candidate != satisfied:
+            result.append(candidate)
+    return result
+
+
+def _merge_rows(
+    rows: List[Tuple[Tuple[JvarBranch, ...], Dict[str, Any]]]
+) -> List[Tuple[Tuple[JvarBranch, ...], Dict[str, Any]]]:
+    """Collapse facet rows whose values do not depend on some label (sharing)."""
+    if not rows:
+        return rows
+    label_names = sorted({name for branches, _ in rows for name, _pol in branches})
+    significant: List[str] = []
+    for name in label_names:
+        groups: Dict[Tuple, set] = {}
+        for branches, values in rows:
+            mapping = dict(branches)
+            if name not in mapping:
+                continue
+            other = tuple(sorted((n, p) for n, p in branches if n != name))
+            groups.setdefault(other, set()).add((mapping[name], _freeze_values(values)))
+        if any(len({frozen for _p, frozen in group}) > 1 for group in groups.values()):
+            significant.append(name)
+    merged: Dict[Tuple, Tuple[Tuple[JvarBranch, ...], Dict[str, Any]]] = {}
+    for branches, values in rows:
+        kept = tuple(sorted((n, p) for n, p in branches if n in significant))
+        merged.setdefault((kept, _freeze_values(values)), (kept, values))
+    return list(merged.values())
+
+
+def _freeze_values(values: Dict[str, Any]) -> Tuple:
+    return tuple(sorted((name, repr(value)) for name, value in values.items()))

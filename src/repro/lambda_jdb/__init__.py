@@ -1,0 +1,115 @@
+"""An executable interpreter for the λJDB core calculus (Section 4).
+
+λJDB extends λjeeves (an imperative λ-calculus with labels, policies and
+faceted expressions) with relational tables and the operators of the
+relational calculus: ``row``, selection, projection, join/cross product,
+union and ``fold``.  This package implements:
+
+* the abstract syntax (:mod:`repro.lambda_jdb.ast`);
+* runtime values, faceted tables and the store (:mod:`repro.lambda_jdb.values`,
+  :mod:`repro.lambda_jdb.store`);
+* the big-step faceted evaluation relation ``Σ, e ⇓pc Σ', V`` with every rule
+  of Figures 4 and 5 plus the λjeeves rules of Appendix A
+  (:mod:`repro.lambda_jdb.interpreter`);
+* the view projection ``L(·)`` used by the Projection and Non-Interference
+  theorems (:mod:`repro.lambda_jdb.views`);
+* the Early Pruning rule F-PRUNE (:mod:`repro.lambda_jdb.pruning`);
+* an s-expression front end for writing λJDB programs as text
+  (:mod:`repro.lambda_jdb.parser`).
+
+The property-based tests in ``tests/lambda_jdb`` use this interpreter to
+check the paper's theorems on randomly generated programs.
+"""
+
+from repro.lambda_jdb.ast import (
+    App,
+    Assign,
+    BinOp,
+    Const,
+    Deref,
+    Expr,
+    FacetExpr,
+    Fold,
+    If,
+    Join,
+    LabelDecl,
+    Lam,
+    Let,
+    Print,
+    Project,
+    Ref,
+    Restrict,
+    Row,
+    Select,
+    Union,
+    Var,
+)
+from repro.lambda_jdb.values import (
+    Address,
+    Closure,
+    FacetV,
+    TableV,
+    Value,
+    make_facet_value,
+    make_facet_branches,
+)
+from repro.lambda_jdb.store import Store
+from repro.lambda_jdb.interpreter import EvalError, Interpreter, evaluate
+from repro.lambda_jdb.views import (
+    LView,
+    make_view,
+    project_expr,
+    project_store,
+    project_value,
+    values_equivalent,
+)
+from repro.lambda_jdb.pruning import prune_table, prune_value
+from repro.lambda_jdb.parser import ParseError, parse, parse_program
+from repro.lambda_jdb.pprint import pretty
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Lam",
+    "App",
+    "Ref",
+    "Deref",
+    "Assign",
+    "FacetExpr",
+    "LabelDecl",
+    "Restrict",
+    "Row",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Fold",
+    "Let",
+    "Print",
+    "If",
+    "BinOp",
+    "Value",
+    "Closure",
+    "FacetV",
+    "TableV",
+    "Address",
+    "make_facet_value",
+    "make_facet_branches",
+    "Store",
+    "Interpreter",
+    "evaluate",
+    "EvalError",
+    "LView",
+    "make_view",
+    "project_value",
+    "project_store",
+    "project_expr",
+    "values_equivalent",
+    "prune_table",
+    "prune_value",
+    "parse",
+    "parse_program",
+    "ParseError",
+    "pretty",
+]

@@ -1,0 +1,295 @@
+"""Abstract syntax for λJDB (Figure 3 of the paper).
+
+Terms::
+
+    e ::= x | c | λx.e | e1 e2
+        | ref e | !e | e1 := e2
+        | <k ? eH : eL>                 (faceted expression)
+        | label k in e                  (label declaration)
+        | restrict(k, e)                (policy specification)
+        | row e...                      (create a single-row table)
+        | σ[i=j] e                      (selection)
+        | π[i...] e                     (projection)
+        | e1 ⋈ e2                       (join / cross product)
+        | e1 ∪ e2                       (union)
+        | fold ef ep et                 (table fold)
+
+Statements::
+
+    S ::= let x = e in S | print {ev} er
+
+For convenience the implementation also provides ``if`` and binary
+operators; both are definable in the core calculus (Church encodings /
+primitive constants) and do not change the metatheory, but they make the
+randomly generated programs used by the property tests far more interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union as TUnion
+
+
+class Expr:
+    """Base class for λJDB expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Sub-expressions, used by generic traversals."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant: booleans, integers, strings or the unit value ``None``."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Lam(Expr):
+    """A lambda abstraction ``λparam. body``."""
+
+    param: str
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Function application ``fn arg``."""
+
+    fn: Expr
+    arg: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.fn, self.arg)
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """Reference allocation ``ref e``."""
+
+    init: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.init,)
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """Dereference ``!e``."""
+
+    ref: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.ref,)
+
+
+@dataclass(frozen=True)
+class Assign(Expr):
+    """Assignment ``target := value``."""
+
+    target: Expr
+    value: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.target, self.value)
+
+
+@dataclass(frozen=True)
+class FacetExpr(Expr):
+    """A faceted expression ``<label ? high : low>``."""
+
+    label: str
+    high: Expr
+    low: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.high, self.low)
+
+
+@dataclass(frozen=True)
+class LabelDecl(Expr):
+    """``label k in body``: allocate a fresh label named ``k`` in ``body``."""
+
+    label: str
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Restrict(Expr):
+    """``restrict(k, policy)``: attach a policy expression to label ``k``."""
+
+    label: str
+    policy: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.policy,)
+
+
+@dataclass(frozen=True)
+class Row(Expr):
+    """``row e1 ... en``: create a single-row table of string fields."""
+
+    fields: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.fields
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``σ[i=j] table``: keep rows where columns ``i`` and ``j`` are equal."""
+
+    i: int
+    j: int
+    table: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.table,)
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """``π[i...] table``: keep only the given column indices (0-based)."""
+
+    columns: Tuple[int, ...]
+    table: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.table,)
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """``left ⋈ right``: cross product of two tables."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    """``left ∪ right``: append two tables."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Fold(Expr):
+    """``fold fn init table``: fold ``fn`` over the table's rows.
+
+    ``fn`` has type ``B -> row -> B`` encoded as curried lambdas; each row is
+    passed to the fold function as a table containing that single row, so the
+    row's fields can be inspected with projections.
+    """
+
+    fn: Expr
+    init: Expr
+    table: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.fn, self.init, self.table)
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """``let name = value in body`` (the statement form, usable as an expr)."""
+
+    name: str
+    value: Expr
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value, self.body)
+
+
+@dataclass(frozen=True)
+class Print(Expr):
+    """``print {viewer} value``: the computation sink (Appendix A)."""
+
+    viewer: Expr
+    value: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.viewer, self.value)
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """``if cond then a else b`` — a convenience strict conditional."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then, self.orelse)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A primitive binary operation on constants (``+ - * == < and or ...``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+def free_vars(expr: Expr) -> frozenset:
+    """The free variables of an expression."""
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Lam):
+        return free_vars(expr.body) - {expr.param}
+    if isinstance(expr, Let):
+        return free_vars(expr.value) | (free_vars(expr.body) - {expr.name})
+    result: frozenset = frozenset()
+    for child in expr.children():
+        result |= free_vars(child)
+    return result
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of AST nodes (used to bound random program generation)."""
+    return 1 + sum(expr_size(child) for child in expr.children())
+
+
+def mentioned_labels(expr: Expr) -> frozenset:
+    """All label names syntactically mentioned by the expression."""
+    labels: set = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, FacetExpr):
+            labels.add(node.label)
+        if isinstance(node, (LabelDecl, Restrict)):
+            labels.add(node.label)
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return frozenset(labels)

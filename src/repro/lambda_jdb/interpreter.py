@@ -1,0 +1,625 @@
+"""Big-step faceted evaluation for λJDB.
+
+Implements the relation ``Σ, e ⇓pc Σ', V`` of Figures 4 and 5 together with
+the λjeeves rules for labels, policies and printing from Appendix A.  The
+store is threaded as mutable state on the interpreter; the program counter
+``pc`` is an explicit argument, exactly as in the formal rules:
+
+* F-VAL, F-APP, F-CTXT          -- standard call-by-value evaluation
+* F-REF, F-DEREF(-NULL), F-ASSIGN -- heap with pc-guarded writes
+* F-SPLIT, F-LEFT, F-RIGHT      -- faceted expressions
+* F-STRICT                      -- strict contexts distribute over facets
+* F-ROW, F-SELECT, F-PROJECT, F-JOIN, F-UNION -- relational operators
+* F-FOLD-EMPTY / -INCONSISTENT / -CONSISTENT  -- table folds
+* F-LABEL, F-RESTRICT, F-PRINT  -- Appendix A
+* F-PRUNE                       -- Early Pruning (opt-in via ``early_pruning``)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.lambda_jdb import ast
+from repro.lambda_jdb.values import (
+    EMPTY_PC,
+    PC,
+    Address,
+    BranchT,
+    Closure,
+    FacetV,
+    TableV,
+    Value,
+    branches_consistent,
+    collect_value_labels,
+    make_facet_branches,
+    make_facet_value,
+    pc_consistent,
+)
+from repro.lambda_jdb.store import Store
+from repro.solver.assignment import LabelAssigner
+from repro.solver.formula import FALSE, TRUE, And, Formula, Not, Or, Var
+
+
+class EvalError(Exception):
+    """Raised when a λJDB program gets stuck."""
+
+
+Env = Dict[str, Value]
+
+
+def _env_extend(env: Env, name: str, value: Value) -> Env:
+    extended = dict(env)
+    extended[name] = value
+    return extended
+
+
+def _pc_add(pc: PC, branch: BranchT) -> PC:
+    return frozenset(pc | {branch})
+
+
+class Interpreter:
+    """Evaluates λJDB expressions under faceted semantics."""
+
+    def __init__(self, early_pruning: bool = False, max_steps: int = 200_000) -> None:
+        self.store = Store()
+        self.outputs: List[Tuple[Value, Value]] = []
+        self.early_pruning = early_pruning
+        self.max_steps = max_steps
+        self._steps = 0
+        #: maps a speculated viewer label assignment used by Early Pruning
+        self.pruning_assignment: Optional[Dict[str, bool]] = None
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self, expr: ast.Expr, env: Optional[Env] = None, pc: PC = EMPTY_PC) -> Value:
+        """Evaluate an expression in the given environment and pc."""
+        return self.eval(expr, dict(env or {}), {}, pc)
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, env: Env, label_env: Dict[str, str], pc: PC) -> Value:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise EvalError("evaluation exceeded the step budget (possible divergence)")
+
+        if isinstance(expr, ast.Const):
+            return expr.value
+
+        if isinstance(expr, ast.Var):
+            if expr.name not in env:
+                raise EvalError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+
+        if isinstance(expr, ast.Lam):
+            captured = tuple(sorted(env.items(), key=lambda item: item[0]))
+            return Closure(expr.param, _resolve_labels_in_expr(expr.body, label_env), captured)
+
+        if isinstance(expr, ast.App):
+            fn = self.eval(expr.fn, env, label_env, pc)
+            arg = self.eval(expr.arg, env, label_env, pc)
+            return self.apply(fn, arg, pc)
+
+        if isinstance(expr, ast.Let):
+            value = self.eval(expr.value, env, label_env, pc)
+            return self.eval(expr.body, _env_extend(env, expr.name, value), label_env, pc)
+
+        if isinstance(expr, ast.Ref):
+            value = self.eval(expr.init, env, label_env, pc)
+            address = self.store.alloc()
+            self.store.write(address, make_facet_branches(sorted(pc), value, None))
+            return address
+
+        if isinstance(expr, ast.Deref):
+            ref = self.eval(expr.ref, env, label_env, pc)
+            return self.strict(ref, pc, self._deref_raw)
+
+        if isinstance(expr, ast.Assign):
+            target = self.eval(expr.target, env, label_env, pc)
+            value = self.eval(expr.value, env, label_env, pc)
+            return self.strict(
+                target, pc, lambda address, inner_pc: self._assign_raw(address, value, inner_pc)
+            )
+
+        if isinstance(expr, ast.FacetExpr):
+            label = label_env.get(expr.label, expr.label)
+            return self._eval_facet(label, expr.high, expr.low, env, label_env, pc)
+
+        if isinstance(expr, ast.LabelDecl):
+            fresh = self.store.fresh_label(expr.label)
+            self.store.declare_label(fresh)
+            new_label_env = dict(label_env)
+            new_label_env[expr.label] = fresh
+            return self.eval(expr.body, env, new_label_env, pc)
+
+        if isinstance(expr, ast.Restrict):
+            label = label_env.get(expr.label, expr.label)
+            self.store.declare_label(label)
+            policy = self.eval(expr.policy, env, label_env, pc)
+            guarded = make_facet_branches(
+                sorted(_pc_add(pc, (label, True))), policy, _ALWAYS_TRUE
+            )
+            self.store.add_policy(label, guarded)
+            return policy
+
+        if isinstance(expr, ast.Row):
+            fields = [self.eval(field, env, label_env, pc) for field in expr.fields]
+            return self._build_row(fields, pc)
+
+        if isinstance(expr, ast.Select):
+            table = self.eval(expr.table, env, label_env, pc)
+            return self.strict(
+                table, pc, lambda t, inner_pc: self._select_raw(t, expr.i, expr.j, inner_pc)
+            )
+
+        if isinstance(expr, ast.Project):
+            table = self.eval(expr.table, env, label_env, pc)
+            return self.strict(
+                table, pc, lambda t, inner_pc: self._project_raw(t, expr.columns, inner_pc)
+            )
+
+        if isinstance(expr, ast.Join):
+            left = self.eval(expr.left, env, label_env, pc)
+            right = self.eval(expr.right, env, label_env, pc)
+            return self.strict(
+                left,
+                pc,
+                lambda lt, pc1: self.strict(
+                    right, pc1, lambda rt, pc2: self._join_raw(lt, rt, pc2)
+                ),
+            )
+
+        if isinstance(expr, ast.Union):
+            left = self.eval(expr.left, env, label_env, pc)
+            right = self.eval(expr.right, env, label_env, pc)
+            return self.strict(
+                left,
+                pc,
+                lambda lt, pc1: self.strict(
+                    right, pc1, lambda rt, pc2: self._union_raw(lt, rt, pc2)
+                ),
+            )
+
+        if isinstance(expr, ast.Fold):
+            fn = self.eval(expr.fn, env, label_env, pc)
+            init = self.eval(expr.init, env, label_env, pc)
+            table = self.eval(expr.table, env, label_env, pc)
+            return self.strict(
+                table, pc, lambda t, inner_pc: self._fold_raw(fn, init, t, inner_pc)
+            )
+
+        if isinstance(expr, ast.If):
+            cond = self.eval(expr.cond, env, label_env, pc)
+            return self.strict(
+                cond,
+                pc,
+                lambda c, inner_pc: self.eval(
+                    expr.then if c else expr.orelse, env, label_env, inner_pc
+                ),
+            )
+
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, env, label_env, pc)
+            right = self.eval(expr.right, env, label_env, pc)
+            return self.strict(
+                left,
+                pc,
+                lambda lv, pc1: self.strict(
+                    right, pc1, lambda rv, pc2: self._binop_raw(expr.op, lv, rv)
+                ),
+            )
+
+        if isinstance(expr, ast.Print):
+            viewer = self.eval(expr.viewer, env, label_env, pc)
+            value = self.eval(expr.value, env, label_env, pc)
+            return self._print(viewer, value)
+
+        raise EvalError(f"unknown expression node {expr!r}")
+
+    # -- facets ----------------------------------------------------------------------
+
+    def _eval_facet(
+        self,
+        label: str,
+        high: ast.Expr,
+        low: ast.Expr,
+        env: Env,
+        label_env: Dict[str, str],
+        pc: PC,
+    ) -> Value:
+        if (label, True) in pc:  # F-LEFT
+            return self.eval(high, env, label_env, pc)
+        if (label, False) in pc:  # F-RIGHT
+            return self.eval(low, env, label_env, pc)
+        # F-SPLIT
+        high_value = self.eval(high, env, label_env, _pc_add(pc, (label, True)))
+        low_value = self.eval(low, env, label_env, _pc_add(pc, (label, False)))
+        return make_facet_value(label, high_value, low_value)
+
+    def strict(self, value: Value, pc: PC, fn: Callable[[Value, PC], Value]) -> Value:
+        """The F-STRICT rule: push a strict operation into facets.
+
+        ``fn`` receives the raw leaf and the pc extended with the branches
+        taken to reach it.
+        """
+        if isinstance(value, FacetV):
+            label = value.label
+            if (label, True) in pc:
+                return self.strict(value.high, pc, fn)
+            if (label, False) in pc:
+                return self.strict(value.low, pc, fn)
+            high = self.strict(value.high, _pc_add(pc, (label, True)), fn)
+            low = self.strict(value.low, _pc_add(pc, (label, False)), fn)
+            return make_facet_value(label, high, low)
+        return fn(value, pc)
+
+    def apply(self, fn: Value, arg: Value, pc: PC) -> Value:
+        """Function application, strict in the callee (F-APP + F-STRICT)."""
+
+        def apply_raw(callee: Value, inner_pc: PC) -> Value:
+            if not isinstance(callee, Closure):
+                raise EvalError(f"cannot apply non-function {callee!r}")
+            env = callee.env_dict()
+            env[callee.param] = arg
+            return self.eval(callee.body, env, {}, inner_pc)
+
+        return self.strict(fn, pc, apply_raw)
+
+    # -- heap ------------------------------------------------------------------------
+
+    def _deref_raw(self, address: Value, pc: PC) -> Value:
+        if not isinstance(address, Address):
+            raise EvalError(f"cannot dereference non-address {address!r}")
+        if not self.store.contains(address):  # F-DEREF-NULL
+            return None
+        return self.store.read(address)
+
+    def _assign_raw(self, address: Value, value: Value, pc: PC) -> Value:
+        if not isinstance(address, Address):
+            raise EvalError(f"cannot assign to non-address {address!r}")
+        old = self.store.read(address)
+        self.store.write(address, make_facet_branches(sorted(pc), value, old))
+        return value
+
+    # -- relational operators -----------------------------------------------------------
+
+    def _build_row(self, fields: List[Value], pc: PC) -> Value:
+        """F-ROW, generalised to faceted field values.
+
+        The formal rule takes string constants; field values that are faceted
+        are handled by distributing the row constructor over the facets (they
+        are strict positions in the evaluation-context grammar).
+        """
+
+        def build(index: int, resolved: Tuple[str, ...], inner_pc: PC) -> Value:
+            if index == len(fields):
+                return TableV(((frozenset(), resolved),))
+            return self.strict(
+                fields[index],
+                inner_pc,
+                lambda leaf, pc2: build(index + 1, resolved + (_as_field(leaf),), pc2),
+            )
+
+        return build(0, (), pc)
+
+    def _select_raw(self, table: Value, i: int, j: int, pc: PC) -> Value:
+        if not isinstance(table, TableV):
+            raise EvalError(f"select expects a table, got {table!r}")
+        rows = []
+        for branches, fields in table.rows:
+            if i >= len(fields) or j >= len(fields):
+                raise EvalError("select column index out of range")
+            if fields[i] == fields[j]:
+                rows.append((branches, fields))
+        return TableV(tuple(rows))
+
+    def _project_raw(self, table: Value, columns: Tuple[int, ...], pc: PC) -> Value:
+        if not isinstance(table, TableV):
+            raise EvalError(f"project expects a table, got {table!r}")
+        rows = []
+        for branches, fields in table.rows:
+            try:
+                projected = tuple(fields[c] for c in columns)
+            except IndexError as exc:
+                raise EvalError("project column index out of range") from exc
+            rows.append((branches, projected))
+        return TableV(tuple(rows))
+
+    def _join_raw(self, left: Value, right: Value, pc: PC) -> Value:
+        if not isinstance(left, TableV) or not isinstance(right, TableV):
+            raise EvalError("join expects two tables")
+        rows = []
+        for branches_l, fields_l in left.rows:
+            for branches_r, fields_r in right.rows:
+                combined = frozenset(branches_l | branches_r)
+                rows.append((combined, fields_l + fields_r))
+        table = TableV(tuple(rows))
+        return self._maybe_prune(table, pc)
+
+    def _union_raw(self, left: Value, right: Value, pc: PC) -> Value:
+        if not isinstance(left, TableV) or not isinstance(right, TableV):
+            raise EvalError("union expects two tables")
+        return self._maybe_prune(TableV(left.rows + right.rows), pc)
+
+    def _fold_raw(self, fn: Value, init: Value, table: Value, pc: PC) -> Value:
+        if not isinstance(table, TableV):
+            raise EvalError(f"fold expects a table, got {table!r}")
+        table = self._maybe_prune(table, pc)
+        accumulator: Value = init
+        # The formal rules peel the head row and fold the tail first, so the
+        # head row is folded last; iterating the rows in reverse matches that.
+        for branches, fields in reversed(table.rows):
+            if not pc_consistent(branches, pc):  # F-FOLD-INCONSISTENT
+                continue
+            if not branches_consistent(branches):
+                continue
+            # F-FOLD-CONSISTENT
+            row_value: Value = fields if len(fields) != 1 else fields[0]
+            extended_pc = frozenset(pc | branches)
+            applied = self.apply(fn, row_value, extended_pc)
+            new_accumulator = self.apply(applied, accumulator, extended_pc)
+            relevant = frozenset(branches - pc)
+            accumulator = make_facet_branches(sorted(relevant), new_accumulator, accumulator)
+        return accumulator
+
+    def _maybe_prune(self, table: TableV, pc: PC) -> TableV:
+        """The F-PRUNE rule, applied when Early Pruning is enabled."""
+        if not self.early_pruning:
+            return table
+        rows = tuple(
+            (branches, fields)
+            for branches, fields in table.rows
+            if pc_consistent(branches, pc) and branches_consistent(branches)
+        )
+        if self.pruning_assignment is not None:
+            kept = []
+            for branches, fields in rows:
+                visible = all(
+                    self.pruning_assignment.get(name, False) == polarity
+                    for name, polarity in branches
+                )
+                if visible:
+                    kept.append((branches, fields))
+            rows = tuple(kept)
+        return TableV(rows)
+
+    # -- primitive operations ---------------------------------------------------------
+
+    def _binop_raw(self, op: str, left: Value, right: Value) -> Value:
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "==":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "and":
+                return bool(left) and bool(right)
+            if op == "or":
+                return bool(left) or bool(right)
+            if op == "field":
+                return left[int(right)]
+        except (TypeError, IndexError, ValueError) as exc:
+            raise EvalError(f"binary operation {op!r} failed: {exc}") from exc
+        raise EvalError(f"unknown binary operator {op!r}")
+
+    # -- print (Appendix A, F-PRINT) -----------------------------------------------------
+
+    def _print(self, viewer: Value, value: Value) -> Value:
+        """Resolve labels for an output and record ``(channel, value)``.
+
+        Implements the [F-PRINT] recipe: compute the transitive label closure
+        ``closeK``, evaluate the conjunction of the relevant policies applied
+        to the viewer, and pick a label assignment that satisfies every
+        policy, preferring to show data.
+        """
+        labels = set(collect_value_labels(viewer)) | set(collect_value_labels(value))
+        labels = self._close_labels(labels)
+        policies: Dict[str, Formula] = {}
+        for label in sorted(labels):
+            outcome = self._evaluate_policy(label, viewer)
+            policies[label] = _faceted_bool_to_formula(outcome)
+
+        if policies:
+            assigner = LabelAssigner()
+            named = assigner.assign(policies)
+        else:
+            named = {}
+        assignment = {name: named.get(name, False) for name in labels}
+
+        channel = _project_with_assignment(viewer, assignment)
+        output = _project_with_assignment(value, assignment)
+        self.outputs.append((channel, output))
+        return output
+
+    def _close_labels(self, labels: set) -> set:
+        """The ``closeK`` fixpoint: labels reachable through policy values."""
+        closed = set(labels)
+        changed = True
+        while changed:
+            changed = False
+            for label in list(closed):
+                for policy in self.store.policies_for(label):
+                    for nested in collect_value_labels(policy):
+                        if nested not in closed:
+                            closed.add(nested)
+                            changed = True
+        return closed
+
+    def _evaluate_policy(self, label: str, viewer: Value) -> Value:
+        """Apply every policy attached to ``label`` to the viewer, conjoined."""
+        result: Value = True
+        for policy in self.store.policies_for(label):
+            outcome = self._apply_policy(policy, viewer)
+            result = _facet_and(result, outcome)
+        return result
+
+    def _apply_policy(self, policy: Value, viewer: Value) -> Value:
+        if isinstance(policy, FacetV):
+            return make_facet_value(
+                policy.label,
+                self._apply_policy(policy.high, viewer),
+                self._apply_policy(policy.low, viewer),
+            )
+        if isinstance(policy, Closure):
+            return self.apply(policy, viewer, EMPTY_PC)
+        if policy is _ALWAYS_TRUE:
+            return True
+        if isinstance(policy, bool):
+            return policy
+        raise EvalError(f"policy is not a function: {policy!r}")
+
+
+#: Sentinel policy value meaning λx.true (used as the low facet in F-RESTRICT).
+_ALWAYS_TRUE = object()
+
+
+def _as_field(value: Value) -> str:
+    """Coerce a row field to the string representation stored in tables."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if value is None:
+        return ""
+    raise EvalError(f"row fields must be scalar constants, got {value!r}")
+
+
+def _facet_and(left: Value, right: Value) -> Value:
+    """Faceted conjunction of two (possibly faceted) booleans."""
+    if isinstance(left, FacetV):
+        return make_facet_value(
+            left.label, _facet_and(left.high, right), _facet_and(left.low, right)
+        )
+    if isinstance(right, FacetV):
+        return make_facet_value(
+            right.label, _facet_and(left, right.high), _facet_and(left, right.low)
+        )
+    return bool(left) and bool(right)
+
+
+def _faceted_bool_to_formula(value: Value) -> Formula:
+    if isinstance(value, FacetV):
+        var = Var(value.label)
+        return Or(
+            And(var, _faceted_bool_to_formula(value.high)),
+            And(Not(var), _faceted_bool_to_formula(value.low)),
+        ).simplify()
+    return TRUE if bool(value) else FALSE
+
+
+def _project_with_assignment(value: Value, assignment: Dict[str, bool]) -> Value:
+    """Collapse a value under a total label assignment (used by print)."""
+    if isinstance(value, FacetV):
+        chosen = value.high if assignment.get(value.label, False) else value.low
+        return _project_with_assignment(chosen, assignment)
+    if isinstance(value, TableV):
+        rows = []
+        for branches, fields in value.rows:
+            if all(assignment.get(name, False) == polarity for name, polarity in branches):
+                rows.append((frozenset(), fields))
+        return TableV(tuple(rows))
+    return value
+
+
+def evaluate(
+    expr: ast.Expr,
+    env: Optional[Env] = None,
+    pc: PC = EMPTY_PC,
+    early_pruning: bool = False,
+) -> Tuple[Value, Interpreter]:
+    """Evaluate an expression with a fresh interpreter; returns (value, interp)."""
+    interp = Interpreter(early_pruning=early_pruning)
+    value = interp.run(expr, env=env, pc=pc)
+    return value, interp
+
+
+def _resolve_labels_in_expr(expr: ast.Expr, label_env: Dict[str, str]) -> ast.Expr:
+    """Rename surface label names to their runtime (α-renamed) names.
+
+    Needed when a lambda body mentioning declared labels escapes the
+    ``label k in e`` scope as a closure.
+    """
+    if not label_env:
+        return expr
+    return _rename_labels(expr, label_env)
+
+
+def _rename_labels(expr: ast.Expr, mapping: Dict[str, str]) -> ast.Expr:
+    if isinstance(expr, ast.FacetExpr):
+        return ast.FacetExpr(
+            mapping.get(expr.label, expr.label),
+            _rename_labels(expr.high, mapping),
+            _rename_labels(expr.low, mapping),
+        )
+    if isinstance(expr, ast.Restrict):
+        return ast.Restrict(
+            mapping.get(expr.label, expr.label), _rename_labels(expr.policy, mapping)
+        )
+    if isinstance(expr, ast.LabelDecl):
+        inner = {name: value for name, value in mapping.items() if name != expr.label}
+        return ast.LabelDecl(expr.label, _rename_labels(expr.body, inner))
+    if isinstance(expr, ast.Var) or isinstance(expr, ast.Const):
+        return expr
+    if isinstance(expr, ast.Lam):
+        return ast.Lam(expr.param, _rename_labels(expr.body, mapping))
+    if isinstance(expr, ast.App):
+        return ast.App(_rename_labels(expr.fn, mapping), _rename_labels(expr.arg, mapping))
+    if isinstance(expr, ast.Let):
+        return ast.Let(
+            expr.name,
+            _rename_labels(expr.value, mapping),
+            _rename_labels(expr.body, mapping),
+        )
+    if isinstance(expr, ast.Ref):
+        return ast.Ref(_rename_labels(expr.init, mapping))
+    if isinstance(expr, ast.Deref):
+        return ast.Deref(_rename_labels(expr.ref, mapping))
+    if isinstance(expr, ast.Assign):
+        return ast.Assign(
+            _rename_labels(expr.target, mapping), _rename_labels(expr.value, mapping)
+        )
+    if isinstance(expr, ast.Row):
+        return ast.Row(tuple(_rename_labels(field, mapping) for field in expr.fields))
+    if isinstance(expr, ast.Select):
+        return ast.Select(expr.i, expr.j, _rename_labels(expr.table, mapping))
+    if isinstance(expr, ast.Project):
+        return ast.Project(expr.columns, _rename_labels(expr.table, mapping))
+    if isinstance(expr, ast.Join):
+        return ast.Join(_rename_labels(expr.left, mapping), _rename_labels(expr.right, mapping))
+    if isinstance(expr, ast.Union):
+        return ast.Union(_rename_labels(expr.left, mapping), _rename_labels(expr.right, mapping))
+    if isinstance(expr, ast.Fold):
+        return ast.Fold(
+            _rename_labels(expr.fn, mapping),
+            _rename_labels(expr.init, mapping),
+            _rename_labels(expr.table, mapping),
+        )
+    if isinstance(expr, ast.If):
+        return ast.If(
+            _rename_labels(expr.cond, mapping),
+            _rename_labels(expr.then, mapping),
+            _rename_labels(expr.orelse, mapping),
+        )
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op, _rename_labels(expr.left, mapping), _rename_labels(expr.right, mapping)
+        )
+    if isinstance(expr, ast.Print):
+        return ast.Print(
+            _rename_labels(expr.viewer, mapping), _rename_labels(expr.value, mapping)
+        )
+    raise EvalError(f"unknown expression node {expr!r}")

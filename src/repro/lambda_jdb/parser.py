@@ -1,0 +1,225 @@
+"""An s-expression front end for λJDB.
+
+Grammar (s-expressions)::
+
+    (lambda (x) body)             λx. body
+    (let x value body)            let x = value in body
+    (facet k high low)            <k ? high : low>
+    (label k body)                label k in body
+    (restrict k policy)           restrict(k, policy)
+    (ref e)  (deref e)  (assign target value)
+    (row e ...)                   single-row table
+    (select i j table)            σ[i=j]
+    (project (i ...) table)       π[i...]
+    (join a b)  (union a b)
+    (fold fn init table)
+    (print viewer value)
+    (if cond then else)
+    (+ a b) (- a b) (* a b) (== a b) (!= a b) (< a b) (<= a b) (> a b)
+    (>= a b) (and a b) (or a b) (field tuple i)
+    (f x)                         application (any other head)
+
+Atoms: integers, ``true``/``false``, ``unit`` (None), double-quoted strings,
+and identifiers (variables).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.lambda_jdb import ast
+
+
+class ParseError(Exception):
+    """Raised on malformed λJDB source text."""
+
+
+Token = str
+SExpr = Union[str, int, List["SExpr"]]
+
+_BINOPS = {"+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "and", "or", "field"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split source text into parentheses, strings and atoms."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == ";":
+            while i < length and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            buffer = []
+            while j < length and text[j] != '"':
+                if text[j] == "\\" and j + 1 < length:
+                    buffer.append(text[j + 1])
+                    j += 2
+                else:
+                    buffer.append(text[j])
+                    j += 1
+            if j >= length:
+                raise ParseError("unterminated string literal")
+            tokens.append('"' + "".join(buffer))
+            i = j + 1
+        else:
+            j = i
+            while j < length and not text[j].isspace() and text[j] not in '();"':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _read(tokens: List[Token], position: int) -> Tuple[SExpr, int]:
+    if position >= len(tokens):
+        raise ParseError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items: List[SExpr] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _read(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise ParseError("missing closing parenthesis")
+        return items, position + 1
+    if token == ")":
+        raise ParseError("unexpected ')'")
+    return token, position + 1
+
+
+def read_sexprs(text: str) -> List[SExpr]:
+    """Read every top-level s-expression in ``text``."""
+    tokens = tokenize(text)
+    position = 0
+    result: List[SExpr] = []
+    while position < len(tokens):
+        sexpr, position = _read(tokens, position)
+        result.append(sexpr)
+    return result
+
+
+def _atom_to_expr(token: str) -> ast.Expr:
+    if token.startswith('"'):
+        return ast.Const(token[1:])
+    if token == "true":
+        return ast.Const(True)
+    if token == "false":
+        return ast.Const(False)
+    if token == "unit":
+        return ast.Const(None)
+    try:
+        return ast.Const(int(token))
+    except ValueError:
+        return ast.Var(token)
+
+
+def _to_expr(sexpr: SExpr) -> ast.Expr:
+    if isinstance(sexpr, str):
+        return _atom_to_expr(sexpr)
+    if not isinstance(sexpr, list) or not sexpr:
+        raise ParseError(f"cannot parse {sexpr!r}")
+    head = sexpr[0]
+    if isinstance(head, str):
+        if head == "lambda":
+            if len(sexpr) != 3 or not isinstance(sexpr[1], list) or len(sexpr[1]) != 1:
+                raise ParseError("lambda expects (lambda (x) body)")
+            param = sexpr[1][0]
+            if not isinstance(param, str):
+                raise ParseError("lambda parameter must be an identifier")
+            return ast.Lam(param, _to_expr(sexpr[2]))
+        if head == "let":
+            if len(sexpr) != 4 or not isinstance(sexpr[1], str):
+                raise ParseError("let expects (let x value body)")
+            return ast.Let(sexpr[1], _to_expr(sexpr[2]), _to_expr(sexpr[3]))
+        if head == "facet":
+            if len(sexpr) != 4 or not isinstance(sexpr[1], str):
+                raise ParseError("facet expects (facet k high low)")
+            return ast.FacetExpr(sexpr[1], _to_expr(sexpr[2]), _to_expr(sexpr[3]))
+        if head == "label":
+            if len(sexpr) != 3 or not isinstance(sexpr[1], str):
+                raise ParseError("label expects (label k body)")
+            return ast.LabelDecl(sexpr[1], _to_expr(sexpr[2]))
+        if head == "restrict":
+            if len(sexpr) != 3 or not isinstance(sexpr[1], str):
+                raise ParseError("restrict expects (restrict k policy)")
+            return ast.Restrict(sexpr[1], _to_expr(sexpr[2]))
+        if head == "ref":
+            _expect_arity(sexpr, 2, "ref")
+            return ast.Ref(_to_expr(sexpr[1]))
+        if head == "deref":
+            _expect_arity(sexpr, 2, "deref")
+            return ast.Deref(_to_expr(sexpr[1]))
+        if head == "assign":
+            _expect_arity(sexpr, 3, "assign")
+            return ast.Assign(_to_expr(sexpr[1]), _to_expr(sexpr[2]))
+        if head == "row":
+            return ast.Row(tuple(_to_expr(item) for item in sexpr[1:]))
+        if head == "select":
+            _expect_arity(sexpr, 4, "select")
+            return ast.Select(_as_int(sexpr[1]), _as_int(sexpr[2]), _to_expr(sexpr[3]))
+        if head == "project":
+            _expect_arity(sexpr, 3, "project")
+            if not isinstance(sexpr[1], list):
+                raise ParseError("project expects a list of column indices")
+            columns = tuple(_as_int(item) for item in sexpr[1])
+            return ast.Project(columns, _to_expr(sexpr[2]))
+        if head == "join":
+            _expect_arity(sexpr, 3, "join")
+            return ast.Join(_to_expr(sexpr[1]), _to_expr(sexpr[2]))
+        if head == "union":
+            _expect_arity(sexpr, 3, "union")
+            return ast.Union(_to_expr(sexpr[1]), _to_expr(sexpr[2]))
+        if head == "fold":
+            _expect_arity(sexpr, 4, "fold")
+            return ast.Fold(_to_expr(sexpr[1]), _to_expr(sexpr[2]), _to_expr(sexpr[3]))
+        if head == "print":
+            _expect_arity(sexpr, 3, "print")
+            return ast.Print(_to_expr(sexpr[1]), _to_expr(sexpr[2]))
+        if head == "if":
+            _expect_arity(sexpr, 4, "if")
+            return ast.If(_to_expr(sexpr[1]), _to_expr(sexpr[2]), _to_expr(sexpr[3]))
+        if head in _BINOPS:
+            _expect_arity(sexpr, 3, head)
+            return ast.BinOp(head, _to_expr(sexpr[1]), _to_expr(sexpr[2]))
+    # Application: (f a b c) curries to (((f a) b) c)
+    exprs = [_to_expr(item) for item in sexpr]
+    result = exprs[0]
+    for arg in exprs[1:]:
+        result = ast.App(result, arg)
+    return result
+
+
+def _expect_arity(sexpr: List[SExpr], arity: int, name: str) -> None:
+    if len(sexpr) != arity:
+        raise ParseError(f"{name} expects {arity - 1} argument(s), got {len(sexpr) - 1}")
+
+
+def _as_int(sexpr: SExpr) -> int:
+    if isinstance(sexpr, str):
+        try:
+            return int(sexpr)
+        except ValueError as exc:
+            raise ParseError(f"expected an integer, got {sexpr!r}") from exc
+    raise ParseError(f"expected an integer, got {sexpr!r}")
+
+
+def parse(text: str) -> ast.Expr:
+    """Parse a single λJDB expression from source text."""
+    sexprs = read_sexprs(text)
+    if len(sexprs) != 1:
+        raise ParseError(f"expected exactly one expression, got {len(sexprs)}")
+    return _to_expr(sexprs[0])
+
+
+def parse_program(text: str) -> List[ast.Expr]:
+    """Parse a sequence of top-level λJDB expressions (statements)."""
+    return [_to_expr(sexpr) for sexpr in read_sexprs(text)]

@@ -1,0 +1,81 @@
+"""Pretty-printing λJDB expressions and values back to s-expression text."""
+
+from __future__ import annotations
+
+from repro.lambda_jdb import ast
+from repro.lambda_jdb.values import Closure, FacetV, TableV, Value
+
+
+def pretty(expr: ast.Expr) -> str:
+    """Render an expression as parseable s-expression text."""
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Const):
+        return _const(expr.value)
+    if isinstance(expr, ast.Lam):
+        return f"(lambda ({expr.param}) {pretty(expr.body)})"
+    if isinstance(expr, ast.App):
+        return f"({pretty(expr.fn)} {pretty(expr.arg)})"
+    if isinstance(expr, ast.Let):
+        return f"(let {expr.name} {pretty(expr.value)} {pretty(expr.body)})"
+    if isinstance(expr, ast.Ref):
+        return f"(ref {pretty(expr.init)})"
+    if isinstance(expr, ast.Deref):
+        return f"(deref {pretty(expr.ref)})"
+    if isinstance(expr, ast.Assign):
+        return f"(assign {pretty(expr.target)} {pretty(expr.value)})"
+    if isinstance(expr, ast.FacetExpr):
+        return f"(facet {expr.label} {pretty(expr.high)} {pretty(expr.low)})"
+    if isinstance(expr, ast.LabelDecl):
+        return f"(label {expr.label} {pretty(expr.body)})"
+    if isinstance(expr, ast.Restrict):
+        return f"(restrict {expr.label} {pretty(expr.policy)})"
+    if isinstance(expr, ast.Row):
+        fields = " ".join(pretty(field) for field in expr.fields)
+        return f"(row {fields})" if fields else "(row)"
+    if isinstance(expr, ast.Select):
+        return f"(select {expr.i} {expr.j} {pretty(expr.table)})"
+    if isinstance(expr, ast.Project):
+        columns = " ".join(str(c) for c in expr.columns)
+        return f"(project ({columns}) {pretty(expr.table)})"
+    if isinstance(expr, ast.Join):
+        return f"(join {pretty(expr.left)} {pretty(expr.right)})"
+    if isinstance(expr, ast.Union):
+        return f"(union {pretty(expr.left)} {pretty(expr.right)})"
+    if isinstance(expr, ast.Fold):
+        return f"(fold {pretty(expr.fn)} {pretty(expr.init)} {pretty(expr.table)})"
+    if isinstance(expr, ast.Print):
+        return f"(print {pretty(expr.viewer)} {pretty(expr.value)})"
+    if isinstance(expr, ast.If):
+        return f"(if {pretty(expr.cond)} {pretty(expr.then)} {pretty(expr.orelse)})"
+    if isinstance(expr, ast.BinOp):
+        return f"({expr.op} {pretty(expr.left)} {pretty(expr.right)})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _const(value: object) -> str:
+    if value is None:
+        return "unit"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return str(value)
+
+
+def pretty_value(value: Value) -> str:
+    """Render a runtime value for debugging and test failure messages."""
+    if isinstance(value, FacetV):
+        return f"<{value.label} ? {pretty_value(value.high)} : {pretty_value(value.low)}>"
+    if isinstance(value, TableV):
+        rows = []
+        for branches, fields in value.rows:
+            branch_text = ",".join(
+                ("" if polarity else "¬") + name for name, polarity in sorted(branches)
+            )
+            rows.append(f"({{{branch_text}}}, {fields})")
+        return "table[" + "; ".join(rows) + "]"
+    if isinstance(value, Closure):
+        return f"(lambda ({value.param}) ...)"
+    return _const(value) if not isinstance(value, tuple) else repr(value)

@@ -1,0 +1,60 @@
+"""The Early Pruning optimisation at the value level (rule F-PRUNE).
+
+Early Pruning shrinks a table by dropping rows whose branch annotations are
+inconsistent with the current program counter; when the viewer is known in
+advance (e.g. the session user of a web request), the program counter can be
+seeded with the viewer's full label assignment, so only the facet rows the
+viewer can actually see are carried through the computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.lambda_jdb.values import (
+    EMPTY_PC,
+    PC,
+    BranchT,
+    FacetV,
+    TableV,
+    Value,
+    branches_consistent,
+    pc_consistent,
+)
+
+
+def prune_table(table: TableV, pc: PC) -> TableV:
+    """Keep only rows consistent with ``pc`` (and internally consistent)."""
+    rows = tuple(
+        (branches, fields)
+        for branches, fields in table.rows
+        if pc_consistent(branches, pc) and branches_consistent(branches)
+    )
+    return TableV(rows)
+
+
+def prune_value(value: Value, pc: PC) -> Value:
+    """Prune facets and table rows under a known program counter."""
+    if isinstance(value, FacetV):
+        if (value.label, True) in pc:
+            return prune_value(value.high, pc)
+        if (value.label, False) in pc:
+            return prune_value(value.low, pc)
+        return FacetV(
+            value.label,
+            prune_value(value.high, frozenset(pc | {(value.label, True)})),
+            prune_value(value.low, frozenset(pc | {(value.label, False)})),
+        )
+    if isinstance(value, TableV):
+        return prune_table(value, pc)
+    return value
+
+
+def assignment_to_pc(assignment: Dict[str, bool]) -> PC:
+    """Convert a total label assignment (the speculated viewer) to a pc."""
+    return frozenset((name, polarity) for name, polarity in assignment.items())
+
+
+def prune_for_viewer(value: Value, assignment: Dict[str, bool]) -> Value:
+    """Early Pruning with a speculated viewer: prune under their assignment."""
+    return prune_value(value, assignment_to_pc(assignment))

@@ -1,0 +1,82 @@
+"""The store Σ: heap addresses and label policies.
+
+The paper's store maps addresses to values and labels to policy values
+(``Σ ∈ Store = (Addr →p Val) ∪ (Label → Val)``).  Policies accumulate via
+``restrict``; a label's effective policy is the faceted conjunction of all
+values attached to it, with the default being the always-true policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lambda_jdb.values import Address, Value
+
+
+class Store:
+    """Mutable store threaded through evaluation."""
+
+    def __init__(self) -> None:
+        self._heap: Dict[Address, Value] = {}
+        self._policies: Dict[str, List[Value]] = {}
+        self._address_counter = itertools.count(1)
+        self._label_counter = itertools.count(1)
+
+    # -- heap --------------------------------------------------------------------
+
+    def alloc(self) -> Address:
+        """Allocate a fresh, unbound address."""
+        return Address(next(self._address_counter))
+
+    def contains(self, address: Address) -> bool:
+        return address in self._heap
+
+    def read(self, address: Address) -> Optional[Value]:
+        """Heap lookup; unbound addresses read as ``None`` (the paper's 0)."""
+        return self._heap.get(address)
+
+    def write(self, address: Address, value: Value) -> None:
+        self._heap[address] = value
+
+    def heap_items(self) -> Iterable[Tuple[Address, Value]]:
+        return tuple(self._heap.items())
+
+    # -- labels and policies -------------------------------------------------------
+
+    def fresh_label(self, hint: str = "k") -> str:
+        """Allocate a fresh runtime label name (α-renaming in F-LABEL)."""
+        return f"{hint}${next(self._label_counter)}"
+
+    def declare_label(self, label: str) -> None:
+        """Register a label with the default (empty = always-true) policy."""
+        self._policies.setdefault(label, [])
+
+    def has_label(self, label: str) -> bool:
+        return label in self._policies
+
+    def add_policy(self, label: str, policy: Value) -> None:
+        """Conjoin an additional policy value onto a label (F-RESTRICT)."""
+        self._policies.setdefault(label, []).append(policy)
+
+    def policies_for(self, label: str) -> Tuple[Value, ...]:
+        return tuple(self._policies.get(label, ()))
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(self._policies.keys())
+
+    # -- copying (needed by the projection property tests) -------------------------
+
+    def copy(self) -> "Store":
+        clone = Store()
+        clone._heap = dict(self._heap)
+        clone._policies = {label: list(ps) for label, ps in self._policies.items()}
+        clone._address_counter = itertools.count(
+            max((a.index for a in self._heap), default=0) + 1
+        )
+        used = [int(name.split("$")[-1]) for name in self._policies if "$" in name]
+        clone._label_counter = itertools.count(max(used, default=0) + 1)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Store(heap={len(self._heap)}, labels={len(self._policies)})"

@@ -1,0 +1,133 @@
+"""View projection ``L(·)`` for λJDB (Section 4.3).
+
+A view ``L`` is a set of label names the observer is authorised to see.
+Projection collapses faceted values, drops table rows whose branches are not
+visible, and recursively projects stores and expressions.  The Projection
+Theorem states that faceted evaluation projects to standard evaluation under
+every view; the property tests use these functions to check it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+from repro.lambda_jdb import ast
+from repro.lambda_jdb.store import Store
+from repro.lambda_jdb.values import Closure, FacetV, TableV, Value
+
+#: A view is a frozen set of label names; labels not present read as False.
+LView = FrozenSet[str]
+
+
+def make_view(labels: Iterable[str]) -> LView:
+    return frozenset(labels)
+
+
+def branch_visible(branches, view: LView) -> bool:
+    """The ``B ~ L`` relation: every positive label in L, every negative not."""
+    for name, polarity in branches:
+        if (name in view) != polarity:
+            return False
+    return True
+
+
+def project_value(value: Value, view: LView) -> Value:
+    """``L(V)``: collapse facets and filter table rows."""
+    if isinstance(value, FacetV):
+        chosen = value.high if value.label in view else value.low
+        return project_value(chosen, view)
+    if isinstance(value, TableV):
+        rows = tuple(
+            (frozenset(), fields)
+            for branches, fields in value.rows
+            if branch_visible(branches, view)
+        )
+        return TableV(rows)
+    if isinstance(value, Closure):
+        projected_env = tuple(
+            (name, project_value(captured, view)) for name, captured in value.env
+        )
+        return Closure(value.param, project_expr(value.body, view), projected_env)
+    return value
+
+
+def project_store(store: Store, view: LView) -> Dict[str, Value]:
+    """``L(Σ)`` restricted to the heap, keyed by address index.
+
+    Policies are omitted: the Projection Theorem only constrains heap
+    contents (policies influence outputs via print, which is compared on the
+    projected values it produces).
+    """
+    return {
+        address.index: project_value(value, view) for address, value in store.heap_items()
+    }
+
+
+def project_expr(expr: ast.Expr, view: LView) -> ast.Expr:
+    """``L(e)``: choose facet sides according to the view, recursively."""
+    if isinstance(expr, ast.FacetExpr):
+        chosen = expr.high if expr.label in view else expr.low
+        return project_expr(chosen, view)
+    if isinstance(expr, (ast.Var, ast.Const)):
+        return expr
+    if isinstance(expr, ast.Lam):
+        return ast.Lam(expr.param, project_expr(expr.body, view))
+    if isinstance(expr, ast.App):
+        return ast.App(project_expr(expr.fn, view), project_expr(expr.arg, view))
+    if isinstance(expr, ast.Let):
+        return ast.Let(
+            expr.name, project_expr(expr.value, view), project_expr(expr.body, view)
+        )
+    if isinstance(expr, ast.Ref):
+        return ast.Ref(project_expr(expr.init, view))
+    if isinstance(expr, ast.Deref):
+        return ast.Deref(project_expr(expr.ref, view))
+    if isinstance(expr, ast.Assign):
+        return ast.Assign(project_expr(expr.target, view), project_expr(expr.value, view))
+    if isinstance(expr, ast.LabelDecl):
+        return ast.LabelDecl(expr.label, project_expr(expr.body, view))
+    if isinstance(expr, ast.Restrict):
+        return ast.Restrict(expr.label, project_expr(expr.policy, view))
+    if isinstance(expr, ast.Row):
+        return ast.Row(tuple(project_expr(field, view) for field in expr.fields))
+    if isinstance(expr, ast.Select):
+        return ast.Select(expr.i, expr.j, project_expr(expr.table, view))
+    if isinstance(expr, ast.Project):
+        return ast.Project(expr.columns, project_expr(expr.table, view))
+    if isinstance(expr, ast.Join):
+        return ast.Join(project_expr(expr.left, view), project_expr(expr.right, view))
+    if isinstance(expr, ast.Union):
+        return ast.Union(project_expr(expr.left, view), project_expr(expr.right, view))
+    if isinstance(expr, ast.Fold):
+        return ast.Fold(
+            project_expr(expr.fn, view),
+            project_expr(expr.init, view),
+            project_expr(expr.table, view),
+        )
+    if isinstance(expr, ast.If):
+        return ast.If(
+            project_expr(expr.cond, view),
+            project_expr(expr.then, view),
+            project_expr(expr.orelse, view),
+        )
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(expr.op, project_expr(expr.left, view), project_expr(expr.right, view))
+    if isinstance(expr, ast.Print):
+        return ast.Print(project_expr(expr.viewer, view), project_expr(expr.value, view))
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def values_equivalent(a: Value, b: Value, view: LView) -> bool:
+    """L-equivalence of two values: their projections under L coincide."""
+    return _normalise(project_value(a, view)) == _normalise(project_value(b, view))
+
+
+def _normalise(value: Value) -> object:
+    """A comparable normal form for projected values."""
+    if isinstance(value, TableV):
+        return ("table", tuple(sorted(fields for _branches, fields in value.rows)))
+    if isinstance(value, Closure):
+        return ("closure", value.param, value.body)
+    if isinstance(value, FacetV):  # projection removes facets; defensive
+        return ("facet", value.label, _normalise(value.high), _normalise(value.low))
+    return value

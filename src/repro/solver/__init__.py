@@ -1,0 +1,57 @@
+"""Boolean satisfiability substrate used for label assignment.
+
+The paper resolves information-flow labels at computation sinks by finding a
+satisfying assignment to a system of boolean constraints of the form
+``k => policy_k(viewer)`` (Section 2.3 and the [F-PRINT] rule).  The original
+implementation delegates to the SAT subset of Z3; this package provides an
+equivalent, dependency-free substrate:
+
+* :mod:`repro.solver.formula` -- a small boolean formula AST with
+  simplification, evaluation and free-variable queries.
+* :mod:`repro.solver.cnf` -- conversion to conjunctive normal form via the
+  Tseitin transformation.
+* :mod:`repro.solver.dpll` -- a DPLL solver with unit propagation, pure
+  literal elimination and a caller-supplied preference order (used to prefer
+  ``True`` assignments so that Jacqueline "always attempts to show values
+  unless policies require otherwise").
+* :mod:`repro.solver.assignment` -- the label-assignment front end used by
+  the Jeeves runtime.
+"""
+
+from repro.solver.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+)
+from repro.solver.cnf import CNF, Clause, to_cnf
+from repro.solver.dpll import DPLLSolver, solve
+from repro.solver.assignment import LabelAssigner, UnsatisfiableError
+
+__all__ = [
+    "Formula",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "TRUE",
+    "FALSE",
+    "conj",
+    "disj",
+    "CNF",
+    "Clause",
+    "to_cnf",
+    "DPLLSolver",
+    "solve",
+    "LabelAssigner",
+    "UnsatisfiableError",
+]

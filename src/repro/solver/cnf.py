@@ -1,0 +1,193 @@
+"""Conversion of boolean formulas to conjunctive normal form.
+
+Two strategies are provided:
+
+* a direct distribution-based conversion for small formulas (used by the
+  property tests because it preserves equivalence exactly), and
+* the Tseitin transformation, which introduces fresh variables but stays
+  linear in the size of the input (used by the label assigner on large
+  constraint systems).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.solver.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    nnf,
+)
+
+#: A literal is a (variable name, polarity) pair; True means positive.
+Literal = Tuple[str, bool]
+
+#: A clause is a frozen set of literals (disjunction).
+Clause = FrozenSet[Literal]
+
+
+class CNF:
+    """A formula in conjunctive normal form: a set of clauses.
+
+    The empty CNF is trivially satisfiable; a CNF containing the empty clause
+    is unsatisfiable.
+    """
+
+    def __init__(self, clauses: Iterable[Iterable[Literal]] = ()) -> None:
+        self.clauses: List[Clause] = [frozenset(clause) for clause in clauses]
+
+    def __repr__(self) -> str:
+        return f"CNF({self.clauses!r})"
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def add(self, clause: Iterable[Literal]) -> None:
+        """Append a clause."""
+        self.clauses.append(frozenset(clause))
+
+    def variables(self) -> Set[str]:
+        """All variable names mentioned by the clauses."""
+        names: Set[str] = set()
+        for clause in self.clauses:
+            for name, _ in clause:
+                names.add(name)
+        return names
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate the CNF under a total assignment."""
+        for clause in self.clauses:
+            if not any(assignment[name] == polarity for name, polarity in clause):
+                return False
+        return True
+
+    def extend(self, other: "CNF") -> None:
+        """Append all clauses from another CNF."""
+        self.clauses.extend(other.clauses)
+
+
+def _distribute(left: List[Clause], right: List[Clause]) -> List[Clause]:
+    """Distribute OR over two clause lists (cartesian product of clauses)."""
+    result: List[Clause] = []
+    for a, b in itertools.product(left, right):
+        result.append(a | b)
+    return result
+
+
+def _direct_cnf(formula: Formula) -> List[Clause]:
+    """Distribution-based CNF of an NNF formula."""
+    if isinstance(formula, Const):
+        if formula.value:
+            return []
+        return [frozenset()]
+    if isinstance(formula, Var):
+        return [frozenset({(formula.name, True)})]
+    if isinstance(formula, Not):
+        operand = formula.operand
+        if isinstance(operand, Var):
+            return [frozenset({(operand.name, False)})]
+        if isinstance(operand, Const):
+            return _direct_cnf(TRUE if not operand.value else FALSE)
+        raise ValueError("direct CNF expects an NNF formula")
+    if isinstance(formula, And):
+        return _direct_cnf(formula.left) + _direct_cnf(formula.right)
+    if isinstance(formula, Or):
+        return _distribute(_direct_cnf(formula.left), _direct_cnf(formula.right))
+    raise ValueError(f"direct CNF expects an NNF formula, got {formula!r}")
+
+
+def to_cnf(formula: Formula) -> CNF:
+    """Equivalence-preserving CNF conversion (exponential worst case).
+
+    Suitable for the moderate constraint systems produced by label
+    resolution: the paper's policies relate a handful of labels per sink.
+    """
+    return CNF(_direct_cnf(nnf(formula)))
+
+
+class _FreshNames:
+    """Generator of fresh Tseitin variable names that cannot collide with
+    label names (labels never contain ``'\\x00'``)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next(self) -> str:
+        return f"\x00t{next(self._counter)}"
+
+
+def tseitin(formula: Formula) -> CNF:
+    """Tseitin transformation: equisatisfiable CNF, linear size.
+
+    Fresh variables are prefixed with a NUL byte so they can be filtered out
+    of the resulting model.
+    """
+    formula = formula.simplify()
+    cnf = CNF()
+    fresh = _FreshNames()
+
+    def encode(node: Formula) -> Literal:
+        if isinstance(node, Const):
+            name = fresh.next()
+            if node.value:
+                cnf.add([(name, True)])
+            else:
+                cnf.add([(name, False)])
+            return (name, True)
+        if isinstance(node, Var):
+            return (node.name, True)
+        if isinstance(node, Not):
+            inner_name, inner_pol = encode(node.operand)
+            return (inner_name, not inner_pol)
+        if isinstance(node, And):
+            left = encode(node.left)
+            right = encode(node.right)
+            out = fresh.next()
+            cnf.add([(out, False), left])
+            cnf.add([(out, False), right])
+            cnf.add([(out, True), _negate(left), _negate(right)])
+            return (out, True)
+        if isinstance(node, Or):
+            left = encode(node.left)
+            right = encode(node.right)
+            out = fresh.next()
+            cnf.add([(out, True), _negate(left)])
+            cnf.add([(out, True), _negate(right)])
+            cnf.add([(out, False), left, right])
+            return (out, True)
+        if isinstance(node, Implies):
+            return encode(Or(Not(node.left), node.right))
+        if isinstance(node, Iff):
+            return encode(
+                And(
+                    Or(Not(node.left), node.right),
+                    Or(Not(node.right), node.left),
+                )
+            )
+        raise TypeError(f"unknown formula node {node!r}")
+
+    root = encode(formula)
+    cnf.add([root])
+    return cnf
+
+
+def _negate(literal: Literal) -> Literal:
+    name, polarity = literal
+    return (name, not polarity)
+
+
+def is_tseitin_var(name: str) -> bool:
+    """True if the variable was introduced by :func:`tseitin`."""
+    return name.startswith("\x00")

@@ -1,0 +1,48 @@
+"""A small model-view-controller web framework.
+
+Jacqueline is "a web framework based on Python's Django framework"; the
+relevant pieces for the paper's evaluation are the MVC structure (models with
+policies, controller views, template rendering), session-based
+authentication, and the point where the framework resolves faceted values
+for the logged-in viewer.  This package provides those pieces:
+
+* :mod:`repro.web.http` -- request/response objects;
+* :mod:`repro.web.routing` -- URL routing with path parameters;
+* :mod:`repro.web.templates` -- a tiny template engine (variables, ``for``,
+  ``if``);
+* :mod:`repro.web.sessions` / :mod:`repro.web.auth` -- cookie-less sessions
+  and a user store;
+* :mod:`repro.web.app` -- the application object.  ``JacquelineApp`` binds a
+  FORM, sets the session user as the speculated viewer on "get" requests
+  (Early Pruning) and concretises every value handed to a template;
+  ``BaselineApp`` provides the same plumbing without any of that, for the
+  hand-coded-policy comparison;
+* :mod:`repro.web.testclient` -- an in-process client used by the examples,
+  tests and benchmarks (the stand-in for the paper's FunkLoad HTTP driver).
+"""
+
+from repro.web.http import HttpError, Request, Response
+from repro.web.routing import Route, Router
+from repro.web.templates import Template, render_template
+from repro.web.sessions import Session, SessionStore
+from repro.web.auth import AuthenticationError, Authenticator
+from repro.web.app import Application, BaselineApp, JacquelineApp
+from repro.web.testclient import TestClient
+
+__all__ = [
+    "Request",
+    "Response",
+    "HttpError",
+    "Router",
+    "Route",
+    "Template",
+    "render_template",
+    "Session",
+    "SessionStore",
+    "Authenticator",
+    "AuthenticationError",
+    "Application",
+    "JacquelineApp",
+    "BaselineApp",
+    "TestClient",
+]

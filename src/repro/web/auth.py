@@ -1,0 +1,74 @@
+"""Authentication: mapping sessions to application user objects.
+
+Applications register a *user loader* -- a callable from a stored user
+identifier to the application's user model instance (e.g. a ``UserProfile``
+row).  The application object calls :meth:`Authenticator.user_for` on every
+request and exposes the result as ``request.user``; in the Jacqueline app the
+same object becomes the speculated viewer for Early Pruning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, Optional
+
+from repro.web.sessions import Session
+
+
+class AuthenticationError(Exception):
+    """Raised for bad credentials."""
+
+
+def hash_password(password: str, salt: str = "jacqueline") -> str:
+    """A deterministic password hash (not for production use)."""
+    return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
+
+
+class Authenticator:
+    """Username/password accounts plus the session → user mapping."""
+
+    def __init__(self, user_loader: Optional[Callable[[Any], Any]] = None) -> None:
+        self._credentials: Dict[str, str] = {}
+        self._user_ids: Dict[str, Any] = {}
+        self._user_loader = user_loader or (lambda user_id: user_id)
+
+    # -- account management -------------------------------------------------------
+
+    def register(self, username: str, password: str, user_id: Any) -> None:
+        """Create an account bound to an application-level user identifier."""
+        self._credentials[username] = hash_password(password)
+        self._user_ids[username] = user_id
+
+    def has_account(self, username: str) -> bool:
+        return username in self._credentials
+
+    # -- login / logout ----------------------------------------------------------------
+
+    def login(self, session: Session, username: str, password: str) -> Any:
+        """Validate credentials and record the login in the session."""
+        expected = self._credentials.get(username)
+        if expected is None or expected != hash_password(password):
+            raise AuthenticationError(f"invalid credentials for {username!r}")
+        session["username"] = username
+        session["user_id"] = self._user_ids[username]
+        return self.user_for(session)
+
+    def force_login(self, session: Session, user_id: Any, username: str = "") -> None:
+        """Record a login without credentials (tests and benchmarks)."""
+        session["username"] = username
+        session["user_id"] = user_id
+
+    def logout(self, session: Session) -> None:
+        session.data.pop("username", None)
+        session.data.pop("user_id", None)
+
+    # -- lookup -------------------------------------------------------------------------
+
+    def user_for(self, session: Optional[Session]) -> Any:
+        """The application user object for a session, or ``None``."""
+        if session is None or "user_id" not in session:
+            return None
+        return self._user_loader(session["user_id"])
+
+    def set_user_loader(self, loader: Callable[[Any], Any]) -> None:
+        self._user_loader = loader

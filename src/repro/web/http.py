@@ -1,0 +1,114 @@
+"""HTTP request and response objects (framework-internal, no sockets).
+
+The benchmarks drive applications through the in-process test client, so the
+request/response types model just what views need: method, path, query
+parameters, form data, session id and a status/body/headers triple back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import parse_qs, urlencode, urlsplit
+
+
+class HttpError(Exception):
+    """An error with an HTTP status code; converted to a response by the app."""
+
+    def __init__(self, status: int, message: str = "") -> None:
+        super().__init__(message or f"HTTP {status}")
+        self.status = status
+        self.message = message or f"HTTP {status}"
+
+
+class Request:
+    """An incoming request."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Mapping[str, Any]] = None,
+        data: Optional[Mapping[str, Any]] = None,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.method = method.upper()
+        split = urlsplit(path)
+        self.path = split.path or "/"
+        query: Dict[str, Any] = {
+            name: values[-1] for name, values in parse_qs(split.query).items()
+        }
+        if params:
+            query.update(dict(params))
+        self.params = query
+        self.data = dict(data or {})
+        self.session_id = session_id
+        #: populated by the application: the logged-in user and session object
+        self.user: Any = None
+        self.session: Any = None
+        #: populated by the router: captured path parameters
+        self.path_params: Dict[str, str] = {}
+
+    @property
+    def is_get(self) -> bool:
+        return self.method == "GET"
+
+    @property
+    def is_post(self) -> bool:
+        return self.method == "POST"
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """A query or path parameter (path parameters take precedence)."""
+        if name in self.path_params:
+            return self.path_params[name]
+        return self.params.get(name, default)
+
+    def form(self, name: str, default: Any = None) -> Any:
+        """A posted form field."""
+        return self.data.get(name, default)
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.path})"
+
+
+class Response:
+    """An outgoing response."""
+
+    def __init__(
+        self,
+        body: str = "",
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.body = body
+        self.status = status
+        self.headers = dict(headers or {})
+        self.headers.setdefault("Content-Type", "text/html; charset=utf-8")
+        #: the rendered template context, kept for white-box assertions in tests
+        self.context = dict(context or {})
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "Response":
+        return cls(body="", status=status, headers={"Location": location})
+
+    @classmethod
+    def not_found(cls, message: str = "Not Found") -> "Response":
+        return cls(body=message, status=404)
+
+    @classmethod
+    def forbidden(cls, message: str = "Forbidden") -> "Response":
+        return cls(body=message, status=403)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:
+        return f"Response(status={self.status}, bytes={len(self.body)})"
+
+
+def build_url(path: str, **params: Any) -> str:
+    """Build a path with a query string (used by views issuing redirects)."""
+    if not params:
+        return path
+    return f"{path}?{urlencode(params)}"

@@ -1,0 +1,104 @@
+"""URL routing with ``<name>`` path parameters."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.web.http import Request
+
+#: A view takes the request and returns a Response, a (template, context)
+#: pair, or a plain context dict (the route then names the template).
+View = Callable[..., Any]
+
+
+class Route:
+    """One URL pattern bound to a view."""
+
+    def __init__(
+        self,
+        pattern: str,
+        view: View,
+        methods: Tuple[str, ...] = ("GET", "POST"),
+        name: str = "",
+        template: str = "",
+    ) -> None:
+        self.pattern = pattern if pattern.startswith("/") else "/" + pattern
+        self.view = view
+        self.methods = tuple(method.upper() for method in methods)
+        self.name = name or view.__name__
+        self.template = template
+        self._regex = self._compile(self.pattern)
+
+    @staticmethod
+    def _compile(pattern: str) -> re.Pattern:
+        parts = []
+        for segment in pattern.strip("/").split("/"):
+            if segment.startswith("<") and segment.endswith(">"):
+                parts.append(f"(?P<{segment[1:-1]}>[^/]+)")
+            elif segment:
+                parts.append(re.escape(segment))
+        body = "/".join(parts)
+        return re.compile(f"^/{body}$" if body else "^/$")
+
+    def match(self, path: str, method: str) -> Optional[Dict[str, str]]:
+        """Path parameters if this route matches, else ``None``."""
+        if method.upper() not in self.methods:
+            return None
+        found = self._regex.match(path if path.startswith("/") else "/" + path)
+        if found is None:
+            return None
+        return found.groupdict()
+
+    def __repr__(self) -> str:
+        return f"Route({self.pattern!r} -> {self.name})"
+
+
+class Router:
+    """An ordered collection of routes."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(
+        self,
+        pattern: str,
+        view: View,
+        methods: Tuple[str, ...] = ("GET", "POST"),
+        name: str = "",
+        template: str = "",
+    ) -> Route:
+        route = Route(pattern, view, methods, name, template)
+        self._routes.append(route)
+        return route
+
+    def route(self, pattern: str, methods: Tuple[str, ...] = ("GET", "POST"), template: str = ""):
+        """Decorator form: ``@router.route("/papers/<pk>")``."""
+
+        def decorate(view: View) -> View:
+            self.add(pattern, view, methods=methods, template=template)
+            return view
+
+        return decorate
+
+    def resolve(self, request: Request) -> Optional[Route]:
+        """The first route matching the request (path params stored on it)."""
+        for route in self._routes:
+            params = route.match(request.path, request.method)
+            if params is not None:
+                request.path_params = params
+                return route
+        return None
+
+    def routes(self) -> List[Route]:
+        return list(self._routes)
+
+    def url_for(self, name: str, **params: Any) -> str:
+        """Reverse a route name into a path (simple parameter substitution)."""
+        for route in self._routes:
+            if route.name == name:
+                path = route.pattern
+                for key, value in params.items():
+                    path = path.replace(f"<{key}>", str(value))
+                return path
+        raise LookupError(f"no route named {name!r}")

@@ -1,0 +1,64 @@
+"""In-memory sessions keyed by opaque session ids."""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from typing import Any, Dict, Optional
+
+
+class Session:
+    """A per-client key/value store; ``user_id`` identifies the login."""
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        self.data: Dict[str, Any] = {}
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.data.get(name, default)
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.data[name] = value
+
+    def __getitem__(self, name: str) -> Any:
+        return self.data[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.data
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def __repr__(self) -> str:
+        return f"Session({self.session_id!r}, keys={sorted(self.data)})"
+
+
+class SessionStore:
+    """Creates and looks up sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, Session] = {}
+        self._counter = itertools.count(1)
+
+    def create(self) -> Session:
+        session_id = f"s{next(self._counter)}-{secrets.token_hex(8)}"
+        session = Session(session_id)
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: Optional[str]) -> Optional[Session]:
+        if session_id is None:
+            return None
+        return self._sessions.get(session_id)
+
+    def get_or_create(self, session_id: Optional[str]) -> Session:
+        session = self.get(session_id)
+        if session is None:
+            session = self.create()
+        return session
+
+    def drop(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,65 @@
+"""An in-process test client.
+
+The paper drives its stress tests with FunkLoad over HTTP; this client plays
+that role without the network: it builds requests, maintains the session id
+across calls (like a cookie jar) and returns the framework's responses
+directly.  Benchmarks time ``client.get(...)`` calls, which measure the whole
+server-side path: routing, view, ORM, policy resolution and template
+rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.web.app import Application
+from repro.web.http import Request, Response
+
+
+class TestClient:
+    """Drives an :class:`~repro.web.app.Application` in process."""
+
+    #: keep pytest from trying to collect this class as a test case
+    __test__ = False
+
+    def __init__(self, app: Application) -> None:
+        self.app = app
+        self.session_id: Optional[str] = None
+
+    # -- request helpers --------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Mapping[str, Any]] = None,
+        data: Optional[Mapping[str, Any]] = None,
+    ) -> Response:
+        request = Request(method, path, params=params, data=data, session_id=self.session_id)
+        response = self.app.handle(request)
+        self.session_id = request.session_id
+        return response
+
+    def get(self, path: str, **params: Any) -> Response:
+        return self.request("GET", path, params=params)
+
+    def post(self, path: str, **data: Any) -> Response:
+        return self.request("POST", path, data=data)
+
+    # -- authentication helpers ---------------------------------------------------------
+
+    def login(self, username: str, password: str) -> Response:
+        """Log in through the application's ``/login`` route."""
+        return self.post("/login", username=username, password=password)
+
+    def force_login(self, user_id: Any, username: str = "") -> None:
+        """Attach a login to the client's session without going through a view."""
+        request = Request("GET", "/", session_id=self.session_id)
+        session = self.app.sessions.get_or_create(request.session_id)
+        self.session_id = session.session_id
+        self.app.auth.force_login(session, user_id, username)
+
+    def logout(self) -> None:
+        session = self.app.sessions.get(self.session_id)
+        if session is not None:
+            self.app.auth.logout(session)

@@ -1,0 +1,96 @@
+"""Integration tests for the Section 2 calendar example."""
+
+import pytest
+
+from repro.apps.calendar import Event, EventGuest, UserProfile, build_calendar_app, setup_calendar
+from repro.form import use_form, viewer_context
+from repro.web import TestClient
+
+
+@pytest.fixture
+def calendar():
+    form = setup_calendar()
+    with use_form(form):
+        alice = UserProfile.objects.create(name="Alice", email="alice@x.org")
+        bob = UserProfile.objects.create(name="Bob", email="bob@x.org")
+        carol = UserProfile.objects.create(name="Carol", email="carol@x.org")
+        party = Event.objects.create(
+            name="Carol's surprise party",
+            location="Schloss Dagstuhl",
+            description="Shh, it's a secret",
+        )
+        EventGuest.objects.create(event=party, guest=alice)
+        EventGuest.objects.create(event=party, guest=bob)
+        yield {"form": form, "alice": alice, "bob": bob, "carol": carol, "party": party}
+
+
+def test_guests_see_event_details(calendar):
+    form = calendar["form"]
+    with use_form(form), viewer_context(calendar["alice"]):
+        events = list(Event.objects.all())
+        assert events[0].name == "Carol's surprise party"
+        assert events[0].location == "Schloss Dagstuhl"
+
+
+def test_non_guests_see_public_facets(calendar):
+    form = calendar["form"]
+    with use_form(form), viewer_context(calendar["carol"]):
+        events = list(Event.objects.all())
+        assert events[0].name == "Private event"
+        assert events[0].location == "Undisclosed location"
+
+
+def test_query_on_secret_location_hides_matches_from_outsiders(calendar):
+    form = calendar["form"]
+    with use_form(form):
+        with viewer_context(calendar["bob"]):
+            assert len(list(Event.objects.filter(location="Schloss Dagstuhl"))) == 1
+        with viewer_context(calendar["carol"]):
+            assert list(Event.objects.filter(location="Schloss Dagstuhl")) == []
+
+
+def test_guest_list_policy_depends_on_itself(calendar):
+    """The mutual-dependency policy of Section 2.3 resolves per viewer."""
+    form = calendar["form"]
+    with use_form(form):
+        with viewer_context(calendar["alice"]):
+            guests = list(EventGuest.objects.filter(event=calendar["party"]))
+            names = {g.guest.name for g in guests if g.guest is not None}
+            assert names == {"Alice", "Bob"}
+        with viewer_context(calendar["carol"]):
+            guests = list(EventGuest.objects.filter(event=calendar["party"]))
+            assert all(g.guest is None for g in guests)
+
+
+def test_calendar_web_app_end_to_end(calendar):
+    app = build_calendar_app(calendar["form"])
+    guest_client = TestClient(app)
+    guest_client.post("/login", username="Alice")
+    page = guest_client.get("/events")
+    assert "Carol&#x27;s surprise party" in page.body or "Carol's surprise party" in page.body
+    assert "Schloss Dagstuhl" in page.body
+
+    outsider_client = TestClient(app)
+    outsider_client.post("/login", username="Carol")
+    page = outsider_client.get("/events")
+    assert "Private event" in page.body
+    assert "Dagstuhl" not in page.body
+
+
+def test_event_creation_through_the_app(calendar):
+    app = build_calendar_app(calendar["form"])
+    client = TestClient(app)
+    client.post("/login", username="Alice")
+    response = client.post(
+        "/event",
+        name="Planning meeting",
+        location="Library",
+        description="",
+        guests="Alice",
+    )
+    assert response.status == 302
+    page = client.get("/events")
+    assert "Planning meeting" in page.body
+    other = TestClient(app)
+    other.post("/login", username="Carol")
+    assert "Library" not in other.get("/events").body

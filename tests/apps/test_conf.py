@@ -1,0 +1,161 @@
+"""Integration tests for the conference management system (both stacks).
+
+The central check is *equivalence*: for the same workload and viewer, the
+Jacqueline implementation (policies in models) and the Django-style baseline
+(hand-coded checks in views) must render the same pages.
+"""
+
+import pytest
+
+from repro.apps.conf import (
+    ConferencePhase,
+    BaselineConfPhase,
+    Paper,
+    build_baseline_conf_app,
+    build_conf_app,
+    seed_baseline_conference,
+    seed_conference,
+    setup_baseline_conf,
+    setup_conf,
+)
+from repro.form import use_form, viewer_context
+from repro.web import TestClient
+
+
+@pytest.fixture
+def stacks():
+    form = setup_conf()
+    created = seed_conference(form, papers=6, users=6, pc_members=3)
+    app = build_conf_app(form)
+
+    db = setup_baseline_conf()
+    baseline_created = seed_baseline_conference(db, papers=6, users=6, pc_members=3)
+    baseline_app = build_baseline_conf_app(db)
+    yield {
+        "form": form,
+        "created": created,
+        "app": app,
+        "db": db,
+        "baseline_created": baseline_created,
+        "baseline_app": baseline_app,
+    }
+    ConferencePhase.reset()
+    BaselineConfPhase.reset()
+
+
+def _client(stack, kind, user):
+    if kind == "jacqueline":
+        client = TestClient(stack["app"])
+        client.force_login(user.jid, user.name)
+    else:
+        client = TestClient(stack["baseline_app"])
+        client.force_login(user.pk, user.name)
+    return client
+
+
+def test_author_sees_only_their_own_authorship(stacks):
+    author = stacks["created"]["users"][0]
+    client = _client(stacks, "jacqueline", author)
+    body = client.get("/papers").body
+    assert body.count("author0") == 1
+    assert "[anonymous]" in body
+
+
+def test_pc_member_sees_unconflicted_authors(stacks):
+    pc = stacks["created"]["pc"][0]
+    client = _client(stacks, "jacqueline", pc)
+    body = client.get("/papers").body
+    assert "[anonymous]" in body  # the conflicted paper stays anonymous
+    assert body.count("author") > 2
+
+
+def test_chair_sees_everything(stacks):
+    chair = stacks["created"]["chair"][0]
+    client = _client(stacks, "jacqueline", chair)
+    body = client.get("/papers").body
+    assert "[anonymous]" not in body
+
+
+def test_final_phase_reveals_authors_to_everyone(stacks):
+    author = stacks["created"]["users"][1]
+    ConferencePhase.set(ConferencePhase.FINAL)
+    client = _client(stacks, "jacqueline", author)
+    assert "[anonymous]" not in client.get("/papers").body
+
+
+def test_email_policy_on_user_pages(stacks):
+    author = stacks["created"]["users"][0]
+    chair = stacks["created"]["chair"][0]
+    author_body = _client(stacks, "jacqueline", author).get("/users").body
+    chair_body = _client(stacks, "jacqueline", chair).get("/users").body
+    assert author_body.count("[hidden email]") >= len(stacks["created"]["users"]) - 1
+    assert "[hidden email]" not in chair_body
+
+
+def test_reviews_hidden_from_authors_until_final(stacks):
+    author = stacks["created"]["users"][0]
+    paper = stacks["created"]["papers"][0]
+    client = _client(stacks, "jacqueline", author)
+    body = client.get(f"/paper/{paper.jid}").body
+    assert "[review not yet available]" in body
+    ConferencePhase.set(ConferencePhase.FINAL)
+    body = client.get(f"/paper/{paper.jid}").body
+    assert "Review 0 of paper 0" in body
+    assert "[anonymous reviewer]" in body  # reviewer identity stays hidden
+
+
+def test_paper_submission_via_post(stacks):
+    author = stacks["created"]["users"][2]
+    client = _client(stacks, "jacqueline", author)
+    response = client.post("/submit", title="A brand new result")
+    assert response.status == 302
+    assert "A brand new result" in client.get("/papers").body
+    with use_form(stacks["form"]), viewer_context(author):
+        assert Paper.objects.get(title="A brand new result") is not None
+
+
+def test_phase_change_requires_chair(stacks):
+    author = stacks["created"]["users"][0]
+    chair = stacks["created"]["chair"][0]
+    assert _client(stacks, "jacqueline", author).post("/phase", phase="final").status == 403
+    assert _client(stacks, "jacqueline", chair).post("/phase", phase="final").status == 302
+    assert ConferencePhase.current == ConferencePhase.FINAL
+
+
+@pytest.mark.parametrize("role", ["author", "pc", "chair"])
+def test_jacqueline_and_baseline_render_identical_pages(stacks, role):
+    """The two implementations enforce the same policies on every page."""
+    picks = {
+        "author": (stacks["created"]["users"][0], stacks["baseline_created"]["users"][0]),
+        "pc": (stacks["created"]["pc"][1], stacks["baseline_created"]["pc"][1]),
+        "chair": (stacks["created"]["chair"][0], stacks["baseline_created"]["chair"][0]),
+    }
+    jacqueline_user, baseline_user = picks[role]
+    jacqueline_client = _client(stacks, "jacqueline", jacqueline_user)
+    baseline_client = _client(stacks, "baseline", baseline_user)
+
+    assert jacqueline_client.get("/papers").body == baseline_client.get("/papers").body
+    assert jacqueline_client.get("/users").body == baseline_client.get("/users").body
+
+    paper = stacks["created"]["papers"][0]
+    baseline_paper = stacks["baseline_created"]["papers"][0]
+    assert (
+        jacqueline_client.get(f"/paper/{paper.jid}").body
+        == baseline_client.get(f"/paper/{baseline_paper.pk}").body
+    )
+    user = stacks["created"]["users"][0]
+    baseline_user_row = stacks["baseline_created"]["users"][0]
+    assert (
+        jacqueline_client.get(f"/user/{user.jid}").body
+        == baseline_client.get(f"/user/{baseline_user_row.pk}").body
+    )
+
+
+def test_unpruned_requests_still_enforce_policies(stacks):
+    """Disabling Early Pruning must not change what a viewer sees."""
+    author = stacks["created"]["users"][0]
+    pruned = _client(stacks, "jacqueline", author).get("/papers").body
+    no_pruning_app = build_conf_app(stacks["form"], early_pruning=False)
+    client = TestClient(no_pruning_app)
+    client.force_login(author.jid, author.name)
+    assert client.get("/papers").body == pruned

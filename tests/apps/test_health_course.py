@@ -1,0 +1,158 @@
+"""Integration tests for the health record manager and the course manager."""
+
+import pytest
+
+from repro.apps.health import (
+    HealthRecord,
+    build_health_app,
+    seed_health,
+    setup_health,
+)
+from repro.apps.course import (
+    Course,
+    Submission,
+    build_course_app,
+    seed_courses,
+    setup_courses,
+)
+from repro.form import use_form, viewer_context
+from repro.web import TestClient
+
+
+# -- health record manager -------------------------------------------------------------
+
+
+@pytest.fixture
+def clinic():
+    form = setup_health()
+    created = seed_health(form, patients=6, doctors=3, insurers=2)
+    app = build_health_app(form)
+    return {"form": form, "created": created, "app": app}
+
+
+def _login(app, user):
+    client = TestClient(app)
+    client.force_login(user.jid, user.name)
+    return client
+
+
+def test_patient_sees_only_their_own_diagnoses(clinic):
+    patient = clinic["created"]["patients"][0]
+    body = _login(clinic["app"], patient).get("/records").body
+    assert "Diagnosis 0 for patient 0" in body
+    assert body.count("[protected health information]") == len(clinic["created"]["patients"]) - 1
+
+
+def test_doctor_sees_their_patients_records(clinic):
+    doctor = clinic["created"]["doctors"][0]
+    body = _login(clinic["app"], doctor).get("/records").body
+    # doctor0 treats patients 0 and 3 (6 patients across 3 doctors).
+    assert "Diagnosis 0 for patient 0" in body
+    assert "Diagnosis 0 for patient 3" in body
+    assert "[protected health information]" in body
+
+
+def test_insurer_needs_a_waiver(clinic):
+    insurer = clinic["created"]["insurers"][0]
+    body = _login(clinic["app"], insurer).get("/records").body
+    # Waivers exist for even-numbered patients with insurer index % 2 == 0.
+    assert "Diagnosis 0 for patient 0" in body
+    assert "Diagnosis 0 for patient 1" not in body
+
+
+def test_email_visibility_in_directory(clinic):
+    patient = clinic["created"]["patients"][0]
+    doctor = clinic["created"]["doctors"][0]
+    patient_body = _login(clinic["app"], patient).get("/people").body
+    assert patient_body.count("[hidden]") >= 1
+    assert f"patient0@mail.org" in patient_body
+    doctor_body = _login(clinic["app"], doctor).get("/people").body
+    assert "patient0@mail.org" in doctor_body  # doctor0 treats patient0
+    assert "patient1@mail.org" not in doctor_body
+
+
+def test_doctor_can_add_record_via_post(clinic):
+    doctor = clinic["created"]["doctors"][1]
+    patient = clinic["created"]["patients"][1]
+    client = _login(clinic["app"], doctor)
+    response = client.post(
+        "/record", patient=str(patient.jid), diagnosis="Sprained ankle", notes="rest"
+    )
+    assert response.status == 302
+    with use_form(clinic["form"]), viewer_context(patient):
+        diagnoses = {record.diagnosis for record in HealthRecord.objects.filter(patient=patient)}
+    assert "Sprained ankle" in diagnoses
+    # Patients cannot add records.
+    assert _login(clinic["app"], patient).post("/record", patient="1").status == 403
+
+
+# -- course manager -----------------------------------------------------------------------
+
+
+@pytest.fixture
+def campus():
+    form = setup_courses()
+    created = seed_courses(form, courses=5, students_per_course=2)
+    app = build_course_app(form)
+    return {"form": form, "created": created, "app": app}
+
+
+def test_student_sees_instructor_of_enrolled_courses_only(campus):
+    student = campus["created"]["students"][0]  # enrolled in course 0
+    body = _login(campus["app"], student).get("/courses").body
+    assert "instructor0" in body
+    assert "instructor1" not in body
+    assert body.count("[not listed]") == len(campus["created"]["courses"]) - 1
+
+
+def test_instructor_sees_their_own_course(campus):
+    instructor = campus["created"]["instructors"][2]
+    body = _login(campus["app"], instructor).get("/courses").body
+    assert "instructor2" in body
+    assert "instructor0" not in body
+
+
+def test_submission_contents_visible_to_author_and_instructor(campus):
+    submission = campus["created"]["submissions"][0]
+    assignment = campus["created"]["assignments"][0]
+    author = campus["created"]["students"][1]  # last student of course 0 submitted
+    instructor = campus["created"]["instructors"][0]
+    outsider = campus["created"]["students"][2]
+
+    path = f"/assignment/{assignment.jid}/submissions"
+    assert "Answer by" in _login(campus["app"], author).get(path).body
+    assert "Answer by" in _login(campus["app"], instructor).get(path).body
+    assert "[not visible]" in _login(campus["app"], outsider).get(path).body
+
+
+def test_grade_hidden_until_graded(campus):
+    assignment = campus["created"]["assignments"][0]
+    submission = campus["created"]["submissions"][0]
+    author = campus["created"]["students"][1]
+    instructor = campus["created"]["instructors"][0]
+    path = f"/assignment/{assignment.jid}/submissions"
+
+    assert "grade 0" in _login(campus["app"], author).get(path).body
+    assert "grade 90" in _login(campus["app"], instructor).get(path).body
+
+    client = _login(campus["app"], instructor)
+    response = client.post("/grade", submission=str(submission.jid), grade="85")
+    assert response.status == 302
+    assert "grade 85" in _login(campus["app"], author).get(path).body
+
+
+def test_early_pruning_off_matches_pruned_output(campus):
+    """Table 5's correctness side: pruning only changes cost, not content."""
+    student = campus["created"]["students"][0]
+    pruned_body = _login(campus["app"], student).get("/courses").body
+    unpruned_app = build_course_app(campus["form"], early_pruning=False)
+    unpruned_body = _login(unpruned_app, student).get("/courses").body
+    assert pruned_body == unpruned_body
+
+
+def test_course_detail_page(campus):
+    student = campus["created"]["students"][0]
+    course = campus["created"]["courses"][0]
+    body = _login(campus["app"], student).get(f"/course/{course.jid}").body
+    assert "Course 0" in body
+    assert "Assignment 0 of course 0" in body

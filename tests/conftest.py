@@ -1,0 +1,48 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package (pip editable
+# installs require the `wheel` package, which offline environments may lack).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.runtime import JeevesRuntime  # noqa: E402
+from repro.db.engine import Database  # noqa: E402
+from repro.db.memory_backend import MemoryBackend  # noqa: E402
+from repro.db.sqlite_backend import SqliteBackend  # noqa: E402
+from repro.form.context import FORM  # noqa: E402
+
+
+@pytest.fixture
+def runtime() -> JeevesRuntime:
+    """A fresh Jeeves runtime."""
+    return JeevesRuntime()
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def database(request) -> Database:
+    """A database backed by each of the two backends in turn."""
+    if request.param == "memory":
+        yield Database(MemoryBackend())
+        return
+    backend = SqliteBackend()
+    yield Database(backend)
+    backend.close()
+
+
+@pytest.fixture
+def memory_database() -> Database:
+    return Database(MemoryBackend())
+
+
+@pytest.fixture
+def form(memory_database) -> FORM:
+    """A fresh FORM over the in-memory backend."""
+    return FORM(memory_database)

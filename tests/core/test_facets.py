@@ -1,0 +1,245 @@
+"""Unit and property tests for faceted values."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import MixedFacetError, UnassignedValueError
+from repro.core.facets import (
+    UNASSIGNED,
+    Facet,
+    collect_labels,
+    facet_apply,
+    facet_cond,
+    facet_depth,
+    facet_leaf_count,
+    facet_map,
+    fand,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    fne,
+    fnot,
+    for_,
+    is_facet,
+    iter_leaves,
+    mk_facet,
+    mk_facet_branches,
+    project,
+    project_assignment,
+    prune,
+)
+from repro.core.labels import Branch, Label, View
+from repro.core.pathcondition import PathCondition
+
+
+@pytest.fixture
+def k():
+    return Label("k")
+
+
+@pytest.fixture
+def m():
+    return Label("m")
+
+
+def test_mk_facet_collapses_identical_sides(k):
+    assert mk_facet(k, 42, 42) == 42
+    assert isinstance(mk_facet(k, 1, 2), Facet)
+
+
+def test_mk_facet_normalises_nested_same_label(k):
+    inner = Facet(k, "secret", "public")
+    outer = mk_facet(k, inner, "other")
+    assert outer.high == "secret"
+
+
+def test_mk_facet_branches_polarity(k, m):
+    value = mk_facet_branches([Branch(k, True), Branch(m, False)], "hi", "lo")
+    assert project(value, View({k})) == "hi"       # k true, m false
+    assert project(value, View({k, m})) == "lo"    # m true -> low
+    assert project(value, View(set())) == "lo"
+
+
+def test_facet_repr_and_structural_equality(k):
+    facet = Facet(k, 1, 2)
+    assert facet == Facet(k, 1, 2)
+    assert facet != Facet(k, 1, 3)
+    assert "k" in repr(facet)
+    assert hash(facet) == hash(Facet(k, 1, 2))
+
+
+def test_facet_is_immutable(k):
+    facet = Facet(k, 1, 2)
+    with pytest.raises(AttributeError):
+        facet.high = 7
+
+
+def test_native_bool_branching_is_rejected(k):
+    with pytest.raises(MixedFacetError):
+        if Facet(k, True, False):
+            pass
+
+
+def test_unassigned_is_singleton_and_unbranchable():
+    assert UNASSIGNED is type(UNASSIGNED)()
+    with pytest.raises(UnassignedValueError):
+        bool(UNASSIGNED)
+
+
+def test_facet_apply_arithmetic(k):
+    facet = Facet(k, 10, 1)
+    result = facet + 5
+    assert project(result, View({k})) == 15
+    assert project(result, View(set())) == 6
+    assert project(facet * 2 - 1, View({k})) == 19
+
+
+def test_facet_apply_respects_path_condition(k):
+    facet = Facet(k, 10, 1)
+    pc = PathCondition([Branch(k, True)])
+    assert facet_apply(operator.add, facet, 1, pc=pc) == 11
+
+
+def test_facet_apply_unassigned_propagates(k):
+    facet = Facet(k, UNASSIGNED, 3)
+    result = facet + 1
+    assert project(result, View(set())) == 4
+    assert project(result, View({k})) is UNASSIGNED
+
+
+def test_comparison_helpers(k):
+    facet = Facet(k, 5, 0)
+    assert project(feq(facet, 5), View({k})) is True
+    assert project(feq(facet, 5), View(set())) is False
+    assert project(fne(facet, 5), View(set())) is True
+    assert project(flt(facet, 3), View({k})) is False
+    assert project(fle(facet, 5), View({k})) is True
+    assert project(fgt(facet, 3), View({k})) is True
+    assert project(fge(facet, 6), View({k})) is False
+    assert project(fnot(feq(facet, 0)), View(set())) is False
+    assert project(fand(True, feq(facet, 5)), View({k})) is True
+    assert project(for_(False, feq(facet, 5)), View(set())) is False
+
+
+def test_facet_string_concatenation(k):
+    name = Facet(k, "party", "private")
+    joined = "event: " + name
+    assert project(joined, View({k})) == "event: party"
+    assert project(joined, View(set())) == "event: private"
+
+
+def test_facet_cond_selects_by_condition(k):
+    condition = Facet(k, True, False)
+    result = facet_cond(condition, "then", "else")
+    assert project(result, View({k})) == "then"
+    assert project(result, View(set())) == "else"
+    assert facet_cond(True, 1, 2) == 1
+    assert facet_cond(UNASSIGNED, 1, 2) is UNASSIGNED
+
+
+def test_project_traverses_containers(k):
+    value = {"events": [Facet(k, "secret", "public")], "count": (Facet(k, 1, 0),)}
+    visible = project(value, View({k}))
+    hidden = project(value, View(set()))
+    assert visible == {"events": ["secret"], "count": (1,)}
+    assert hidden == {"events": ["public"], "count": (0,)}
+
+
+def test_project_assignment_defaults_to_low(k, m):
+    value = Facet(k, Facet(m, 1, 2), 3)
+    assert project_assignment(value, {k: True}) == 2
+    assert project_assignment(value, {k: True, m: True}) == 1
+    assert project_assignment(value, {}) == 3
+
+
+def test_collect_labels_and_leaves(k, m):
+    value = [Facet(k, Facet(m, "a", "b"), "c"), "d"]
+    assert collect_labels(value) == {k, m}
+    leaves = dict()
+    for branches, leaf in iter_leaves(value[0]):
+        leaves[leaf] = branches
+    assert set(leaves) == {"a", "b", "c"}
+    assert Branch(k, True) in leaves["a"] and Branch(m, True) in leaves["a"]
+
+
+def test_facet_map_preserves_structure(k):
+    value = Facet(k, 1, 2)
+    doubled = facet_map(lambda x: x * 2, value)
+    assert project(doubled, View({k})) == 2 * 1
+    assert project(doubled, View(set())) == 4
+
+
+def test_prune_under_path_condition(k, m):
+    value = Facet(k, Facet(m, 1, 2), 3)
+    pruned = prune(value, PathCondition([Branch(k, True)]))
+    assert isinstance(pruned, Facet) and pruned.label == m
+    assert prune(value, PathCondition([Branch(k, False)])) == 3
+
+
+def test_depth_and_leaf_count(k, m):
+    value = Facet(k, Facet(m, 1, 2), 3)
+    assert facet_depth(value) == 2
+    assert facet_leaf_count(value) == 3
+    assert facet_depth("raw") == 0
+    assert facet_leaf_count("raw") == 1
+    assert is_facet(value) and not is_facet(3)
+
+
+# -- property tests --------------------------------------------------------------------
+
+_label_pool = [Label(name=f"L{i}", hint=f"L{i}") for i in range(4)]
+
+
+def faceted_ints(max_depth=3):
+    return st.recursive(
+        st.integers(min_value=-50, max_value=50),
+        lambda children: st.builds(
+            Facet, st.sampled_from(_label_pool), children, children
+        ),
+        max_leaves=6,
+    )
+
+
+def views():
+    return st.sets(st.sampled_from(_label_pool)).map(View)
+
+
+@given(faceted_ints(), faceted_ints(), views())
+@settings(max_examples=80)
+def test_projection_commutes_with_strict_operations(a, b, view):
+    """L(a op b) == L(a) op L(b) -- the value-level projection property."""
+    result = facet_apply(operator.add, a, b)
+    assert project(result, view) == project(a, view) + project(b, view)
+
+
+@given(faceted_ints(), views())
+@settings(max_examples=80)
+def test_projection_of_mk_facet_matches_definition(a, view):
+    label = _label_pool[0]
+    other = 999
+    combined = mk_facet(label, a, other)
+    expected = project(a, view) if view.can_see(label) else other
+    assert project(combined, view) == expected
+
+
+@given(faceted_ints())
+@settings(max_examples=80)
+def test_leaf_enumeration_consistent_with_projection(value):
+    for branches, leaf in iter_leaves(value):
+        polarity = {}
+        contradictory = False
+        for branch in branches:
+            if branch.label in polarity and polarity[branch.label] != branch.positive:
+                contradictory = True
+                break
+            polarity[branch.label] = branch.positive
+        if contradictory:
+            # Hand-built facets may nest the same label twice; such leaves are
+            # unreachable under any view.
+            continue
+        view = View({label for label, positive in polarity.items() if positive})
+        assert project(value, view) == leaf

@@ -1,0 +1,85 @@
+"""Tests for labels, branches, views and path conditions."""
+
+import pytest
+
+from repro.core.errors import PathConditionError
+from repro.core.labels import Branch, Label, View, branches_visible_to
+from repro.core.pathcondition import EMPTY_PC, PathCondition
+
+
+def test_labels_are_fresh_even_with_same_hint():
+    assert Label("k") != Label("k")
+    named = Label(name="fixed")
+    assert named == Label(name="fixed")
+    assert hash(named) == hash(Label(name="fixed"))
+
+
+def test_label_ordering_is_by_name():
+    assert sorted([Label(name="b"), Label(name="a")])[0].name == "a"
+
+
+def test_branch_negation_and_visibility():
+    k = Label("k")
+    positive = Branch(k, True)
+    assert positive.negate() == Branch(k, False)
+    assert positive.visible_to(View({k}))
+    assert not positive.visible_to(View(set()))
+    assert positive.negate().visible_to(View(set()))
+
+
+def test_branch_requires_label():
+    with pytest.raises(TypeError):
+        Branch("not a label", True)
+
+
+def test_view_operations():
+    k, m = Label("k"), Label("m")
+    view = View({k})
+    assert view.can_see(k) and not view.can_see(m)
+    assert view.with_label(m).can_see(m)
+    assert not view.without_label(k).can_see(k)
+    assert View.from_assignment({k: True, m: False}) == View({k})
+
+
+def test_branches_visible_to_requires_all():
+    k, m = Label("k"), Label("m")
+    branches = [Branch(k, True), Branch(m, False)]
+    assert branches_visible_to(branches, View({k}))
+    assert not branches_visible_to(branches, View({k, m}))
+
+
+def test_pathcondition_extension_and_queries():
+    k, m = Label("k"), Label("m")
+    pc = EMPTY_PC.extend(Branch(k, True))
+    assert pc.contains(Branch(k, True))
+    assert pc.has_label(k) and not pc.has_label(m)
+    assert pc.polarity_of(k) is True
+    assert pc.polarity_of(m) is None
+    assert len(pc.extend(Branch(k, True))) == 1  # idempotent
+    assert pc.labels() == {k}
+
+
+def test_pathcondition_rejects_contradiction():
+    k = Label("k")
+    pc = EMPTY_PC.extend(Branch(k, True))
+    with pytest.raises(PathConditionError):
+        pc.extend(Branch(k, False))
+
+
+def test_pathcondition_consistency_and_visibility():
+    k, m = Label("k"), Label("m")
+    pc = PathCondition([Branch(k, True)])
+    assert pc.consistent_with([Branch(k, True), Branch(m, False)])
+    assert not pc.consistent_with([Branch(k, False)])
+    assert pc.visible_to(View({k}))
+    assert not pc.visible_to(View(set()))
+    assert EMPTY_PC.visible_to(View(set()))
+
+
+def test_pathcondition_equality_ignores_order():
+    k, m = Label("k"), Label("m")
+    first = PathCondition([Branch(k, True), Branch(m, False)])
+    second = PathCondition([Branch(m, False), Branch(k, True)])
+    assert first == second
+    assert hash(first) == hash(second)
+    assert bool(first) and not bool(EMPTY_PC)

@@ -1,0 +1,210 @@
+"""Tests for the Jeeves runtime: policies, control flow, state, concretisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    UNASSIGNED,
+    Facet,
+    JeevesRuntime,
+    Label,
+    PolicyError,
+    View,
+    feq,
+    get_runtime,
+    reset_runtime,
+    set_runtime,
+)
+from repro.core.policy import PolicyEnv, always_allow, never_allow
+
+
+def test_mk_labeled_concretizes_by_policy(runtime):
+    value = runtime.mk_labeled("secret", "public", lambda viewer: viewer == "alice")
+    assert runtime.concretize(value, "alice") == "secret"
+    assert runtime.concretize(value, "carol") == "public"
+
+
+def test_policy_checks_accumulate_conjunctively(runtime):
+    label = runtime.label("k")
+    runtime.restrict(label, lambda viewer: viewer != "eve")
+    runtime.restrict(label, lambda viewer: viewer == "alice")
+    value = runtime.mk_sensitive(label, 1, 0)
+    assert runtime.concretize(value, "alice") == 1
+    assert runtime.concretize(value, "bob") == 0
+    assert runtime.concretize(value, "eve") == 0
+
+
+def test_derived_values_keep_protection(runtime):
+    value = runtime.mk_labeled(41, 0, lambda viewer: viewer == "alice")
+    derived = value + 1
+    assert runtime.concretize(derived, "alice") == 42
+    assert runtime.concretize(derived, "bob") == 1
+
+
+def test_failing_policy_fails_closed(runtime):
+    def broken(viewer):
+        raise RuntimeError("boom")
+
+    value = runtime.mk_labeled("secret", "public", broken)
+    with pytest.raises(PolicyError):
+        runtime.concretize(value, "alice")
+
+
+def test_jif_merges_branch_results(runtime):
+    secret_flag = runtime.mk_labeled(True, False, lambda viewer: viewer == "alice")
+    result = runtime.jif(secret_flag, lambda: "yes", lambda: "no")
+    assert runtime.concretize(result, "alice") == "yes"
+    assert runtime.concretize(result, "bob") == "no"
+
+
+def test_jif_guards_side_effects_on_cells(runtime):
+    secret_flag = runtime.mk_labeled(True, False, lambda viewer: viewer == "alice")
+    counter = runtime.cell(0)
+    runtime.jif(secret_flag, lambda: counter.set(counter.get() + 1))
+    assert runtime.concretize(counter.get(), "alice") == 1
+    assert runtime.concretize(counter.get(), "bob") == 0
+
+
+def test_namespace_assignment_is_guarded(runtime):
+    secret_flag = runtime.mk_labeled(True, False, lambda viewer: viewer == "alice")
+    state = runtime.namespace(description="old")
+    runtime.jif(secret_flag, lambda: setattr(state, "description", "new"))
+    assert runtime.concretize(state.description, "alice") == "new"
+    assert runtime.concretize(state.description, "bob") == "old"
+    assert "description" in state
+    assert state.snapshot().keys() == {"description"}
+
+
+def test_namespace_unknown_attribute_raises(runtime):
+    state = runtime.namespace()
+    with pytest.raises(AttributeError):
+        _ = state.missing
+
+
+def test_jfor_iterates_faceted_collections(runtime):
+    label = runtime.label("k")
+    runtime.restrict(label, lambda viewer: viewer == "alice")
+    collection = runtime.mk_sensitive(label, ["a", "b"], [])
+    seen = runtime.jfor(collection, lambda item: item.upper())
+    # Both facets are explored; the secret facet contributes its items.
+    assert seen == ["A", "B"]
+
+
+def test_jfor_guarded_accumulation(runtime):
+    label = runtime.label("k")
+    runtime.restrict(label, lambda viewer: viewer == "alice")
+    collection = runtime.mk_sensitive(label, [1, 2, 3], [1])
+    total = runtime.cell(0)
+    runtime.jfor(collection, lambda item: total.set(total.get() + item))
+    assert runtime.concretize(total.get(), "alice") == 6
+    assert runtime.concretize(total.get(), "bob") == 1
+
+
+def test_jfun_and_jcond(runtime):
+    value = runtime.mk_labeled(3, 0, lambda viewer: viewer == "alice")
+    squared = runtime.jfun(lambda x: x * x, value)
+    assert runtime.concretize(squared, "alice") == 9
+    chosen = runtime.jcond(feq(value, 3), "match", "no match")
+    assert runtime.concretize(chosen, "alice") == "match"
+    assert runtime.concretize(chosen, "bob") == "no match"
+
+
+def test_unassigned_values_flow_through_branches(runtime):
+    flag = runtime.mk_labeled(True, False, lambda viewer: viewer == "alice")
+    state = runtime.namespace()
+    runtime.jif(flag, lambda: setattr(state, "result", 7))
+    assert runtime.concretize(state.result, "alice") == 7
+    assert runtime.concretize(state.result, "bob") is UNASSIGNED
+
+
+def test_policy_reading_sensitive_data_mutual_dependency(runtime):
+    """A policy that depends on the value it guards (Section 2.3)."""
+    label = runtime.label("guests")
+    guest_list = runtime.mk_sensitive(label, ["alice", "bob"], [])
+    runtime.restrict(label, lambda viewer: runtime.jfun(lambda gs: viewer in gs, guest_list))
+    assert runtime.concretize(guest_list, "alice") == ["alice", "bob"]
+    assert runtime.concretize(guest_list, "carol") == []
+
+
+def test_jprint_returns_and_forwards_text(runtime):
+    captured = []
+    value = runtime.mk_labeled("secret", "public", lambda viewer: viewer == "alice")
+    text = runtime.jprint(value, "alice", sink=captured.append)
+    assert text == "secret"
+    assert captured == ["secret"]
+
+
+def test_view_for_reports_label_assignment(runtime):
+    value = runtime.mk_labeled("secret", "public", lambda viewer: viewer == "alice")
+    label = value.label
+    assert runtime.view_for(value, "alice").can_see(label)
+    assert not runtime.view_for(value, "bob").can_see(label)
+
+
+def test_prune_for_viewer_collapses_facets(runtime):
+    value = runtime.mk_labeled("secret", "public", lambda viewer: viewer == "alice")
+    assert runtime.prune_for_viewer(value, "alice") == "secret"
+    assert runtime.prune_for_viewer(value, "bob") == "public"
+
+
+def test_guarded_outside_branch_is_identity(runtime):
+    assert runtime.guarded("new", "old") == "new"
+
+
+def test_under_pc_and_under_branch_nesting(runtime):
+    label = runtime.label("k")
+    with runtime.under_branch(label, True) as pc:
+        assert pc.polarity_of(label) is True
+        assert runtime.current_pc() is pc
+    assert not runtime.current_pc()
+
+
+def test_reset_clears_policies(runtime):
+    label = runtime.label("k")
+    runtime.restrict(label, never_allow)
+    runtime.reset()
+    assert len(runtime.policy_env) == 0
+
+
+def test_thread_local_default_runtime_roundtrip():
+    fresh = reset_runtime()
+    assert get_runtime() is fresh
+    replacement = JeevesRuntime()
+    set_runtime(replacement)
+    assert get_runtime() is replacement
+    reset_runtime()
+
+
+def test_policy_env_defaults_and_copy():
+    env = PolicyEnv()
+    label = Label("k")
+    assert env.evaluate(label, "anyone") is True  # default allow
+    env.declare(label)
+    env.restrict(label, never_allow)
+    clone = env.copy()
+    assert clone.evaluate(label, "anyone") is False
+    assert label in clone and len(clone) == 1
+
+
+@given(st.integers(min_value=-100, max_value=100), st.integers(min_value=-100, max_value=100))
+@settings(max_examples=50)
+def test_property_arithmetic_matches_plain_python(secret, public):
+    runtime = JeevesRuntime()
+    value = runtime.mk_labeled(secret, public, lambda viewer: viewer == "high")
+    expression = (value + 3) * 2 - value
+    assert runtime.concretize(expression, "high") == (secret + 3) * 2 - secret
+    assert runtime.concretize(expression, "low") == (public + 3) * 2 - public
+
+
+@given(st.booleans(), st.text(max_size=5))
+@settings(max_examples=50)
+def test_property_concretize_never_leaks_other_facet(secret_allowed, viewer_name):
+    runtime = JeevesRuntime()
+    value = runtime.mk_labeled(
+        "SECRET", "PUBLIC", lambda viewer: secret_allowed and viewer == "alice"
+    )
+    shown = runtime.concretize(value, viewer_name)
+    if viewer_name == "alice" and secret_allowed:
+        assert shown == "SECRET"
+    else:
+        assert shown == "PUBLIC"

@@ -1,0 +1,205 @@
+"""Backend contract tests, run against both the memory engine and SQLite."""
+
+import datetime
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    MemoryBackend,
+    Query,
+    SqliteBackend,
+    TableSchema,
+    query_to_sql,
+    schema_to_sql,
+)
+from repro.db.expr import eq, ne
+from repro.db.schema import SchemaError
+from repro.db.sqlgen import django_style_sql, jacqueline_style_sql
+
+
+EVENT_SCHEMA = TableSchema(
+    "Event",
+    (
+        Column("id", ColumnType.INTEGER, primary_key=True),
+        Column("name", ColumnType.TEXT),
+        Column("location", ColumnType.TEXT, indexed=True),
+        Column("attendees", ColumnType.INTEGER),
+        Column("private", ColumnType.BOOLEAN, default=False),
+        Column("starts", ColumnType.DATETIME),
+        Column("jid", ColumnType.INTEGER, indexed=True),
+        Column("jvars", ColumnType.TEXT, default=""),
+    ),
+)
+
+GUEST_SCHEMA = TableSchema(
+    "Guest",
+    (
+        Column("id", ColumnType.INTEGER, primary_key=True),
+        Column("event_id", ColumnType.INTEGER, indexed=True),
+        Column("name", ColumnType.TEXT),
+        Column("jid", ColumnType.INTEGER),
+        Column("jvars", ColumnType.TEXT, default=""),
+    ),
+)
+
+
+def seeded(db: Database) -> Database:
+    db.create_table(EVENT_SCHEMA)
+    db.create_table(GUEST_SCHEMA)
+    db.insert(
+        "Event",
+        name="Party",
+        location="Dagstuhl",
+        attendees=20,
+        private=True,
+        starts=datetime.datetime(2026, 6, 16, 19, 0),
+        jid=1,
+        jvars="k=True",
+    )
+    db.insert("Event", name="Private event", location="Undisclosed", attendees=20, jid=1, jvars="k=False")
+    db.insert("Event", name="Seminar", location="Aula", attendees=5, jid=2, jvars="")
+    db.insert("Guest", event_id=1, name="alice", jid=1)
+    db.insert("Guest", event_id=2, name="bob", jid=2)
+    return db
+
+
+def test_insert_select_roundtrip(database):
+    db = seeded(database)
+    rows = db.find("Event", location="Dagstuhl")
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["name"] == "Party"
+    assert row["private"] is True
+    assert row["starts"] == datetime.datetime(2026, 6, 16, 19, 0)
+    assert db.get("Event", location="nowhere") is None
+
+
+def test_primary_keys_autoincrement(database):
+    db = seeded(database)
+    ids = [row["id"] for row in db.rows("Event")]
+    assert sorted(ids) == [1, 2, 3]
+
+
+def test_update_and_delete(database):
+    db = seeded(database)
+    assert db.update("Event", eq("location", "Aula"), attendees=50) == 1
+    assert db.get("Event", location="Aula")["attendees"] == 50
+    assert db.delete("Event", eq("jid", 1)) == 2
+    assert db.count("Event") == 1
+    assert db.delete("Event") == 1
+    assert db.count("Event") == 0
+
+
+def test_order_by_and_limit(database):
+    db = seeded(database)
+    ordered = db.rows("Event", order_by=["attendees"], limit=2)
+    assert [row["name"] for row in ordered][0] == "Seminar"
+    descending = db.execute(db.query("Event").ordered_by("attendees", ascending=False))
+    assert descending[0]["attendees"] == 20
+
+
+def test_join_produces_qualified_columns(database):
+    db = seeded(database)
+    query = (
+        db.query("Guest")
+        .join("Event", "event_id", "jid")
+        .filter(eq("Event.location", "Dagstuhl"))
+    )
+    rows = db.execute(query)
+    # Only the secret facet row stores the real location, so exactly one of
+    # jid=1's facet rows survives the filter -- the property the FORM's
+    # unmarshalling relies on to guard query results (Section 3.1.1).
+    assert len(rows) == 1
+    row = rows[0]
+    assert "Guest.name" in row and "Event.jvars" in row
+    assert row["Event.jvars"] == "k=True"
+    assert row["Event.name"] == "Party"
+    assert row["Guest.name"] == "alice"
+
+
+def test_aggregates(database):
+    db = seeded(database)
+    assert db.count("Event") == 3
+    total = db.aggregate(db.query("Event").with_aggregate("SUM", "attendees"))
+    assert total == 45
+    maximum = db.aggregate(db.query("Event").with_aggregate("MAX", "attendees"))
+    assert maximum == 20
+    average = db.aggregate(db.query("Event").with_aggregate("AVG", "attendees"))
+    assert average == pytest.approx(15)
+    grouped = db.aggregate(
+        db.query("Event").with_aggregate("COUNT").grouped_by("jid")
+    )
+    assert grouped[(1,)] == 2 and grouped[(2,)] == 1
+
+
+def test_unknown_table_raises(database):
+    with pytest.raises(Exception):
+        database.rows("Nope")
+
+
+def test_duplicate_create_table_is_idempotent(database):
+    database.create_table(EVENT_SCHEMA)
+    database.create_table(EVENT_SCHEMA)
+    assert database.has_table("Event")
+
+
+def test_clear_keeps_schema(database):
+    db = seeded(database)
+    db.clear()
+    assert db.count("Event") == 0
+    db.insert("Event", name="again", location="x", attendees=1, jid=5, jvars="")
+    assert db.count("Event") == 1
+
+
+def test_define_table_shorthand(database):
+    schema = database.define_table("Quick", title=ColumnType.TEXT, rank=ColumnType.INTEGER)
+    assert schema.primary_key.name == "id"
+    database.insert("Quick", title="a", rank=3)
+    assert database.get("Quick", rank=3)["title"] == "a"
+
+
+def test_memory_backend_duplicate_pk_rejected():
+    db = Database(MemoryBackend())
+    db.create_table(EVENT_SCHEMA)
+    db.insert_row("Event", {"id": 7, "name": "x", "location": "y", "attendees": 0, "jid": 1, "jvars": ""})
+    with pytest.raises(SchemaError):
+        db.insert_row("Event", {"id": 7, "name": "z", "location": "y", "attendees": 0, "jid": 2, "jvars": ""})
+
+
+def test_schema_to_sql_mentions_columns():
+    sql = schema_to_sql(EVENT_SCHEMA)
+    assert '"Event"' in sql and '"jvars" TEXT' in sql and "PRIMARY KEY" in sql
+
+
+def test_query_to_sql_round_trips_through_sqlite():
+    query = (
+        Query(table="Event")
+        .filter(eq("location", "Dagstuhl"))
+        .ordered_by("attendees", ascending=False)
+        .limited(5)
+    )
+    sql, params = query_to_sql(query)
+    assert sql.startswith("SELECT *") and "ORDER BY" in sql and "LIMIT 5" in sql
+    assert params == ["Dagstuhl"]
+
+
+def test_table2_sql_translation_shapes():
+    """Table 2: the Jacqueline translation adds jid/jvars and joins on jid."""
+    kwargs = dict(
+        base_table="EventGuest",
+        columns=["event", "guest"],
+        join_table="UserProfile",
+        fk_column="guest_id",
+        where_column="name",
+        where_value="Alice",
+    )
+    django_sql = django_style_sql(**kwargs)
+    jacqueline_sql = jacqueline_style_sql(**kwargs)
+    assert "UserProfile.id" in django_sql and "jvars" not in django_sql
+    assert "UserProfile.jid" in jacqueline_sql
+    assert "EventGuest.jid" in jacqueline_sql
+    assert "EventGuest.jvars" in jacqueline_sql
+    assert "UserProfile.jvars" in jacqueline_sql

@@ -1,0 +1,261 @@
+"""End-to-end tests of the faceted ORM: storage layout, queries, policies,
+guarded writes, Early Pruning and legacy-data migration."""
+
+import pytest
+
+from repro.core import feq
+from repro.core.facets import Facet
+from repro.db import Column, ColumnType, Database, SqliteBackend, TableSchema
+from repro.form import (
+    FORM,
+    CharField,
+    ForeignKey,
+    IntegerField,
+    JModel,
+    add_metadata_columns,
+    jacqueline,
+    label_for,
+    migrate_legacy_rows,
+    use_form,
+    viewer_context,
+)
+from repro.form.migrations import register_legacy_model
+
+
+class Owner(JModel):
+    name = CharField(max_length=64)
+
+
+class Secret(JModel):
+    owner = ForeignKey(Owner)
+    body = CharField(max_length=256)
+    rating = IntegerField(default=0)
+
+    @staticmethod
+    def jacqueline_get_public_body(secret):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("body")
+    @jacqueline
+    def jacqueline_restrict_body(secret, ctxt):
+        return ctxt is not None and secret.owner_id == ctxt.jid
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def secret_form(request):
+    database = Database() if request.param == "memory" else Database(SqliteBackend())
+    form = FORM(database)
+    form.register_all([Owner, Secret])
+    with use_form(form):
+        yield form
+    if request.param == "sqlite":
+        database.close()
+
+
+def test_create_stores_two_facet_rows(secret_form):
+    alice = Owner.objects.create(name="alice")
+    Secret.objects.create(owner=alice, body="the launch code", rating=5)
+    rows = secret_form.database.rows("Secret")
+    assert len(rows) == 2
+    by_jvars = {row["jvars"]: row for row in rows}
+    assert by_jvars["Secret.1.body=True"]["body"] == "the launch code"
+    assert by_jvars["Secret.1.body=False"]["body"] == "[redacted]"
+    assert all(row["jid"] == 1 for row in rows)
+    # Table 1's layout: same jid, meta-data column distinguishes the facets.
+
+
+def test_unpolicied_model_stores_single_row(secret_form):
+    Owner.objects.create(name="alice")
+    rows = secret_form.database.rows("Owner")
+    assert len(rows) == 1 and rows[0]["jvars"] == ""
+
+
+def test_pruned_queries_respect_policy(secret_form):
+    alice = Owner.objects.create(name="alice")
+    bob = Owner.objects.create(name="bob")
+    Secret.objects.create(owner=alice, body="alice's diary", rating=1)
+    with viewer_context(alice):
+        assert [s.body for s in Secret.objects.all()] == ["alice's diary"]
+    with viewer_context(bob):
+        assert [s.body for s in Secret.objects.all()] == ["[redacted]"]
+
+
+def test_faceted_query_concretizes_per_viewer(secret_form):
+    alice = Owner.objects.create(name="alice")
+    bob = Owner.objects.create(name="bob")
+    Secret.objects.create(owner=alice, body="alice's diary")
+    result = Secret.objects.all().fetch()
+    assert isinstance(result, Facet)
+    runtime = secret_form.runtime
+    assert [s.body for s in runtime.concretize(result, alice)] == ["alice's diary"]
+    assert [s.body for s in runtime.concretize(result, bob)] == ["[redacted]"]
+
+
+def test_filter_on_secret_value_does_not_leak(secret_form):
+    alice = Owner.objects.create(name="alice")
+    bob = Owner.objects.create(name="bob")
+    Secret.objects.create(owner=alice, body="needle")
+    with viewer_context(bob):
+        assert list(Secret.objects.filter(body="needle")) == []
+    with viewer_context(alice):
+        assert len(list(Secret.objects.filter(body="needle"))) == 1
+    # Unpruned: the match is guarded by the record's label.
+    faceted = Secret.objects.filter(body="needle").fetch()
+    runtime = secret_form.runtime
+    assert len(runtime.concretize(faceted, alice)) == 1
+    assert runtime.concretize(faceted, bob) == []
+
+
+def test_foreign_key_joins_and_lookups(secret_form):
+    alice = Owner.objects.create(name="alice")
+    bob = Owner.objects.create(name="bob")
+    secret = Secret.objects.create(owner=alice, body="x")
+    with viewer_context(alice):
+        found = list(Secret.objects.filter(owner__name="alice"))
+        assert len(found) == 1
+        assert found[0].owner.name == "alice"
+        assert list(Secret.objects.filter(owner=bob)) == []
+        assert Secret.objects.get(owner_id=alice.jid).jid == secret.jid
+
+
+def test_get_returns_none_instead_of_raising(secret_form):
+    with viewer_context(Owner.objects.create(name="alice")):
+        assert Secret.objects.get(body="missing") is None
+    with pytest.raises(Exception):
+        Secret.objects.get_or_raise(body="missing")
+
+
+def test_count_and_exists(secret_form):
+    alice = Owner.objects.create(name="alice")
+    Secret.objects.create(owner=alice, body="one")
+    Secret.objects.create(owner=alice, body="two")
+    with viewer_context(alice):
+        assert Secret.objects.count() == 2
+        assert Secret.objects.filter(body="one").exists()
+    assert Owner.objects.count() == 2 - 1  # only alice exists
+
+
+def test_order_by_sorts_with_plain_sql(secret_form):
+    alice = Owner.objects.create(name="alice")
+    Secret.objects.create(owner=alice, body="b", rating=2)
+    Secret.objects.create(owner=alice, body="a", rating=1)
+    Secret.objects.create(owner=alice, body="c", rating=3)
+    with viewer_context(alice):
+        bodies = [s.body for s in Secret.objects.all().order_by("rating")]
+        assert bodies == ["a", "b", "c"]
+        reverse = [s.body for s in Secret.objects.all().order_by("-rating")]
+        assert reverse == ["c", "b", "a"]
+
+
+def test_update_rewrites_facet_rows(secret_form):
+    alice = Owner.objects.create(name="alice")
+    secret = Secret.objects.create(owner=alice, body="old")
+    secret.body = "new"
+    secret.save()
+    rows = secret_form.database.rows("Secret")
+    assert len(rows) == 2
+    assert {row["body"] for row in rows} == {"new", "[redacted]"}
+    with viewer_context(alice):
+        assert Secret.objects.get(jid=secret.jid).body == "new"
+
+
+def test_guarded_write_under_faceted_condition(secret_form):
+    """Writes inside jif on a sensitive condition stay invisible to others."""
+    alice = Owner.objects.create(name="alice")
+    bob = Owner.objects.create(name="bob")
+    Secret.objects.create(owner=alice, body="schloss dagstuhl", rating=0)
+    runtime = secret_form.runtime
+
+    faceted = Secret.objects.all().fetch()
+
+    def touch(entry):
+        def then():
+            entry.rating = 99
+            entry.save()
+
+        runtime.jif(feq(entry.body, "schloss dagstuhl"), then)
+
+    runtime.jfor(faceted, touch)
+
+    with viewer_context(alice):
+        assert Secret.objects.get(jid=1).rating == 99
+    with viewer_context(bob):
+        assert Secret.objects.get(jid=1).rating == 0
+
+
+def test_delete_removes_all_facet_rows(secret_form):
+    alice = Owner.objects.create(name="alice")
+    secret = Secret.objects.create(owner=alice, body="bye")
+    secret.delete()
+    assert secret_form.database.rows("Secret") == []
+    with viewer_context(alice):
+        assert Secret.objects.count() == 0
+
+
+def test_queryset_delete_by_filter(secret_form):
+    alice = Owner.objects.create(name="alice")
+    Secret.objects.create(owner=alice, body="a")
+    Secret.objects.create(owner=alice, body="b")
+    deleted = Secret.objects.filter(body="a").delete()
+    assert deleted >= 1
+    with viewer_context(alice):
+        assert Secret.objects.count() == 1
+
+
+def test_viewer_context_none_disables_pruning(secret_form):
+    alice = Owner.objects.create(name="alice")
+    Secret.objects.create(owner=alice, body="s")
+    with viewer_context(alice):
+        with viewer_context(None):
+            assert isinstance(Secret.objects.all().fetch(), Facet)
+
+
+def test_unknown_filter_field_raises(secret_form):
+    with pytest.raises(ValueError):
+        Secret.objects.filter(nonexistent=1).fetch()
+    with pytest.raises(ValueError):
+        Secret.objects.filter(body__broken=1).fetch()
+
+
+def test_model_equality_and_repr(secret_form):
+    alice = Owner.objects.create(name="alice")
+    with viewer_context(alice):
+        again = Owner.objects.get(jid=alice.jid)
+    assert again == alice and hash(again) == hash(alice)
+    assert "Owner" in repr(alice)
+    assert alice != Secret(owner=alice, body="x")
+
+
+def test_unexpected_constructor_field_rejected(secret_form):
+    with pytest.raises(TypeError):
+        Owner(name="x", bogus=1)
+
+
+def test_legacy_migration_adds_metadata(secret_form):
+    database = secret_form.database
+    legacy = TableSchema(
+        "LegacyOwner",
+        (
+            Column("id", ColumnType.INTEGER, primary_key=True),
+            Column("name", ColumnType.TEXT),
+        ),
+    )
+    database.create_table(legacy)
+    database.insert("LegacyOwner", name="old-alice")
+    database.insert("LegacyOwner", name="old-bob")
+
+    augmented = add_metadata_columns(legacy)
+    assert augmented.has_column("jid") and augmented.has_column("jvars")
+
+    class LegacyOwner(JModel):
+        name = CharField(max_length=64)
+
+    migrated = register_legacy_model(secret_form, LegacyOwner, "LegacyOwner")
+    assert migrated == 2
+    with viewer_context(Owner.objects.create(name="admin")):
+        names = {owner.name for owner in LegacyOwner.objects.all()}
+    assert names == {"old-alice", "old-bob"}
+    # jid allocation continues after the migrated rows.
+    fresh = LegacyOwner.objects.create(name="new")
+    assert fresh.jid == 3

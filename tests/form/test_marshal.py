@@ -1,0 +1,131 @@
+"""Tests for jvars marshalling and faceted reconstruction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.facets import Facet, UNASSIGNED, project_assignment
+from repro.core.labels import Label
+from repro.form.marshal import (
+    branches_consistent_with,
+    build_faceted_collection,
+    build_faceted_record,
+    expand_value_facets,
+    format_jvars,
+    label_name_for,
+    parse_jvars,
+)
+
+
+def test_format_and_parse_jvars_roundtrip():
+    branches = (("k2", False), ("k1", True))
+    text = format_jvars(branches)
+    assert text == "k1=True,k2=False"
+    assert parse_jvars(text) == (("k1", True), ("k2", False))
+    assert parse_jvars("") == ()
+    assert parse_jvars(None) == ()
+    assert format_jvars(()) == ""
+
+
+def test_parse_jvars_rejects_malformed_entries():
+    with pytest.raises(ValueError):
+        parse_jvars("k1True")
+
+
+def test_label_name_is_deterministic():
+    assert label_name_for("Event", 3, "name") == "Event.3.name"
+    assert label_name_for("Event", 3, "name") == label_name_for("Event", 3, "name")
+
+
+def test_branches_consistent_with():
+    branches = (("k", True), ("m", False))
+    assert branches_consistent_with(branches, {"k": True})
+    assert not branches_consistent_with(branches, {"m": True})
+    assert branches_consistent_with((), {"k": False})
+
+
+def test_build_faceted_record_two_rows():
+    secret = {"name": "party"}
+    public = {"name": "private"}
+    record = build_faceted_record([((("k", True),), secret), ((("k", False),), public)])
+    assert isinstance(record, Facet)
+    assert record.label.name == "k"
+    assert record.high == secret and record.low == public
+
+
+def test_build_faceted_record_missing_side_is_unassigned():
+    record = build_faceted_record([((("k", True),), "only-secret")])
+    assert record.high == "only-secret"
+    assert record.low is UNASSIGNED
+
+
+def test_build_faceted_collection_mixed_visibility():
+    entries = [
+        ((("k", True),), "secret-row"),
+        ((), "always-visible"),
+    ]
+    collection = build_faceted_collection(entries)
+    assert isinstance(collection, Facet)
+    assert collection.high == ["secret-row", "always-visible"]
+    assert collection.low == ["always-visible"]
+
+
+def test_build_faceted_collection_multiple_labels():
+    entries = [
+        ((("a", True),), "A"),
+        ((("b", True),), "B"),
+    ]
+    collection = build_faceted_collection(entries)
+    label_a, label_b = Label(name="a"), Label(name="b")
+    assert project_assignment(collection, {label_a: True, label_b: True}) == ["A", "B"]
+    assert project_assignment(collection, {label_a: False, label_b: True}) == ["B"]
+    assert project_assignment(collection, {label_a: False, label_b: False}) == []
+
+
+def test_expand_value_facets_plain_values():
+    rows = expand_value_facets({"x": 1, "y": "two"})
+    assert rows == [((), {"x": 1, "y": "two"})]
+
+
+def test_expand_value_facets_with_facets():
+    label = Label(name="L")
+    rows = expand_value_facets({"x": Facet(label, 1, 2), "y": "const"})
+    assert len(rows) == 2
+    mapping = {dict(branches)["L"]: values for branches, values in rows}
+    assert mapping[True] == {"x": 1, "y": "const"}
+    assert mapping[False] == {"x": 2, "y": "const"}
+
+
+def test_expand_value_facets_drops_irrelevant_labels():
+    label = Label(name="L")
+    # The facet has identical sides, so the label does not influence the row.
+    rows = expand_value_facets({"x": Facet(label, 5, 5)})
+    assert rows == [((), {"x": 5})]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sets(st.sampled_from(["a", "b", "c"]), max_size=2),
+            st.integers(min_value=0, max_value=99),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.dictionaries(st.sampled_from(["a", "b", "c"]), st.booleans()),
+)
+@settings(max_examples=80)
+def test_property_collection_projection_matches_row_filtering(raw_entries, assignment):
+    """Projecting the rebuilt collection equals filtering rows by branches."""
+    entries = [
+        (tuple((name, True) for name in sorted(labels)), payload)
+        for labels, payload in raw_entries
+    ]
+    collection = build_faceted_collection(entries)
+    label_assignment = {Label(name=name): value for name, value in assignment.items()}
+    projected = project_assignment(collection, label_assignment)
+    expected = [
+        payload
+        for branches, payload in entries
+        if all(assignment.get(name, False) == polarity for name, polarity in branches)
+    ]
+    assert projected == expected

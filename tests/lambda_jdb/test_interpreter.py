@@ -1,0 +1,211 @@
+"""Unit tests for the λJDB big-step interpreter (non-relational core)."""
+
+import pytest
+
+from repro.lambda_jdb import (
+    App,
+    Assign,
+    BinOp,
+    Const,
+    Deref,
+    EvalError,
+    FacetExpr,
+    If,
+    Interpreter,
+    LabelDecl,
+    Lam,
+    Let,
+    Print,
+    Ref,
+    Restrict,
+    Var,
+    evaluate,
+    parse,
+)
+from repro.lambda_jdb.values import FacetV, TableV
+
+
+def run(source, **kwargs):
+    return evaluate(parse(source), **kwargs)
+
+
+def test_constants_and_let():
+    value, _ = run("(let x 41 (+ x 1))")
+    assert value == 42
+
+
+def test_lambda_application_and_currying():
+    value, _ = run("(((lambda (x) (lambda (y) (+ x y))) 2) 3)")
+    assert value == 5
+
+
+def test_unbound_variable_is_stuck():
+    with pytest.raises(EvalError):
+        run("missing")
+
+
+def test_if_on_plain_booleans():
+    assert run("(if true 1 2)")[0] == 1
+    assert run('(if (== "a" "b") 1 2)')[0] == 2
+
+
+def test_binop_coverage():
+    assert run("(- 7 2)")[0] == 5
+    assert run("(* 3 4)")[0] == 12
+    assert run("(< 1 2)")[0] is True
+    assert run("(>= 2 2)")[0] is True
+    assert run("(and true false)")[0] is False
+    assert run("(or false true)")[0] is True
+    assert run('(+ "ab" "cd")')[0] == "abcd"
+    assert run("(!= 1 2)")[0] is True
+    assert run("(<= 3 2)")[0] is False
+    assert run("(> 3 2)")[0] is True
+
+
+def test_unknown_binop_is_stuck():
+    with pytest.raises(EvalError):
+        evaluate(BinOp("^", Const(1), Const(2)))
+
+
+def test_references_allocate_read_and_assign():
+    value, _ = run("(let r (ref 1) (let _ (assign r 5) (deref r)))")
+    assert value == 5
+
+
+def test_deref_distributes_over_faceted_addresses():
+    from repro.lambda_jdb.views import make_view, project_value
+
+    value, interp = run(
+        "(label k (let r (if (facet k true false) (ref 5) (ref 7)) (deref r)))"
+    )
+    assert isinstance(value, FacetV)
+    label = value.label
+    # The authorised view reads the cell written in its branch; the other view
+    # reads the other cell (F-REF guards the initial write with the pc).
+    assert project_value(value, make_view({label})) == 5
+    assert project_value(value, make_view(set())) == 7
+
+
+def test_deref_of_unbound_address_is_null():
+    from repro.lambda_jdb.values import Address, EMPTY_PC
+
+    interp = Interpreter()
+    assert interp._deref_raw(Address(999), EMPTY_PC) is None
+
+
+def test_facet_expression_builds_faceted_value():
+    value, _ = run("(label k (facet k 1 2))")
+    assert isinstance(value, FacetV)
+    assert value.high == 1 and value.low == 2
+
+
+def test_facet_left_right_rules_short_circuit():
+    # Nested facet on the same label: inner one follows the outer branch.
+    value, _ = run("(label k (facet k (facet k 1 2) (facet k 3 4)))")
+    assert isinstance(value, FacetV)
+    assert value.high == 1
+    assert value.low == 4
+
+
+def test_strict_context_distributes_over_facets():
+    value, _ = run("(label k (+ 1 (facet k 10 20)))")
+    assert isinstance(value, FacetV)
+    assert value.high == 11 and value.low == 21
+
+
+def test_faceted_function_application():
+    value, _ = run(
+        "(label k ((facet k (lambda (x) (+ x 1)) (lambda (x) (- x 1))) 10))"
+    )
+    assert value.high == 11 and value.low == 9
+
+
+def test_assignment_under_facet_guards_the_heap():
+    value, interp = run(
+        """
+        (label k
+          (let r (ref 0)
+            (let _ (if (facet k true false) (assign r 1) 0)
+              (deref r))))
+        """
+    )
+    assert isinstance(value, FacetV)
+    assert value.high == 1 and value.low == 0
+
+
+def test_label_declaration_freshens_names():
+    value, _ = run("(label k (label k (facet k 1 2)))")
+    assert isinstance(value, FacetV)
+    # The inner declaration shadows the outer one with a fresh runtime name.
+    assert value.label.startswith("k$")
+
+
+def test_print_respects_policy():
+    value, interp = run(
+        """
+        (label k
+          (let v (facet k "secret" "public")
+            (let _ (restrict k (lambda (viewer) (== viewer "alice")))
+              (print "alice" v))))
+        """
+    )
+    assert value == "secret"
+    assert interp.outputs == [("alice", "secret")]
+
+    value, interp = run(
+        """
+        (label k
+          (let v (facet k "secret" "public")
+            (let _ (restrict k (lambda (viewer) (== viewer "alice")))
+              (print "bob" v))))
+        """
+    )
+    assert value == "public"
+
+
+def test_print_with_no_policy_defaults_to_show():
+    value, _ = run('(label k (print "anyone" (facet k "secret" "public")))')
+    assert value == "secret"
+
+
+def test_restrict_conjoins_policies():
+    value, _ = run(
+        """
+        (label k
+          (let v (facet k 1 0)
+            (let _ (restrict k (lambda (viewer) (== viewer "alice")))
+              (let _ (restrict k (lambda (viewer) false))
+                (print "alice" v)))))
+        """
+    )
+    assert value == 0
+
+
+def test_policy_depending_on_secret_value_mutual_dependency():
+    # The policy for k consults a value guarded by k itself.
+    value, _ = run(
+        """
+        (label k
+          (let v (facet k "alice" "nobody")
+            (let _ (restrict k (lambda (viewer) (== viewer v)))
+              (print "alice" v))))
+        """
+    )
+    assert value == "alice"
+
+
+def test_divergent_programs_are_cut_off():
+    omega = "(let w (lambda (x) (x x)) (w w))"
+    with pytest.raises((EvalError, RecursionError)):
+        evaluate(parse(omega), early_pruning=False)
+
+
+def test_step_budget_is_enforced():
+    interp = Interpreter(max_steps=10)
+    with pytest.raises(EvalError):
+        interp.run(parse("(+ (+ 1 2) (+ (+ 3 4) (+ 5 (+ 6 7))))"))
+
+
+def test_run_with_initial_environment():
+    interp = Interpreter()
+    assert interp.run(parse("(+ x 1)"), env={"x": 41}) == 42

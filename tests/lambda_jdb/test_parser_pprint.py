@@ -1,0 +1,128 @@
+"""Tests for the s-expression parser and pretty printer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lambda_jdb import parse, parse_program, pretty, ParseError
+from repro.lambda_jdb import ast
+from repro.lambda_jdb.parser import read_sexprs, tokenize
+from repro.lambda_jdb.pprint import pretty_value
+from repro.lambda_jdb.values import Closure, FacetV, TableV
+
+
+def test_tokenize_strings_and_comments():
+    tokens = tokenize('(row "hello world") ; trailing comment\n(+ 1 2)')
+    assert '"hello world' in tokens
+    assert ";" not in "".join(tokens)
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize('(row "oops)')
+
+
+def test_parse_atoms():
+    assert parse("42") == ast.Const(42)
+    assert parse("true") == ast.Const(True)
+    assert parse("false") == ast.Const(False)
+    assert parse("unit") == ast.Const(None)
+    assert parse('"text"') == ast.Const("text")
+    assert parse("x") == ast.Var("x")
+
+
+def test_parse_core_forms():
+    assert isinstance(parse("(lambda (x) x)"), ast.Lam)
+    assert isinstance(parse("(let x 1 x)"), ast.Let)
+    assert isinstance(parse("(facet k 1 2)"), ast.FacetExpr)
+    assert isinstance(parse("(label k 1)"), ast.LabelDecl)
+    assert isinstance(parse("(restrict k (lambda (v) true))"), ast.Restrict)
+    assert isinstance(parse("(ref 1)"), ast.Ref)
+    assert isinstance(parse("(deref x)"), ast.Deref)
+    assert isinstance(parse("(assign x 1)"), ast.Assign)
+    assert isinstance(parse('(row "a")'), ast.Row)
+    assert isinstance(parse("(select 0 1 t)"), ast.Select)
+    assert isinstance(parse("(project (0 1) t)"), ast.Project)
+    assert isinstance(parse("(join a b)"), ast.Join)
+    assert isinstance(parse("(union a b)"), ast.Union)
+    assert isinstance(parse("(fold f i t)"), ast.Fold)
+    assert isinstance(parse('(print "v" x)'), ast.Print)
+    assert isinstance(parse("(if a b c)"), ast.If)
+    assert isinstance(parse("(+ 1 2)"), ast.BinOp)
+
+
+def test_parse_application_curries():
+    expr = parse("(f a b)")
+    assert isinstance(expr, ast.App)
+    assert isinstance(expr.fn, ast.App)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("(let x 1)")  # missing body
+    with pytest.raises(ParseError):
+        parse("(lambda x x)")  # parameter list missing
+    with pytest.raises(ParseError):
+        parse("(select a 1 t)")  # non-integer index
+    with pytest.raises(ParseError):
+        parse("(+ 1 2) (+ 3 4)")  # two expressions for parse()
+    with pytest.raises(ParseError):
+        parse("(")
+    with pytest.raises(ParseError):
+        parse(")")
+
+
+def test_parse_program_returns_all_statements():
+    program = parse_program("(+ 1 2) (print \"v\" 3)")
+    assert len(program) == 2
+
+
+def test_read_sexprs_nested():
+    assert read_sexprs("(a (b c) d)") == [["a", ["b", "c"], "d"]]
+
+
+def test_free_vars_and_size_helpers():
+    expr = parse("(lambda (x) (+ x y))")
+    assert ast.free_vars(expr) == {"y"}
+    assert ast.expr_size(expr) >= 3
+    labelled = parse("(label k (facet k 1 2))")
+    assert ast.mentioned_labels(labelled) == {"k"}
+
+
+def test_pretty_value_renders_facets_tables_closures():
+    assert "k" in pretty_value(FacetV("k", 1, 2))
+    assert "table[" in pretty_value(TableV(((frozenset({("k", False)}), ("a",)),)))
+    assert "lambda" in pretty_value(Closure("x", ast.Var("x"), ()))
+
+
+# Round-trip property: pretty-printing then parsing yields the same AST.
+
+_atoms = st.one_of(
+    st.integers(min_value=0, max_value=9).map(ast.Const),
+    st.sampled_from(["x", "y", "z"]).map(ast.Var),
+    st.sampled_from(["hello", "a b", ""]).map(ast.Const),
+    st.booleans().map(ast.Const),
+)
+
+
+def _exprs():
+    return st.recursive(
+        _atoms,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: ast.BinOp("+", *pair)),
+            st.tuples(children, children).map(lambda pair: ast.App(*pair)),
+            children.map(lambda child: ast.Lam("x", child)),
+            st.tuples(children, children).map(
+                lambda pair: ast.FacetExpr("k", pair[0], pair[1])
+            ),
+            st.tuples(children, children, children).map(lambda t: ast.If(*t)),
+            children.map(lambda child: ast.Row((child,))),
+            st.tuples(children, children).map(lambda pair: ast.Let("v", *pair)),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(_exprs())
+@settings(max_examples=80)
+def test_pretty_parse_round_trip(expr):
+    assert parse(pretty(expr)) == expr

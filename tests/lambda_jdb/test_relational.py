@@ -1,0 +1,168 @@
+"""Tests for λJDB's relational operators over faceted tables."""
+
+import pytest
+
+from repro.lambda_jdb import EvalError, evaluate, parse
+from repro.lambda_jdb.values import FacetV, TableV, make_facet_value
+
+
+def run(source, **kwargs):
+    return evaluate(parse(source), **kwargs)
+
+
+def rows_of(value):
+    assert isinstance(value, TableV)
+    return {(frozenset(branches), fields) for branches, fields in value.rows}
+
+
+def test_row_creates_single_row_table():
+    value, _ = run('(row "Alice" "Smith")')
+    assert rows_of(value) == {(frozenset(), ("Alice", "Smith"))}
+
+
+def test_row_coerces_scalars_to_strings():
+    value, _ = run("(row 1 true unit)")
+    assert list(value.rows)[0][1] == ("1", "true", "")
+
+
+def test_union_appends_tables():
+    value, _ = run('(union (row "a") (row "b"))')
+    assert {fields for _branches, fields in value.rows} == {("a",), ("b",)}
+
+
+def test_select_filters_on_column_equality():
+    value, _ = run('(select 0 1 (union (row "x" "x") (row "x" "y")))')
+    assert {fields for _branches, fields in value.rows} == {("x", "x")}
+
+
+def test_project_keeps_columns():
+    value, _ = run('(project (1) (row "a" "b" "c"))')
+    assert {fields for _branches, fields in value.rows} == {("b",)}
+
+
+def test_project_out_of_range_is_stuck():
+    with pytest.raises(EvalError):
+        run('(project (7) (row "a"))')
+
+
+def test_join_is_cross_product_with_branch_union():
+    value, _ = run('(join (union (row "a") (row "b")) (row "1" "2"))')
+    assert {fields for _branches, fields in value.rows} == {("a", "1", "2"), ("b", "1", "2")}
+
+
+def test_faceted_table_representation_shares_common_rows():
+    """The ⟨⟨k ? T1 : T2⟩⟩ operation annotates only differing rows (Section 4.2)."""
+    value, _ = run(
+        '(label k (facet k (union (row "shared") (row "secret")) (row "shared")))'
+    )
+    rows = rows_of(value)
+    assert (frozenset(), ("shared",)) in rows
+    secret_rows = [row for row in rows if row[1] == ("secret",)]
+    assert len(secret_rows) == 1
+    (branches, _fields) = secret_rows[0]
+    assert len(branches) == 1 and next(iter(branches))[1] is True
+
+
+def test_faceted_row_from_paper_example():
+    value, _ = run('(label k (facet k (row "Alice" "Smith") (row "Bob" "Jones")))')
+    rows = rows_of(value)
+    annotations = {fields: branches for branches, fields in rows}
+    assert set(annotations) == {("Alice", "Smith"), ("Bob", "Jones")}
+    alice_branch = next(iter(annotations[("Alice", "Smith")]))
+    bob_branch = next(iter(annotations[("Bob", "Jones")]))
+    assert alice_branch[1] is True and bob_branch[1] is False
+    assert alice_branch[0] == bob_branch[0]
+
+
+def test_mixing_tables_and_scalars_in_a_facet_is_stuck():
+    with pytest.raises((EvalError, TypeError)):
+        run('(label k (facet k 3 (row "Alice")))')
+
+
+def test_selection_on_faceted_table_guards_results():
+    value, _ = run(
+        '(label k (select 0 1 (facet k (row "x" "x") (row "x" "y"))))'
+    )
+    rows = rows_of(value)
+    assert len(rows) == 1
+    branches, fields = next(iter(rows))
+    assert fields == ("x", "x")
+    assert next(iter(branches))[1] is True
+
+
+def test_fold_sums_rows():
+    value, _ = run(
+        """
+        (fold (lambda (r) (lambda (acc) (+ acc 1))) 0
+              (union (row "a") (union (row "b") (row "c"))))
+        """
+    )
+    assert value == 3
+
+
+def test_fold_over_faceted_table_produces_faceted_result():
+    value, _ = run(
+        """
+        (label k
+          (fold (lambda (r) (lambda (acc) (+ acc 1))) 0
+                (facet k (union (row "a") (row "b")) (row "a"))))
+        """
+    )
+    assert isinstance(value, FacetV)
+    assert value.high == 2 and value.low == 1
+
+
+def test_fold_membership_check_on_guest_list():
+    value, _ = run(
+        """
+        (label k
+          (let guests (facet k (union (row "alice") (row "bob")) (row "alice"))
+            (fold (lambda (r) (lambda (acc) (or acc (== r "bob")))) false guests)))
+        """
+    )
+    assert isinstance(value, FacetV)
+    assert value.high is True and value.low is False
+
+
+def test_fold_receives_multi_column_rows_as_tuples():
+    # The formal rules fold the tail before applying the head row, so the
+    # head row's contribution is appended last.
+    value, _ = run(
+        """
+        (fold (lambda (r) (lambda (acc) (+ acc (field r 1)))) ""
+              (union (row "a" "1") (row "b" "2")))
+        """
+    )
+    assert value == "21"
+
+
+def test_fold_inconsistent_rows_are_skipped_under_pc():
+    # Inside the high branch of k, rows annotated ¬k are ignored.
+    value, _ = run(
+        """
+        (label k
+          (let t (facet k (row "secret") (row "public"))
+            (facet k (fold (lambda (r) (lambda (acc) (+ acc 1))) 0 t) 99)))
+        """
+    )
+    assert isinstance(value, FacetV)
+    assert value.high == 1 and value.low == 99
+
+
+def test_select_arity_error_is_stuck():
+    with pytest.raises(EvalError):
+        run('(select 0 5 (row "only"))')
+
+
+def test_make_facet_value_rejects_mixed_kinds_directly():
+    with pytest.raises(TypeError):
+        make_facet_value("k", TableV(()), 3)
+
+
+def test_early_pruning_drops_invisible_rows():
+    source = '(label k (facet k (fold (lambda (r) (lambda (acc) (+ acc 1))) 0 (facet k (row "a") (union (row "b") (row "c")))) 0))'
+    pruned_value, _ = evaluate(parse(source), early_pruning=True)
+    unpruned_value, _ = evaluate(parse(source), early_pruning=False)
+    # Both agree on observable results (F-PRUNE preserves projections).
+    assert pruned_value.high == unpruned_value.high == 1
+    assert pruned_value.low == unpruned_value.low == 0

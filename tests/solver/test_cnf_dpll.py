@@ -1,0 +1,105 @@
+"""Tests for CNF conversion and the DPLL solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.cnf import CNF, is_tseitin_var, to_cnf, tseitin
+from repro.solver.dpll import DPLLSolver, solve
+from repro.solver.formula import FALSE, TRUE, And, Iff, Implies, Not, Or, Var
+
+from tests.solver.test_formula import formulas, _assignments
+
+
+def brute_force_satisfiable(formula):
+    names = sorted(formula.free_vars())
+    for values in itertools.product([False, True], repeat=len(names)):
+        if formula.evaluate(dict(zip(names, values))):
+            return True
+    return False if names else formula.evaluate({})
+
+
+def test_to_cnf_simple_equivalence():
+    formula = Implies(Var("a"), Var("b"))
+    cnf = to_cnf(formula)
+    for a in (True, False):
+        for b in (True, False):
+            assert cnf.evaluate({"a": a, "b": b}) == formula.evaluate({"a": a, "b": b})
+
+
+def test_cnf_empty_and_contradiction():
+    assert len(to_cnf(TRUE)) == 0
+    contradiction = to_cnf(FALSE)
+    assert solve(contradiction) is None
+
+
+def test_dpll_finds_model_for_satisfiable_instance():
+    formula = And(Or(Var("a"), Var("b")), Or(Not(Var("a")), Var("c")))
+    model = solve(to_cnf(formula))
+    assert model is not None
+    assert formula.evaluate({name: model.get(name, False) for name in "abc"})
+
+
+def test_dpll_detects_unsat():
+    formula = And(Var("a"), Not(Var("a")))
+    assert solve(to_cnf(formula)) is None
+
+
+def test_preference_is_respected_when_free():
+    # Both values satisfy the formula; preference decides.
+    formula = Or(Var("a"), Not(Var("a")))
+    model_true = solve(to_cnf(formula), prefer={"a": True})
+    model_false = solve(to_cnf(formula), prefer={"a": False})
+    assert model_true["a"] is True
+    assert model_false["a"] is False
+
+
+def test_preference_cannot_override_constraints():
+    formula = Not(Var("a"))
+    model = solve(to_cnf(formula), prefer={"a": True})
+    assert model["a"] is False
+
+
+def test_tseitin_variables_are_marked():
+    cnf = tseitin(Or(And(Var("a"), Var("b")), Var("c")))
+    auxiliary = [name for name in cnf.variables() if is_tseitin_var(name)]
+    assert auxiliary, "Tseitin transformation should introduce fresh variables"
+    for name in ("a", "b", "c"):
+        assert not is_tseitin_var(name)
+
+
+def test_solver_statistics_populated():
+    formula = And(Or(Var("a"), Var("b")), Or(Not(Var("a")), Not(Var("b"))))
+    solver = DPLLSolver(to_cnf(formula))
+    assert solver.solve() is not None
+    assert solver.statistics["propagations"] >= 0
+    assert solver.statistics["decisions"] >= 0
+
+
+# -- property tests -------------------------------------------------------------------
+
+
+@given(formulas(), _assignments)
+@settings(max_examples=60)
+def test_direct_cnf_is_equivalent(formula, assignment):
+    cnf = to_cnf(formula)
+    assert cnf.evaluate(dict(assignment)) == formula.evaluate(assignment)
+
+
+@given(formulas())
+@settings(max_examples=60)
+def test_dpll_agrees_with_brute_force_on_satisfiability(formula):
+    cnf = to_cnf(formula)
+    model = solve(cnf)
+    expected = brute_force_satisfiable(formula)
+    assert (model is not None) == expected
+    if model is not None:
+        total = {name: model.get(name, False) for name in formula.free_vars()}
+        assert formula.evaluate(total)
+
+
+@given(formulas())
+@settings(max_examples=60)
+def test_tseitin_equisatisfiable(formula):
+    assert (solve(tseitin(formula)) is not None) == brute_force_satisfiable(formula)

@@ -1,0 +1,151 @@
+"""Unit and property tests for the boolean formula layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.solver.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+    from_bool,
+    nnf,
+)
+
+
+def test_constants_evaluate():
+    assert TRUE.evaluate({}) is True
+    assert FALSE.evaluate({}) is False
+
+
+def test_var_evaluation_and_missing_variable():
+    formula = Var("k")
+    assert formula.evaluate({"k": True}) is True
+    assert formula.evaluate({"k": False}) is False
+    with pytest.raises(KeyError):
+        formula.evaluate({})
+
+
+def test_connective_evaluation():
+    k, m = Var("k"), Var("m")
+    env = {"k": True, "m": False}
+    assert And(k, m).evaluate(env) is False
+    assert Or(k, m).evaluate(env) is True
+    assert Not(m).evaluate(env) is True
+    assert Implies(k, m).evaluate(env) is False
+    assert Implies(m, k).evaluate(env) is True
+    assert Iff(k, m).evaluate(env) is False
+    assert Iff(k, k).evaluate(env) is True
+
+
+def test_operator_overloads_build_connectives():
+    k, m = Var("k"), Var("m")
+    assert isinstance(k & m, And)
+    assert isinstance(k | m, Or)
+    assert isinstance(~k, Not)
+    assert isinstance(k >> m, Implies)
+
+
+def test_free_vars():
+    formula = Implies(Var("a"), And(Var("b"), Not(Var("c"))))
+    assert formula.free_vars() == {"a", "b", "c"}
+    assert TRUE.free_vars() == frozenset()
+
+
+def test_simplify_constant_folding():
+    k = Var("k")
+    assert And(TRUE, k).simplify() == k
+    assert And(FALSE, k).simplify() == FALSE
+    assert Or(FALSE, k).simplify() == k
+    assert Or(TRUE, k).simplify() == TRUE
+    assert Not(Not(k)).simplify() == k
+    assert Implies(FALSE, k).simplify() == TRUE
+    assert Implies(k, TRUE).simplify() == TRUE
+    assert Iff(k, k).simplify() == TRUE
+
+
+def test_partial_evaluate_keeps_unknowns():
+    formula = And(Var("a"), Var("b"))
+    reduced = formula.partial_evaluate({"a": True})
+    assert reduced == Var("b")
+    assert formula.partial_evaluate({"a": False}) == FALSE
+
+
+def test_substitute():
+    formula = Or(Var("a"), Var("b"))
+    substituted = formula.substitute({"a": FALSE})
+    assert substituted == Var("b")
+
+
+def test_conj_disj_identities():
+    assert conj([]) == TRUE
+    assert disj([]) == FALSE
+    assert conj([True, Var("x")]) == Var("x")
+    assert disj([False, Var("x")]) == Var("x")
+
+
+def test_from_bool_rejects_non_boolean():
+    with pytest.raises(TypeError):
+        from_bool("yes")
+
+
+def test_immutability():
+    with pytest.raises(AttributeError):
+        Var("k").name = "other"
+    with pytest.raises(AttributeError):
+        TRUE.value = False
+
+
+# -- property tests ----------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+def formulas(depth=3):
+    base = st.one_of(_names.map(Var), st.just(TRUE), st.just(FALSE))
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Iff(*pair)),
+            children.map(Not),
+        ),
+        max_leaves=depth * 4,
+    )
+
+
+_assignments = st.fixed_dictionaries(
+    {"a": st.booleans(), "b": st.booleans(), "c": st.booleans(), "d": st.booleans()}
+)
+
+
+@given(formulas(), _assignments)
+def test_simplify_preserves_semantics(formula, assignment):
+    assert formula.simplify().evaluate(assignment) == formula.evaluate(assignment)
+
+
+@given(formulas(), _assignments)
+def test_nnf_preserves_semantics(formula, assignment):
+    assert nnf(formula).evaluate(assignment) == formula.evaluate(assignment)
+
+
+@given(formulas())
+def test_nnf_negations_only_on_variables(formula):
+    def check(node):
+        if isinstance(node, Not):
+            assert isinstance(node.operand, (Var, Const))
+        for attr in ("left", "right", "operand"):
+            child = getattr(node, attr, None)
+            if child is not None:
+                check(child)
+
+    check(nnf(formula))
