@@ -1,0 +1,173 @@
+"""Cache hot path: cold vs warm latency for the stress-test pages.
+
+Measures the ``view_all`` (all papers / all users) and ``single`` (one
+paper) operations of the conference case study against both backends, with
+the ``repro.cache`` subsystem cold (caches cleared before every iteration)
+and warm (caches primed by a first run).  The paper's numbers are all
+cold-path numbers; this benchmark quantifies what the policy-aware cache
+layer adds on top for read-heavy traffic.
+
+The pytest entries assert the subsystem's headline property: warm-cache
+``view_all`` is at least 2x faster than cold on the in-memory backend.
+
+Run ``python benchmarks/bench_cache_hot_path.py`` for the full table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.apps.conf.models import Paper, ConfUser
+from repro.apps.conf.seed import seed_conference
+from repro.apps.conf.views import build_conf_app, setup_conf
+from repro.bench.report import format_table
+from repro.cache import CacheConfig
+from repro.db import Database, MemoryBackend, SqliteBackend
+from repro.form import use_form, viewer_context
+from repro.web import TestClient
+
+BENCH_SIZE = 64
+REPEATS = 5
+
+BACKENDS: Dict[str, Callable[[], Database]] = {
+    "memory": lambda: Database(MemoryBackend()),
+    "sqlite": lambda: Database(SqliteBackend()),
+}
+
+
+def _stack(backend: str, size: int = BENCH_SIZE):
+    """A seeded conference FORM (caching on) plus its seed objects."""
+    form = setup_conf(BACKENDS[backend]())
+    created = seed_conference(form, papers=size, users=size, pc_members=4)
+    return form, created
+
+
+def _time_best(operation: Callable[[], object], repeats: int = REPEATS) -> float:
+    """Best-of-N wall time of one operation (min is robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_cold_warm(
+    backend: str, operation_name: str, size: int = BENCH_SIZE
+) -> Tuple[float, float]:
+    """(cold, warm) best-of-N latency of one operation on one backend.
+
+    Cold clears every cache layer before each run -- the paper-faithful
+    path; warm reuses whatever the previous runs populated.
+    """
+    form, created = _stack(backend, size)
+    viewer = created["chair"][0]
+
+    def view_all_papers():
+        with use_form(form), viewer_context(viewer):
+            return Paper.objects.all().fetch()
+
+    def view_all_users():
+        with use_form(form), viewer_context(viewer):
+            return ConfUser.objects.all().fetch()
+
+    def single_paper():
+        with use_form(form), viewer_context(viewer):
+            return Paper.objects.get(jid=1)
+
+    operations = {
+        "view_all_papers": view_all_papers,
+        "view_all_users": view_all_users,
+        "single_paper": single_paper,
+    }
+    operation = operations[operation_name]
+
+    def cold_run():
+        form.caches.clear()
+        return operation()
+
+    cold = _time_best(cold_run)
+    operation()  # prime
+    warm = _time_best(operation)
+    return cold, warm
+
+
+# -- pytest entries ------------------------------------------------------------------
+
+
+def test_warm_view_all_at_least_2x_faster_on_memory_backend():
+    """The acceptance bar: warm-cache view_all >= 2x faster than cold."""
+    cold, warm = measure_cold_warm("memory", "view_all_papers")
+    assert warm * 2 <= cold, f"warm {warm:.6f}s not 2x faster than cold {cold:.6f}s"
+
+
+def test_warm_single_faster_than_cold_on_memory_backend():
+    cold, warm = measure_cold_warm("memory", "single_paper")
+    assert warm <= cold
+
+
+def test_warm_view_all_faster_on_sqlite_backend():
+    cold, warm = measure_cold_warm("sqlite", "view_all_papers")
+    assert warm < cold
+
+
+def test_cache_disabled_matches_cold_behaviour():
+    """CacheConfig.disabled() restores the uncached baseline: no layer is
+    populated, so benchmark baselines stay paper-faithful."""
+    form = setup_conf(Database(MemoryBackend()), cache_config=CacheConfig.disabled())
+    created = seed_conference(form, papers=8)
+    with use_form(form), viewer_context(created["chair"][0]):
+        Paper.objects.all().fetch()
+        Paper.objects.all().fetch()
+    stats = form.caches.stats()
+    assert stats["queries"]["puts"] == 0 and stats["labels"]["puts"] == 0
+
+
+def test_warm_full_page_request_faster_with_fragments():
+    """End-to-end page serving with the fragment cache on."""
+    config = CacheConfig().with_fragments(ttl=None)
+    form = setup_conf(Database(MemoryBackend()), cache_config=config)
+    created = seed_conference(form, papers=BENCH_SIZE)
+    client = TestClient(build_conf_app(form))
+    viewer = created["pc"][0]
+    client.force_login(viewer.jid, viewer.name)
+
+    def page():
+        response = client.get("/papers")
+        assert response.ok
+        return response
+
+    def cold_page():
+        form.caches.clear()
+        return page()
+
+    cold = _time_best(cold_page)
+    page()
+    warm = _time_best(page)
+    assert warm < cold
+
+
+# -- manual sweep ---------------------------------------------------------------------
+
+
+def main(sizes=(16, 64, 256), repeats=REPEATS) -> None:
+    for backend in BACKENDS:
+        rows = []
+        for size in sizes:
+            for operation in ("view_all_papers", "view_all_users", "single_paper"):
+                cold, warm = measure_cold_warm(backend, operation, size)
+                speedup = cold / warm if warm else float("inf")
+                rows.append([size, operation, cold, warm, f"{speedup:.1f}x"])
+        print(
+            format_table(
+                ["size", "operation", "cold (s)", "warm (s)", "speedup"],
+                rows,
+                title=f"Cache hot path ({backend} backend)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

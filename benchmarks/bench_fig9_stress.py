@@ -26,6 +26,7 @@ from repro.apps.conf import (
 from repro.apps.course import build_course_app, seed_courses, setup_courses
 from repro.apps.health import build_health_app, seed_health, setup_health
 from repro.bench.report import format_series
+from repro.cache import CacheConfig
 from repro.bench.timing import time_request
 from repro.web import TestClient
 
@@ -34,7 +35,7 @@ SWEEP_SIZES = (8, 16, 32, 64, 128, 256)
 
 
 def _jacqueline_conf_client(papers):
-    form = setup_conf()
+    form = setup_conf(cache_config=CacheConfig.disabled())
     created = seed_conference(form, papers=papers, users=papers, pc_members=4)
     client = TestClient(build_conf_app(form))
     viewer = created["pc"][0]
@@ -52,7 +53,7 @@ def _django_conf_client(papers):
 
 
 def _health_client(patients):
-    form = setup_health()
+    form = setup_health(cache_config=CacheConfig.disabled())
     created = seed_health(form, patients=patients, doctors=4, insurers=2)
     client = TestClient(build_health_app(form))
     viewer = created["doctors"][0]
@@ -61,7 +62,7 @@ def _health_client(patients):
 
 
 def _course_client(courses):
-    form = setup_courses()
+    form = setup_courses(cache_config=CacheConfig.disabled())
     created = seed_courses(form, courses=courses, students_per_course=2)
     client = TestClient(build_course_app(form))
     viewer = created["students"][0]

@@ -19,6 +19,7 @@ Permissions depend on the conference phase (``submission``, ``review``,
 
 from __future__ import annotations
 
+from repro.cache import bump_policy_epoch
 from repro.form import (
     BooleanField,
     CharField,
@@ -45,10 +46,15 @@ class ConferencePhase:
         if phase not in (cls.SUBMISSION, cls.REVIEW, cls.FINAL):
             raise ValueError(f"unknown conference phase {phase!r}")
         cls.current = phase
+        # The phase is policy-relevant state living outside the database, so
+        # the invalidation bus cannot see it change; bumping the policy
+        # epoch expires every memoised label/fragment cache entry instead.
+        bump_policy_epoch()
 
     @classmethod
     def reset(cls) -> None:
         cls.current = cls.SUBMISSION
+        bump_policy_epoch()
 
 
 def _is_committee(user) -> bool:

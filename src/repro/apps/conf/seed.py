@@ -45,43 +45,65 @@ def seed_conference(
     users = users if users is not None else papers
     created: Dict[str, list] = {"users": [], "pc": [], "papers": [], "reviews": []}
     with use_form(form):
+        # Each kind is flushed with one bulk write instead of one insert per
+        # facet row; bulk_create assigns jids up front, so later batches can
+        # reference earlier ones through foreign keys.
         chair = ConfUser.objects.create(
             name="chair", affiliation="CMU", email="chair@conf.org", level="chair"
         )
         created["chair"] = [chair]
-        for index in range(pc_members):
-            member = ConfUser.objects.create(
-                name=f"pc{index}",
-                affiliation=f"University {index}",
-                email=f"pc{index}@conf.org",
-                level="pc",
-            )
-            created["pc"].append(member)
-        for index in range(users):
-            author = ConfUser.objects.create(
-                name=f"author{index}",
-                affiliation=f"Institute {index % 17}",
-                email=f"author{index}@conf.org",
-                level="normal",
-            )
-            created["users"].append(author)
-        for index in range(papers):
-            author = created["users"][index % len(created["users"])]
-            paper = Paper.objects.create(title=f"Paper {index}", author=author)
-            created["papers"].append(paper)
+        created["pc"] = ConfUser.objects.bulk_create(
+            [
+                ConfUser(
+                    name=f"pc{index}",
+                    affiliation=f"University {index}",
+                    email=f"pc{index}@conf.org",
+                    level="pc",
+                )
+                for index in range(pc_members)
+            ]
+        )
+        created["users"] = ConfUser.objects.bulk_create(
+            [
+                ConfUser(
+                    name=f"author{index}",
+                    affiliation=f"Institute {index % 17}",
+                    email=f"author{index}@conf.org",
+                    level="normal",
+                )
+                for index in range(users)
+            ]
+        )
+        created["papers"] = Paper.objects.bulk_create(
+            [
+                Paper(
+                    title=f"Paper {index}",
+                    author=created["users"][index % len(created["users"])],
+                )
+                for index in range(papers)
+            ]
+        )
+        assignments: list = []
+        conflicts: list = []
+        reviews: list = []
+        for index, paper in enumerate(created["papers"]):
             pc = created["pc"][index % pc_members] if pc_members else chair
-            ReviewAssignment.objects.create(paper=paper, pc=pc)
+            assignments.append(ReviewAssignment(paper=paper, pc=pc))
             if pc_members > 1:
                 conflicted = created["pc"][(index + 1) % pc_members]
-                PaperPCConflict.objects.create(paper=paper, pc=conflicted)
+                conflicts.append(PaperPCConflict(paper=paper, pc=conflicted))
             for review_index in range(reviews_per_paper):
-                review = Review.objects.create(
-                    paper=paper,
-                    reviewer=pc,
-                    contents=f"Review {review_index} of paper {index}",
-                    score=(index + review_index) % 5 + 1,
+                reviews.append(
+                    Review(
+                        paper=paper,
+                        reviewer=pc,
+                        contents=f"Review {review_index} of paper {index}",
+                        score=(index + review_index) % 5 + 1,
+                    )
                 )
-                created["reviews"].append(review)
+        ReviewAssignment.objects.bulk_create(assignments)
+        PaperPCConflict.objects.bulk_create(conflicts)
+        created["reviews"] = Review.objects.bulk_create(reviews)
     return created
 
 

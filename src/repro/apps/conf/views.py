@@ -68,9 +68,13 @@ USER_DETAIL_TEMPLATE = """
 """
 
 
-def setup_conf(database: Optional[Database] = None) -> FORM:
-    """Create a FORM with the conference schema registered."""
-    form = FORM(database or Database())
+def setup_conf(database: Optional[Database] = None, cache_config=None) -> FORM:
+    """Create a FORM with the conference schema registered.
+
+    ``cache_config`` is forwarded to the FORM; pass
+    ``CacheConfig.disabled()`` for paper-faithful uncached benchmarks.
+    """
+    form = FORM(database or Database(), cache_config=cache_config)
     form.register_all(CONF_MODELS)
     ConferencePhase.reset()
     return form

@@ -1,0 +1,49 @@
+"""Policy-aware caching for the faceted ORM (the ``repro.cache`` subsystem).
+
+Caching faceted data is security-sensitive: a cache entry must never leak
+one viewer's facet to another.  The subsystem therefore splits into layers
+with distinct sharing rules:
+
+* :class:`~repro.cache.lru.LRUCache` -- the generic bounded TTL cache with
+  hit/miss/eviction statistics everything else is built on;
+* :class:`~repro.cache.query_cache.FacetedQueryCache` -- raw row+jvar
+  query results cached *before* Early Pruning, so one fetch is shared by
+  all viewers without storing anything viewer-specific;
+* :class:`~repro.cache.label_cache.LabelResolutionCache` -- per-viewer
+  label outcomes, keyed by ``(label name, viewer identity)``;
+* :class:`~repro.cache.fragment.FragmentCache` -- optional per-viewer
+  rendered page bodies for the web layer;
+* :class:`~repro.cache.bus.InvalidationBus` -- write-through invalidation:
+  every database write publishes a table-level event the caches consume.
+
+:class:`~repro.cache.config.CacheConfig` on the FORM selects and sizes the
+layers (``CacheConfig.disabled()`` restores the uncached, paper-faithful
+behaviour); :class:`~repro.cache.integration.FormCaches` wires them up.
+"""
+
+from repro.cache.bus import ALL_TABLES, InvalidationBus, subscribe_weak
+from repro.cache.config import CacheConfig
+from repro.cache.epoch import bump_policy_epoch, policy_epoch
+from repro.cache.fragment import FragmentCache
+from repro.cache.integration import FormCaches
+from repro.cache.label_cache import LabelResolutionCache, viewer_cache_key
+from repro.cache.lru import MISSING, CacheStats, LRUCache
+from repro.cache.query_cache import FacetedQueryCache, normalize_query
+
+__all__ = [
+    "ALL_TABLES",
+    "CacheConfig",
+    "CacheStats",
+    "FacetedQueryCache",
+    "FormCaches",
+    "FragmentCache",
+    "InvalidationBus",
+    "LRUCache",
+    "LabelResolutionCache",
+    "MISSING",
+    "bump_policy_epoch",
+    "normalize_query",
+    "policy_epoch",
+    "subscribe_weak",
+    "viewer_cache_key",
+]

@@ -1,0 +1,32 @@
+"""The global policy epoch.
+
+Policies may consult state that lives outside the database -- the canonical
+example is the conference phase of the paper's case study, a plain class
+attribute.  Database writes flow through the invalidation bus, but such
+out-of-band policy inputs do not, so anything mutating them must call
+:func:`bump_policy_epoch`.  Viewer-dependent caches (the label memo and the
+rendered-fragment cache) stamp entries with the epoch at insertion and treat
+entries from an older epoch as misses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+_lock = threading.Lock()
+_counter = itertools.count(1)
+_current = 0
+
+
+def policy_epoch() -> int:
+    """The current epoch (monotonically increasing, starts at 0)."""
+    return _current
+
+
+def bump_policy_epoch() -> int:
+    """Invalidate every epoch-stamped cache entry; returns the new epoch."""
+    global _current
+    with _lock:
+        _current = next(_counter)
+        return _current

@@ -1,0 +1,118 @@
+"""The per-viewer rendered-fragment cache.
+
+Caches whole rendered page bodies keyed by ``(path, sorted query params,
+viewer identity)``.  Because concretisation has already happened by the
+time a body exists, a cached body is only ever replayed to the viewer it
+was rendered for -- the viewer identity is part of the key, and uncacheable
+viewers (no stable identity) bypass the cache entirely.
+
+Freshness: any database write and any policy-epoch bump invalidates the
+whole fragment cache (a rendered page may depend on any table and any
+policy input), and entries carry a TTL as a further bound.  The web layer
+additionally clears it after every non-GET request, covering mutations that
+bypass both channels (e.g. session/auth state).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping, Optional, Tuple
+
+from repro.cache.bus import InvalidationBus, subscribe_weak
+from repro.cache.epoch import policy_epoch
+from repro.cache.lru import LRUCache, MISSING
+
+
+class FragmentCache:
+    """Rendered page bodies, keyed per viewer, aggressively invalidated."""
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 256,
+        ttl: Optional[float] = 30.0,
+        clock=None,
+    ) -> None:
+        kwargs = {} if clock is None else {"clock": clock}
+        self._lru = LRUCache(max_entries, ttl, **kwargs)
+        self._bus: Optional[InvalidationBus] = None
+        self._subscription = None
+        #: bumped on every clear; guards fills that raced an invalidation.
+        self._generation = 0
+
+    # -- bus wiring -----------------------------------------------------------------
+
+    def bind(self, bus: InvalidationBus) -> None:
+        if self._bus is bus:
+            return
+        self.unbind()
+        self._bus = bus
+        self._subscription = subscribe_weak(bus, self, FragmentCache._on_write)
+
+    def unbind(self) -> None:
+        if self._bus is not None and self._subscription is not None:
+            self._bus.unsubscribe(self._subscription)
+        self._bus = None
+        self._subscription = None
+
+    def _on_write(self, _table: str) -> None:
+        # Through clear() so the generation bumps: renders that started
+        # before this write must not be cached after it.
+        self.clear()
+
+    # -- lookups ----------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        path: str, params: Mapping[str, Any], viewer_key: Hashable
+    ) -> Hashable:
+        frozen_params = tuple(sorted((str(k), str(v)) for k, v in params.items()))
+        return (path, frozen_params, viewer_key)
+
+    @property
+    def generation(self) -> int:
+        """Snapshot before rendering; pass to :meth:`put` to guard the fill."""
+        return self._generation
+
+    def get(self, key: Hashable) -> Optional[Tuple[str, dict]]:
+        """The cached ``(body, headers)`` pair, or ``None``."""
+        entry = self._lru.lookup(key)
+        if entry is MISSING:
+            return None
+        body, headers, epoch = entry
+        if epoch != policy_epoch():
+            self._lru.remove(key)
+            return None
+        return body, dict(headers)
+
+    def put(
+        self,
+        key: Hashable,
+        body: str,
+        headers: Optional[Mapping[str, str]] = None,
+        generation: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Store a rendered page.
+
+        ``generation``/``epoch`` are snapshots taken *before* rendering
+        started; a write or epoch bump landing mid-render makes the fill a
+        no-op (or stamps it already-stale), so a body rendered from
+        pre-write data is never replayed after its invalidation event.
+        """
+        if generation is not None and generation != self._generation:
+            return
+        entry_epoch = policy_epoch() if epoch is None else epoch
+        self._lru.put(key, (body, dict(headers or {}), entry_epoch))
+
+    def clear(self) -> None:
+        self._generation += 1
+        self._lru.clear()
+
+    @property
+    def stats(self):
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __repr__(self) -> str:
+        return f"FragmentCache({self._lru!r})"

@@ -1,0 +1,150 @@
+"""The faceted query cache.
+
+Entries are keyed by ``(table, normalized query, schema generation)`` and
+store the raw unmarshalled ``(jid, jvar branches, column values)`` rows of a
+query result *before* Early Pruning runs.  That ordering is what makes the
+cache safe to share across viewers: pruning and policy resolution still
+happen per request, for the actual viewer, against exactly the rows an
+uncached fetch would have produced.  Nothing viewer-specific is ever stored
+here.
+
+Invalidation is write-through: the cache subscribes to the owning database's
+:class:`~repro.cache.bus.InvalidationBus` and drops every entry whose query
+touched a written table (joins register every joined table).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.cache.bus import ALL_TABLES, InvalidationBus, subscribe_weak
+from repro.cache.lru import LRUCache, MISSING
+
+#: One cached result row: (jid, jvar branches, unqualified column values).
+CachedEntry = Tuple[int, Tuple[Tuple[str, bool], ...], Dict[str, Any]]
+
+
+def normalize_query(query: Any) -> str:
+    """A deterministic textual key for a query description.
+
+    ``repro.db.query.Query`` is a frozen dataclass tree (expressions
+    included), so its ``repr`` is stable and canonical for our purposes --
+    two structurally identical queries normalise to the same string.
+    """
+    return repr(query)
+
+
+class FacetedQueryCache:
+    """Caches pre-pruning query results, invalidated by table writes."""
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 512,
+        ttl: Optional[float] = None,
+        clock=None,
+    ) -> None:
+        kwargs = {} if clock is None else {"clock": clock}
+        self._lru = LRUCache(max_entries, ttl, on_evict=self._forget_key, **kwargs)
+        #: table name -> keys of live entries that read from the table
+        self._keys_by_table: Dict[str, set] = {}
+        self._index_lock = threading.Lock()
+        self._bus: Optional[InvalidationBus] = None
+        self._subscription = None
+
+    # -- bus wiring -----------------------------------------------------------------
+
+    def bind(self, bus: InvalidationBus) -> None:
+        """Subscribe to a database's write events (idempotent per bus).
+
+        The subscription holds only a weak reference to this cache, so a
+        cache that goes out of scope (e.g. with a discarded FORM) does not
+        accumulate as a dead subscriber on a long-lived database's bus.
+        """
+        if self._bus is bus:
+            return
+        self.unbind()
+        self._bus = bus
+        self._subscription = subscribe_weak(bus, self, FacetedQueryCache._on_write)
+
+    def unbind(self) -> None:
+        if self._bus is not None and self._subscription is not None:
+            self._bus.unsubscribe(self._subscription)
+        self._bus = None
+        self._subscription = None
+
+    def _on_write(self, table: str) -> None:
+        if table == ALL_TABLES:
+            self.clear()
+            return
+        self.invalidate_table(table)
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def key_for(self, table: str, query: Any) -> Hashable:
+        """The cache key of one query.
+
+        Besides the table and normalised query text, the key carries the
+        schema generation and the write generation of every table the query
+        reads.  Stamping write generations makes cache fills safe against
+        concurrent writers: a result computed *before* a write is stored
+        under the pre-write generations, which no post-write lookup ever
+        produces, so it can never be served stale -- event-driven
+        invalidation then only reclaims the memory.
+        """
+        tables = (table, *(join.table for join in getattr(query, "joins", ())))
+        if self._bus is not None:
+            schema_generation = self._bus.schema_generation
+            write_generations = tuple(self._bus.write_generation(t) for t in tables)
+        else:
+            schema_generation = 0
+            write_generations = ()
+        return (table, normalize_query(query), schema_generation, write_generations)
+
+    def get(self, key: Hashable) -> Optional[List[CachedEntry]]:
+        value = self._lru.lookup(key)
+        return None if value is MISSING else value
+
+    def put(self, key: Hashable, tables: Sequence[str], entries: List[CachedEntry]) -> None:
+        """Store a result and register it for invalidation on each table."""
+        with self._index_lock:
+            for table in tables:
+                self._keys_by_table.setdefault(table, set()).add(key)
+        self._lru.put(key, entries)
+
+    # -- invalidation -----------------------------------------------------------------
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every cached result that read from ``table``."""
+        with self._index_lock:
+            keys = list(self._keys_by_table.pop(table, ()))
+        dropped = 0
+        for key in keys:
+            if self._lru.remove(key):
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        self._lru.clear()
+        with self._index_lock:
+            self._keys_by_table.clear()
+
+    def _forget_key(self, key: Hashable, _value: Any) -> None:
+        """Eviction callback: keep the table index free of dead keys."""
+        # Re-entrant: LRUCache invokes this under its own lock from put/
+        # remove/clear; never call back into the LRU from here.
+        with self._index_lock:
+            for keys in self._keys_by_table.values():
+                keys.discard(key)
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __repr__(self) -> str:
+        return f"FacetedQueryCache({self._lru!r})"

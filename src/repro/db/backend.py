@@ -10,13 +10,40 @@ from __future__ import annotations
 import abc
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.cache.bus import InvalidationBus
 from repro.db.expr import Expression
 from repro.db.query import Query
 from repro.db.schema import TableSchema
 
 
 class Backend(abc.ABC):
-    """Abstract relational backend."""
+    """Abstract relational backend.
+
+    Write-through invalidation: every concrete backend publishes a
+    table-level event on its :attr:`invalidation` bus after each successful
+    write, so caches layered above the database can never serve rows older
+    than the latest committed write.  The bus is created lazily; publishing
+    with no subscribers is a cheap counter bump.
+    """
+
+    @property
+    def invalidation(self) -> InvalidationBus:
+        """The write-event bus of this backend (created on first use)."""
+        bus = getattr(self, "_invalidation_bus", None)
+        if bus is None:
+            bus = InvalidationBus()
+            self._invalidation_bus = bus
+        return bus
+
+    def _publish_write(self, table: str) -> None:
+        """Announce that rows of ``table`` changed (called by subclasses)."""
+        self.invalidation.publish(table)
+
+    def _publish_clear(self) -> None:
+        self.invalidation.publish_all()
+
+    def _publish_schema_change(self, table: Optional[str] = None) -> None:
+        self.invalidation.schema_changed(table)
 
     # -- schema management -------------------------------------------------------
 
@@ -47,7 +74,11 @@ class Backend(abc.ABC):
         """Insert one row; returns the assigned primary key."""
 
     def insert_many(self, table: str, rows: Sequence[Dict[str, Any]]) -> List[int]:
-        """Insert many rows; default implementation loops over :meth:`insert`."""
+        """Insert many rows; default implementation loops over :meth:`insert`.
+
+        Backends override this to batch the write (one statement, one
+        invalidation event) instead of paying per-row overhead.
+        """
         return [self.insert(table, row) for row in rows]
 
     @abc.abstractmethod

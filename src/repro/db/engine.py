@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.cache.bus import InvalidationBus
 from repro.db.backend import Backend
 from repro.db.expr import Expression, filters_to_expr
 from repro.db.memory_backend import MemoryBackend
@@ -25,6 +26,11 @@ class Database:
 
     def __init__(self, backend: Optional[Backend] = None) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
+
+    @property
+    def invalidation(self) -> InvalidationBus:
+        """The backend's write-event bus (write-through cache invalidation)."""
+        return self.backend.invalidation
 
     # -- schema helpers ----------------------------------------------------------------
 
@@ -54,6 +60,10 @@ class Database:
 
     def insert_row(self, table: str, values: Dict[str, Any]) -> int:
         return self.backend.insert(table, values)
+
+    def insert_many(self, table: str, rows: Sequence[Dict[str, Any]]) -> List[int]:
+        """Bulk insert; backends batch this into one write + one event."""
+        return self.backend.insert_many(table, rows)
 
     def update(self, table: str, where: Optional[Expression], **values: Any) -> int:
         return self.backend.update(table, where, values)

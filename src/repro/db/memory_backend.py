@@ -23,9 +23,11 @@ class MemoryBackend(Backend):
         if schema.name in self._tables:
             return
         self._tables[schema.name] = Table(schema)
+        self._publish_schema_change()
 
     def drop_table(self, name: str) -> None:
-        self._tables.pop(name, None)
+        if self._tables.pop(name, None) is not None:
+            self._publish_schema_change(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -45,13 +47,38 @@ class MemoryBackend(Backend):
     # -- data manipulation -------------------------------------------------------------
 
     def insert(self, table: str, values: Dict[str, Any]) -> int:
-        return self._table(table).insert(values)
+        pk = self._table(table).insert(values)
+        self._publish_write(table)
+        return pk
+
+    def insert_many(self, table: str, rows) -> List[int]:
+        """Batch insert: one invalidation event for the whole batch.
+
+        The event must fire even when a later row fails validation --
+        earlier rows are already in the table, and caches must not keep
+        serving the pre-insert result.
+        """
+        target = self._table(table)
+        pks: List[int] = []
+        try:
+            for row in rows:
+                pks.append(target.insert(row))
+        finally:
+            if pks:
+                self._publish_write(table)
+        return pks
 
     def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
-        return self._table(table).update(where, values)
+        count = self._table(table).update(where, values)
+        if count:
+            self._publish_write(table)
+        return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
-        return self._table(table).delete(where)
+        count = self._table(table).delete(where)
+        if count:
+            self._publish_write(table)
+        return count
 
     # -- queries --------------------------------------------------------------------------
 
@@ -86,6 +113,7 @@ class MemoryBackend(Backend):
     def clear(self) -> None:
         for table in self._tables.values():
             table.clear()
+        self._publish_clear()
 
     # -- internals ---------------------------------------------------------------------------
 

@@ -43,12 +43,14 @@ class SqliteBackend(Backend):
                 )
             self._connection.commit()
         self._schemas[schema.name] = schema
+        self._publish_schema_change()
 
     def drop_table(self, name: str) -> None:
         with self._lock:
             self._connection.execute(f'DROP TABLE IF EXISTS "{name}"')
             self._connection.commit()
-        self._schemas.pop(name, None)
+        if self._schemas.pop(name, None) is not None:
+            self._publish_schema_change(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._schemas
@@ -78,7 +80,75 @@ class SqliteBackend(Backend):
         with self._lock:
             cursor = self._connection.execute(statement, params)
             self._connection.commit()
-            return int(cursor.lastrowid)
+            pk = int(cursor.lastrowid)
+        self._publish_write(table)
+        return pk
+
+    def insert_many(self, table: str, rows) -> List[int]:
+        """Batch insert in one transaction, one invalidation event.
+
+        Rows inserted together must share a column set for ``executemany``;
+        heterogeneous batches fall back to row-at-a-time inside the same
+        lock acquisition.
+        """
+        if not rows:
+            return []
+        schema = self.schema(table)
+        pk_name = schema.primary_key.name
+        prepared = []
+        for values in rows:
+            row = schema.validate_row(values)
+            if row.get(pk_name) is None:
+                row.pop(pk_name, None)
+            prepared.append(row)
+        column_sets = {tuple(sorted(row.keys())) for row in prepared}
+        # executemany cannot report per-row ids; only use it when the rows
+        # are homogeneous and let SQLite assign every primary key, so the
+        # assigned range is contiguous from MAX(rowid).
+        batchable = len(column_sets) == 1 and not any(pk_name in row for row in prepared)
+        pks: List[int] = []
+        with self._lock:
+            # The batch is one transaction: roll back on any failure so a
+            # half-inserted batch can neither linger uncommitted on the
+            # shared connection nor be committed later by an unrelated
+            # write without an invalidation event.
+            try:
+                if batchable:
+                    columns = list(prepared[0].keys())
+                    placeholders = ", ".join("?" for _ in columns)
+                    column_sql = ", ".join(f'"{name}"' for name in columns)
+                    statement = f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
+                    params = [
+                        [self._encode(schema.column(name), row[name]) for name in columns]
+                        for row in prepared
+                    ]
+                    self._connection.executemany(statement, params)
+                    # Ids are assigned contiguously ending at the new max:
+                    # we hold the connection lock, so no writer interleaves.
+                    # (Counting down from the post-insert max is correct for
+                    # both AUTOINCREMENT and plain rowid allocation, unlike
+                    # pre-insert max + 1, which is wrong after deletions.)
+                    cursor = self._connection.execute("SELECT MAX(rowid) FROM " + f'"{table}"')
+                    after = int(cursor.fetchone()[0])
+                    self._connection.commit()
+                    pks = list(range(after - len(prepared) + 1, after + 1))
+                else:
+                    for row in prepared:
+                        columns = list(row.keys())
+                        placeholders = ", ".join("?" for _ in columns)
+                        column_sql = ", ".join(f'"{name}"' for name in columns)
+                        statement = (
+                            f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
+                        )
+                        params = [self._encode(schema.column(name), row[name]) for name in columns]
+                        cursor = self._connection.execute(statement, params)
+                        pks.append(int(cursor.lastrowid))
+                    self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+        self._publish_write(table)
+        return pks
 
     def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
         schema = self.schema(table)
@@ -94,7 +164,10 @@ class SqliteBackend(Backend):
         with self._lock:
             cursor = self._connection.execute(statement, params)
             self._connection.commit()
-            return cursor.rowcount
+            count = cursor.rowcount
+        if count:
+            self._publish_write(table)
+        return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
         statement = f'DELETE FROM "{table}"'
@@ -106,7 +179,10 @@ class SqliteBackend(Backend):
         with self._lock:
             cursor = self._connection.execute(statement, params)
             self._connection.commit()
-            return cursor.rowcount
+            count = cursor.rowcount
+        if count:
+            self._publish_write(table)
+        return count
 
     # -- queries ------------------------------------------------------------------------------
 
@@ -147,6 +223,7 @@ class SqliteBackend(Backend):
             for name in self._schemas:
                 self._connection.execute(f'DELETE FROM "{name}"')
             self._connection.commit()
+        self._publish_clear()
 
     def close(self) -> None:
         self._connection.close()

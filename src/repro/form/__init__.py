@@ -22,6 +22,7 @@ the target's ``jid``.  The Early Pruning optimisation keeps only the facet
 rows visible to a known viewer (Section 3.2).
 """
 
+from repro.cache import CacheConfig
 from repro.form.fields import (
     BooleanField,
     CharField,
@@ -40,6 +41,7 @@ from repro.form.marshal import format_jvars, parse_jvars
 from repro.form.migrations import add_metadata_columns, migrate_legacy_rows
 
 __all__ = [
+    "CacheConfig",
     "Field",
     "CharField",
     "TextField",

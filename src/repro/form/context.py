@@ -18,6 +18,8 @@ import contextlib
 import threading
 from typing import Any, Dict, Iterator, List, Optional, TYPE_CHECKING
 
+from repro.cache.config import CacheConfig
+from repro.cache.integration import FormCaches
 from repro.core.runtime import JeevesRuntime
 from repro.db.engine import Database
 
@@ -26,15 +28,31 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class FORM:
-    """A faceted ORM instance: database + runtime + registered models."""
+    """A faceted ORM instance: database + runtime + registered models.
 
-    def __init__(self, database: Optional[Database] = None, runtime: Optional[JeevesRuntime] = None) -> None:
+    ``cache_config`` selects the policy-aware cache layers (on by default;
+    pass ``CacheConfig.disabled()`` for paper-faithful uncached behaviour).
+    The caches subscribe to the database's invalidation bus, so every write
+    through this FORM -- or directly through the backend -- invalidates the
+    affected entries.
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        runtime: Optional[JeevesRuntime] = None,
+        cache_config: Optional[CacheConfig] = None,
+    ) -> None:
         self.database = database if database is not None else Database()
         self.runtime = runtime if runtime is not None else JeevesRuntime()
         self._models: Dict[str, type] = {}
         self._jid_counters: Dict[str, int] = {}
         #: label names whose policies have already been attached to the runtime
         self.registered_labels: set = set()
+        self.cache_config = cache_config if cache_config is not None else CacheConfig()
+        self.caches = FormCaches(self.cache_config)
+        if self.cache_config.enabled:
+            self.caches.bind(self.database.invalidation)
 
     # -- model registration -------------------------------------------------------
 
@@ -72,6 +90,7 @@ class FORM:
         self.database.clear()
         self.runtime.reset()
         self.registered_labels.clear()
+        self.caches.clear()
         for name in self._jid_counters:
             self._jid_counters[name] = 0
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
+from repro.cache.epoch import policy_epoch
+from repro.cache.label_cache import viewer_cache_key
 from repro.core.facets import Facet
 from repro.core.labels import Label
 from repro.db.expr import Expression, eq
@@ -61,8 +63,13 @@ class QuerySet:
     def order_by(self, *fields: str) -> "QuerySet":
         order = list(self.order_fields)
         for field in fields:
+            # Exactly one optional leading "-" selects descending order;
+            # anything else ("", "-", "--name") is a caller error.
             ascending = not field.startswith("-")
-            order.append((field.lstrip("-"), ascending))
+            name = field[1:] if not ascending else field
+            if not name or name.startswith("-"):
+                raise ValueError(f"malformed order_by field {field!r}")
+            order.append((name, ascending))
         return QuerySet(self.model, self.filters, tuple(order), self.limit)
 
     def limited(self, limit: int) -> "QuerySet":
@@ -141,20 +148,44 @@ class QuerySet:
 
     def _fetch_entries(self, form: FORM) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
         """Run the relational query and unmarshal rows into
-        ``(jid, branches, instance)`` entries (one per facet row)."""
+        ``(jid, branches, instance)`` entries (one per facet row).
+
+        Results are served from the FORM's faceted query cache when enabled.
+        The cache stores the raw ``(jid, branches, column values)`` rows --
+        i.e. the pre-pruning result shared by every viewer -- and instances
+        are rebuilt per fetch, so per-request state attached to instances
+        (resolved foreign keys, application mutations) never crosses fetches
+        or viewers.
+        """
         meta = self.model._meta
         query, joined_tables = self._build_query(meta)
+        cache = form.caches.queries if form.caches.query_cache_enabled else None
+        key = None
+        if cache is not None:
+            key = cache.key_for(meta.table_name, query)
+            raw = cache.get(key)
+            if raw is not None:
+                return [
+                    (jid, branches, _instance_from_row(self.model, values))
+                    for jid, branches, values in raw
+                ]
         rows = form.database.execute(query)
         entries: List[Tuple[int, Tuple[JvarBranch, ...], Any]] = []
+        raw_entries: List[Tuple[int, Tuple[JvarBranch, ...], Dict[str, Any]]] = []
         for row in rows:
             values = self._base_values(meta, row, joined_tables)
             branches = list(parse_jvars(values.get("jvars")))
             # Joins contribute the jvars of every joined table (Table 2).
             for table in joined_tables:
                 branches.extend(parse_jvars(row.get(f"{table}.jvars")))
-            jid = values.get("jid")
+            jid = int(values.get("jid"))
+            unique_branches = tuple(dict.fromkeys(branches))
             instance = _instance_from_row(self.model, values)
-            entries.append((int(jid), tuple(dict.fromkeys(branches)), instance))
+            entries.append((jid, unique_branches, instance))
+            if cache is not None:
+                raw_entries.append((jid, unique_branches, values))
+        if cache is not None:
+            cache.put(key, [meta.table_name, *joined_tables], raw_entries)
         return entries
 
     def _build_query(self, meta) -> Tuple[Query, List[str]]:
@@ -279,6 +310,8 @@ class QuerySet:
                 secret_instances.setdefault(jid, instance)
 
         groups_by_key = {group.key: group for group in meta.policy_groups}
+        label_cache = form.caches.labels if form.caches.label_cache_enabled else None
+        viewer_key = viewer_cache_key(viewer) if label_cache is not None else None
         cache: Dict[str, bool] = {}
         result: List[Any] = []
         for jid, branches, instance in entries:
@@ -286,9 +319,33 @@ class QuerySet:
             for label_name, polarity in branches:
                 actual = cache.get(label_name)
                 if actual is None:
-                    actual = self._resolve_with_hint(
-                        form, label_name, viewer, prefix, groups_by_key, secret_instances
-                    )
+                    # The cross-request memo short-circuits the policy
+                    # re-evaluation; entries are per-viewer and dropped on
+                    # any database write or policy-epoch bump.
+                    if label_cache is not None and viewer_key is not None:
+                        actual = label_cache.get(label_name, viewer_key)
+                    if actual is None:
+                        if label_cache is not None:
+                            generation = label_cache.generation
+                            epoch = policy_epoch()
+                        actual = self._resolve_with_hint(
+                            form, label_name, viewer, prefix, groups_by_key, secret_instances
+                        )
+                        # Never memoise outcomes observed inside an in-flight
+                        # resolution: the re-entrancy guard reports the label
+                        # being resolved as optimistically visible, which is
+                        # only valid within that resolution cycle.  The
+                        # pre-resolution generation/epoch snapshots make the
+                        # put a no-op when a write raced the resolution.
+                        if (
+                            label_cache is not None
+                            and viewer_key is not None
+                            and not getattr(form, "_resolving_labels", None)
+                        ):
+                            label_cache.put(
+                                label_name, viewer_key, actual,
+                                generation=generation, epoch=epoch,
+                            )
                     cache[label_name] = actual
                 if actual != polarity:
                     visible = False
@@ -350,6 +407,57 @@ class Manager:
         instance = self.model(**kwargs)
         instance.save()
         return instance
+
+    def get_or_create(
+        self, defaults: Optional[Dict[str, Any]] = None, **filters: Any
+    ) -> Tuple[Any, bool]:
+        """The matching record, creating it when missing.
+
+        Returns ``(instance, created)`` like Django.  ``defaults`` supplies
+        extra field values used only on creation; join lookups
+        (``fk__field``) cannot be turned into field values and are rejected
+        when creation is required.
+        """
+        found = self.get(**filters)
+        if found is not None:
+            return found, False
+        joined = [lookup for lookup in filters if "__" in lookup]
+        if joined:
+            raise ValueError(
+                f"get_or_create cannot build a record from join lookups {joined!r}"
+            )
+        params = dict(filters)
+        params.update(defaults or {})
+        return self.create(**params), True
+
+    def bulk_create(self, instances: Sequence[Any]) -> List[Any]:
+        """Save many unsaved instances with one bulk database write.
+
+        Facet-row expansion is identical to :meth:`JModel.save`; the rows of
+        the whole batch are flushed through ``Database.insert_many`` (one
+        backend write, one invalidation event) instead of one insert per
+        facet row.  Instances that already have a jid, or saves under a
+        non-empty path condition, fall back to the full ``save`` semantics.
+        """
+        form = current_form()
+        meta = self.model._meta
+        table = meta.table_name
+        pending = list(instances)
+        rows: List[Dict[str, Any]] = []
+        deferred: List[Any] = []
+        under_pc = bool(form.runtime.current_pc())
+        for instance in pending:
+            if instance.jid is not None or under_pc:
+                deferred.append(instance)
+                continue
+            instance.jid = form.next_jid(table)
+            for branches, values in instance._facet_rows(form):
+                rows.append(instance._db_row(values, branches))
+        if rows:
+            form.database.insert_many(table, rows)
+        for instance in deferred:
+            instance.save(form)
+        return pending
 
     # -- querying ----------------------------------------------------------------------
 

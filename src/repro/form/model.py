@@ -336,17 +336,26 @@ class JModel(metaclass=ModelMeta):
                 expanded.append((tuple(row_branches), row_values))
         return _merge_rows(expanded)
 
-    def _insert_row(
-        self, form: FORM, values: Dict[str, Any], branches: Sequence[JvarBranch]
-    ) -> None:
+    def _db_row(
+        self, values: Dict[str, Any], branches: Sequence[JvarBranch]
+    ) -> Dict[str, Any]:
+        """The concrete database row for one facet row of this instance.
+
+        Shared by :meth:`save` (via ``_insert_row``) and
+        ``Manager.bulk_create`` so both write paths marshal identically.
+        """
         row = dict(values)
         row["jid"] = self.jid
         row["jvars"] = format_jvars(branches)
-        concrete = {
+        return {
             name: (value if not isinstance(value, Facet) else None)
             for name, value in row.items()
         }
-        form.database.insert_row(type(self)._meta.table_name, concrete)
+
+    def _insert_row(
+        self, form: FORM, values: Dict[str, Any], branches: Sequence[JvarBranch]
+    ) -> None:
+        form.database.insert_row(type(self)._meta.table_name, self._db_row(values, branches))
 
 
 def _branches_contradictory(branches: Sequence[JvarBranch]) -> bool:

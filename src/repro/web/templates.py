@@ -155,7 +155,12 @@ class Template:
         return "".join(node.render(context) for node in self.nodes)
 
 
-_template_cache: Dict[str, Template] = {}
+from repro.cache.lru import LRUCache
+
+#: Parse cache: template source -> parsed Template.  Bounded (unlike the
+#: previous plain dict) so applications rendering many distinct template
+#: strings cannot grow it without limit.
+_template_cache = LRUCache(max_entries=512)
 
 
 def render_template(source: str, context: Optional[Dict[str, Any]] = None) -> str:
@@ -163,5 +168,10 @@ def render_template(source: str, context: Optional[Dict[str, Any]] = None) -> st
     template = _template_cache.get(source)
     if template is None:
         template = Template(source)
-        _template_cache[source] = template
+        _template_cache.put(source, template)
     return template.render(context)
+
+
+def template_cache_stats() -> Dict[str, Any]:
+    """Hit/miss statistics of the parse cache (for diagnostics)."""
+    return _template_cache.stats.snapshot()

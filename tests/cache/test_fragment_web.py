@@ -1,0 +1,111 @@
+"""The rendered-fragment cache in the web layer."""
+
+import pytest
+
+from repro.apps.conf.models import ConferencePhase
+from repro.apps.conf.seed import seed_conference
+from repro.apps.conf.views import build_conf_app, setup_conf
+from repro.cache import CacheConfig
+from repro.db import Database, MemoryBackend
+from repro.web import TestClient
+
+
+@pytest.fixture
+def fragment_app():
+    config = CacheConfig().with_fragments(ttl=None)
+    form = setup_conf(Database(MemoryBackend()), cache_config=config)
+    created = seed_conference(form, papers=6)
+    app = build_conf_app(form)
+    yield form, app, created
+    ConferencePhase.reset()
+
+
+def _client_for(app, viewer):
+    client = TestClient(app)
+    client.force_login(viewer.jid, viewer.name)
+    return client
+
+
+def test_repeat_get_served_from_fragment_cache(fragment_app):
+    form, app, created = fragment_app
+    client = _client_for(app, created["chair"][0])
+    first = client.get("/papers")
+    assert first.ok
+    hits_before = form.caches.fragments.stats.hits
+    second = client.get("/papers")
+    assert second.body == first.body
+    assert form.caches.fragments.stats.hits == hits_before + 1
+
+
+def test_fragments_are_per_viewer(fragment_app):
+    form, app, created = fragment_app
+    chair_body = _client_for(app, created["chair"][0]).get("/users").body
+    author_body = _client_for(app, created["users"][0]).get("/users").body
+    # The chair sees every email; the author sees placeholders.  If the
+    # fragment keys collided, one of the two would get the other's page.
+    assert "author1@conf.org" in chair_body
+    assert "author1@conf.org" not in author_body
+    assert "[hidden email]" in author_body
+
+
+def test_post_invalidates_fragments(fragment_app):
+    form, app, created = fragment_app
+    author = created["users"][0]
+    client = _client_for(app, author)
+    before = client.get("/papers")
+    assert "Brand New Paper" not in before.body
+    response = client.post("/submit", title="Brand New Paper")
+    assert response.status in (302, 200)
+    after = client.get("/papers")
+    assert "Brand New Paper" in after.body
+
+
+def test_anonymous_viewer_also_cached_separately(fragment_app):
+    form, app, created = fragment_app
+    anonymous = TestClient(app)
+    chair = _client_for(app, created["chair"][0])
+    anon_body = anonymous.get("/users").body
+    chair_body = chair.get("/users").body
+    assert "author0@conf.org" not in anon_body
+    assert "author0@conf.org" in chair_body
+    # Second anonymous hit comes from the cache and stays scrubbed.
+    assert anonymous.get("/users").body == anon_body
+
+
+def test_fragment_hit_preserves_headers(fragment_app):
+    form, app, created = fragment_app
+    client = _client_for(app, created["chair"][0])
+    first = client.get("/papers")
+    second = client.get("/papers")  # served from the fragment cache
+    assert second.headers == first.headers
+
+
+def test_crashing_post_still_invalidates_viewer_caches(fragment_app):
+    form, app, created = fragment_app
+
+    @app.route("/explode", methods=("POST",))
+    def explode(request):
+        raise RuntimeError("mid-mutation crash")
+
+    client = _client_for(app, created["chair"][0])
+    client.get("/papers")  # warm the fragment cache
+    assert len(form.caches.fragments) > 0
+    with pytest.raises(RuntimeError):
+        client.post("/explode")
+    # The failed handler may have mutated bus-invisible state before
+    # crashing; the viewer-facing caches must have been dropped anyway.
+    assert len(form.caches.fragments) == 0
+    assert len(form.caches.labels) == 0
+
+
+def test_fragment_cache_off_by_default():
+    form = setup_conf(Database(MemoryBackend()))
+    try:
+        created = seed_conference(form, papers=2)
+        app = build_conf_app(form)
+        client = _client_for(app, created["chair"][0])
+        client.get("/papers")
+        client.get("/papers")
+        assert form.caches.fragments.stats.puts == 0
+    finally:
+        ConferencePhase.reset()

@@ -1,0 +1,127 @@
+"""Unit tests for the generic LRU/TTL cache and its statistics."""
+
+import pytest
+
+from repro.cache import MISSING, LRUCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_put_get_roundtrip_and_miss():
+    cache = LRUCache(max_entries=4)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", default="d") == "d"
+    assert len(cache) == 1
+
+
+def test_falsy_values_distinguishable_from_misses():
+    cache = LRUCache(max_entries=4)
+    cache.put("false", False)
+    cache.put("none", None)
+    assert cache.lookup("false") is False
+    assert cache.lookup("none") is None
+    assert cache.lookup("absent") is MISSING
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh "a": "b" is now the LRU tail
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_max_entries_zero_disables_storage():
+    cache = LRUCache(max_entries=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_unbounded_when_max_entries_none():
+    cache = LRUCache(max_entries=None)
+    for index in range(5000):
+        cache.put(index, index)
+    assert len(cache) == 5000
+    assert cache.stats.evictions == 0
+
+
+def test_ttl_expiry_is_lazy_and_counted():
+    clock = FakeClock()
+    cache = LRUCache(max_entries=8, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(9.9)
+    assert cache.get("a") == 1
+    clock.advance(0.2)  # now past the TTL
+    assert cache.get("a") is None
+    assert cache.stats.expirations == 1
+    assert "a" not in cache
+
+
+def test_purge_expired_drops_only_stale_entries():
+    clock = FakeClock()
+    cache = LRUCache(max_entries=8, ttl=10.0, clock=clock)
+    cache.put("old", 1)
+    clock.advance(11)
+    cache.put("fresh", 2)
+    assert cache.purge_expired() == 1
+    assert cache.get("fresh") == 2
+    assert len(cache) == 1
+
+
+def test_remove_and_clear_count_invalidations():
+    cache = LRUCache(max_entries=8)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.remove("a") is True
+    assert cache.remove("a") is False
+    assert cache.clear() == 1
+    assert cache.stats.invalidations == 2
+    assert len(cache) == 0
+
+
+def test_stats_hit_rate():
+    cache = LRUCache(max_entries=8)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("a")
+    cache.get("nope")
+    stats = cache.stats
+    assert stats.hits == 2 and stats.misses == 1
+    assert stats.hit_rate == pytest.approx(2 / 3)
+    snapshot = stats.snapshot()
+    assert snapshot["hits"] == 2 and snapshot["hit_rate"] == pytest.approx(2 / 3)
+    stats.reset()
+    assert stats.lookups == 0 and stats.hit_rate == 0.0
+
+
+def test_on_evict_callback_sees_eviction_expiry_and_invalidation():
+    clock = FakeClock()
+    seen = []
+    cache = LRUCache(max_entries=2, ttl=10.0, clock=clock, on_evict=lambda k, v: seen.append(k))
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)  # evicts "a"
+    cache.remove("b")
+    clock.advance(11)
+    assert cache.get("c") is None  # expired
+    assert seen == ["a", "b", "c"]
+
+
+def test_negative_max_entries_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(max_entries=-1)

@@ -1,0 +1,143 @@
+"""Non-leakage: cached results concretised per-viewer equal uncached results.
+
+This is the subsystem's central safety property.  Two identical conference
+databases are seeded -- one FORM with caching on, one with caching off --
+and every page-shaped query is compared viewer by viewer, for **every** user
+in the seed, with the caches deliberately warmed by *other* viewers first.
+Any facet leaking through a shared cache entry (one viewer seeing another's
+secret, or another's public placeholder) breaks the equality.
+"""
+
+import pytest
+
+from repro.apps.conf.models import (
+    ConferencePhase,
+    ConfUser,
+    Paper,
+    Review,
+)
+from repro.apps.conf.seed import seed_conference
+from repro.apps.conf.views import setup_conf
+from repro.cache import CacheConfig
+from repro.db import Database, MemoryBackend
+from repro.form import use_form, viewer_context
+
+SEED_PAPERS = 6
+SEED_PC = 3
+
+
+@pytest.fixture
+def two_stacks():
+    cached = setup_conf(Database(MemoryBackend()))
+    uncached = setup_conf(Database(MemoryBackend()), cache_config=CacheConfig.disabled())
+    created_cached = seed_conference(cached, papers=SEED_PAPERS, pc_members=SEED_PC)
+    created_uncached = seed_conference(uncached, papers=SEED_PAPERS, pc_members=SEED_PC)
+    yield cached, uncached, created_cached, created_uncached
+    ConferencePhase.reset()
+
+
+def _all_viewers(created):
+    return created["chair"] + created["pc"] + created["users"]
+
+
+def _observe(form, viewer):
+    """Everything a viewer can observe on the app's pages, serialised."""
+    with use_form(form), viewer_context(viewer):
+        papers = [
+            (
+                p.jid,
+                p.title,
+                getattr(p.author, "name", None) if p.author is not None else None,
+                bool(p.accepted),
+            )
+            for p in Paper.objects.all().fetch()
+        ]
+        users = [
+            (u.jid, u.name, u.affiliation, u.email)
+            for u in ConfUser.objects.all().fetch()
+        ]
+        reviews = [
+            (
+                r.jid,
+                r.contents,
+                r.score,
+                getattr(r.reviewer, "name", None) if r.reviewer is not None else None,
+            )
+            for r in Review.objects.all().fetch()
+        ]
+        singles = [
+            (
+                p.title,
+                getattr(p.author, "name", None) if p.author is not None else None,
+            )
+            for p in (Paper.objects.get(jid=jid) for jid in range(1, SEED_PAPERS + 1))
+            if p is not None
+        ]
+    return {
+        "papers": sorted(papers),
+        "users": sorted(users),
+        "reviews": sorted(reviews),
+        "singles": sorted(singles),
+    }
+
+
+def test_cached_results_equal_uncached_for_every_viewer(two_stacks):
+    cached, uncached, created_cached, created_uncached = two_stacks
+    viewers_cached = _all_viewers(created_cached)
+    viewers_uncached = _all_viewers(created_uncached)
+    assert [v.jid for v in viewers_cached] == [v.jid for v in viewers_uncached]
+
+    # Warm every cache layer with every viewer's traffic first, so each
+    # comparison below runs against entries populated by *other* viewers.
+    for viewer in viewers_cached:
+        _observe(cached, viewer)
+
+    for viewer_c, viewer_u in zip(viewers_cached, viewers_uncached):
+        assert _observe(cached, viewer_c) == _observe(uncached, viewer_u), (
+            f"cached view for {viewer_c.name} diverged from uncached"
+        )
+
+
+def test_cached_results_equal_uncached_after_phase_change(two_stacks):
+    cached, uncached, created_cached, created_uncached = two_stacks
+    for viewer in _all_viewers(created_cached):
+        _observe(cached, viewer)  # warm under the submission phase
+    ConferencePhase.set(ConferencePhase.FINAL)
+    for viewer_c, viewer_u in zip(
+        _all_viewers(created_cached), _all_viewers(created_uncached)
+    ):
+        assert _observe(cached, viewer_c) == _observe(uncached, viewer_u)
+
+
+def test_author_identity_never_leaks_between_authors(two_stacks):
+    """A directed leak probe on top of the structural equality."""
+    cached, _uncached, created, _ = two_stacks
+    author0, author1 = created["users"][0], created["users"][1]
+    with use_form(cached):
+        with viewer_context(author0):
+            own = Paper.objects.get(title="Paper 0")
+            assert own.author is not None and own.author.name == author0.name
+        # author1 queries the same paper right after author0 warmed the
+        # caches; the authorship must stay anonymous.
+        with viewer_context(author1):
+            other = Paper.objects.get(title="Paper 0")
+            assert other.author is None
+        # And the public placeholder cached for author1 must not blind
+        # author0 on a subsequent read.
+        with viewer_context(author0):
+            again = Paper.objects.get(title="Paper 0")
+            assert again.author is not None and again.author.name == author0.name
+
+
+def test_email_visibility_per_viewer_with_warm_caches(two_stacks):
+    cached, _uncached, created, _ = two_stacks
+    chair = created["chair"][0]
+    author0 = created["users"][0]
+    with use_form(cached):
+        with viewer_context(chair):
+            seen_by_chair = {u.name: u.email for u in ConfUser.objects.all().fetch()}
+        with viewer_context(author0):
+            seen_by_author = {u.name: u.email for u in ConfUser.objects.all().fetch()}
+    assert seen_by_chair["author1"] == "author1@conf.org"  # chair sees all
+    assert seen_by_author["author0"] == "author0@conf.org"  # own email
+    assert seen_by_author["author1"] == "[hidden email]"  # others hidden

@@ -186,6 +186,132 @@ def test_query_to_sql_round_trips_through_sqlite():
     assert params == ["Dagstuhl"]
 
 
+# -- write-through invalidation events (both backends via the `database` fixture) --
+
+
+def test_insert_update_delete_publish_events(database):
+    db = seeded(database)
+    events = []
+    db.invalidation.subscribe(events.append)
+    db.insert("Event", name="x", location="y", attendees=1, jid=9, jvars="")
+    assert events == ["Event"]
+    db.update("Event", eq("jid", 9), attendees=2)
+    assert events == ["Event", "Event"]
+    db.delete("Event", eq("jid", 9))
+    assert events == ["Event", "Event", "Event"]
+
+
+def test_no_op_writes_publish_nothing(database):
+    db = seeded(database)
+    events = []
+    db.invalidation.subscribe(events.append)
+    assert db.update("Event", eq("jid", 999), attendees=1) == 0
+    assert db.delete("Event", eq("jid", 999)) == 0
+    assert events == []
+
+
+def test_write_generation_counters(database):
+    db = seeded(database)
+    before = db.invalidation.write_generation("Event")
+    db.insert("Event", name="x", location="y", attendees=1, jid=9, jvars="")
+    assert db.invalidation.write_generation("Event") == before + 1
+    assert db.invalidation.write_generation("Guest") >= 0
+
+
+def test_clear_publishes_wildcard(database):
+    from repro.cache import ALL_TABLES
+
+    db = seeded(database)
+    events = []
+    db.invalidation.subscribe(events.append)
+    db.clear()
+    assert events == [ALL_TABLES]
+
+
+def test_schema_changes_bump_schema_generation(database):
+    db = seeded(database)
+    generation = db.invalidation.schema_generation
+    db.define_table("Extra", note=ColumnType.TEXT)
+    assert db.invalidation.schema_generation == generation + 1
+    events = []
+    db.invalidation.subscribe(events.append)
+    db.drop_table("Extra")
+    assert db.invalidation.schema_generation == generation + 2
+    assert "Extra" in events  # dropped data invalidates like a write
+
+
+def test_insert_many_single_event_and_rows_present(database):
+    db = seeded(database)
+    events = []
+    db.invalidation.subscribe(events.append)
+    rows = [
+        {"name": f"bulk{i}", "location": "Hall", "attendees": i, "jid": 100 + i, "jvars": ""}
+        for i in range(10)
+    ]
+    pks = db.insert_many("Event", rows)
+    assert len(pks) == 10 and len(set(pks)) == 10
+    assert events == ["Event"]
+    stored = db.find("Event", location="Hall")
+    assert sorted(row["name"] for row in stored) == sorted(f"bulk{i}" for i in range(10))
+    # Returned primary keys address the inserted rows.
+    by_pk = db.get("Event", id=pks[0])
+    assert by_pk is not None and by_pk["name"] == "bulk0"
+
+
+def test_insert_many_with_explicit_ids(database):
+    db = seeded(database)
+    rows = [
+        {"id": 50, "name": "fixed", "location": "L", "attendees": 0, "jid": 50, "jvars": ""},
+        {"name": "auto", "location": "L", "attendees": 0, "jid": 51, "jvars": ""},
+    ]
+    pks = db.insert_many("Event", rows)
+    assert pks[0] == 50
+    assert db.get("Event", id=50)["name"] == "fixed"
+    assert db.get("Event", id=pks[1])["name"] == "auto"
+
+
+def test_insert_many_partial_failure_never_leaves_silent_rows(database):
+    """A failing batch must not leave rows invisible to the invalidation
+    bus: either nothing is committed (SQLite rolls the transaction back) or
+    the committed prefix is announced (memory engine)."""
+    db = seeded(database)
+    events = []
+    db.invalidation.subscribe(events.append)
+    rows = [
+        {"id": 200, "name": "ok", "location": "L", "attendees": 0, "jid": 70, "jvars": ""},
+        {"id": 200, "name": "dup", "location": "L", "attendees": 0, "jid": 71, "jvars": ""},
+    ]
+    with pytest.raises(Exception):
+        db.insert_many("Event", rows)  # duplicate primary key fails mid-batch
+    inserted = db.find("Event", jid=70)
+    if inserted:
+        assert events == ["Event"]  # committed prefix was announced
+    else:
+        assert events == []  # rolled back: nothing to announce
+
+
+def test_insert_many_pks_correct_after_deleting_max_id_row(database):
+    db = seeded(database)
+    max_id = max(row["id"] for row in db.rows("Event"))
+    db.delete("Event", eq("id", max_id))
+    rows = [
+        {"name": f"after{i}", "location": "L", "attendees": 0, "jid": 80 + i, "jvars": ""}
+        for i in range(2)
+    ]
+    pks = db.insert_many("Event", rows)
+    for pk, expected in zip(pks, ("after0", "after1")):
+        stored = db.get("Event", id=pk)
+        assert stored is not None and stored["name"] == expected
+
+
+def test_insert_many_empty_is_a_no_op(database):
+    db = seeded(database)
+    events = []
+    db.invalidation.subscribe(events.append)
+    assert db.insert_many("Event", []) == []
+    assert events == []
+
+
 def test_table2_sql_translation_shapes():
     """Table 2: the Jacqueline translation adds jid/jvars and joins on jid."""
     kwargs = dict(
