@@ -18,7 +18,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.db.engine import Database
 from repro.db.expr import eq
-from repro.db.query import Query
+from repro.db.query import Query, limit_by_key
 from repro.db.schema import Column, ColumnType, TableSchema
 from repro.form.fields import Field
 from repro.baseline.fields import ForeignKey
@@ -259,6 +259,12 @@ class BaselineQuerySet:
         for row in rows:
             values = self._base_values(meta, row, joined)
             instances.append(_instance_from_row(self.model, values))
+        if joined:
+            # Joined queries cannot push the limit into SQL: the join may
+            # duplicate base rows, and a row limit would count duplicates.
+            # Count distinct records (pks) instead -- the same helper the
+            # FORM uses per jid, so both stacks return the same record set.
+            instances = limit_by_key(instances, lambda inst: inst.pk, self.limit)
         return instances
 
     def __iter__(self) -> Iterator[Model]:
@@ -295,6 +301,10 @@ class BaselineQuerySet:
             query = self._apply_filter(meta, query, joined, lookup, value, has_join)
         for field, ascending in self.order_fields:
             column = meta.fields[field].column_name if field in meta.fields else field
+            if joined and "." not in column:
+                # Qualify with the base table: the joined table may carry a
+                # column of the same name, which SQLite rejects as ambiguous.
+                column = f"{meta.table_name}.{column}"
             query = query.ordered_by(column, ascending)
         if self.limit is not None and not joined:
             query = query.limited(self.limit)

@@ -30,6 +30,10 @@ class CacheConfig:
     enabled: bool = True
     query_cache_size: int = 512
     query_cache_ttl: Optional[float] = None
+    #: results with more rows than this are served but not cached -- the LRU
+    #: bound counts entries, so one huge result must not pin a full-table
+    #: copy per filter/ordering combination (``None`` = no row cap).
+    query_cache_max_rows: Optional[int] = 10_000
     label_cache_size: int = 8192
     label_cache_ttl: Optional[float] = None
     fragment_cache_enabled: bool = False

@@ -23,7 +23,9 @@ class FormCaches:
     def __init__(self, config: Optional[CacheConfig] = None) -> None:
         self.config = config if config is not None else CacheConfig()
         self.queries = FacetedQueryCache(
-            self.config.query_cache_size, self.config.query_cache_ttl
+            self.config.query_cache_size,
+            self.config.query_cache_ttl,
+            max_rows=self.config.query_cache_max_rows,
         )
         self.labels = LabelResolutionCache(
             self.config.label_cache_size, self.config.label_cache_ttl

@@ -43,9 +43,13 @@ class FacetedQueryCache:
         max_entries: Optional[int] = 512,
         ttl: Optional[float] = None,
         clock=None,
+        max_rows: Optional[int] = None,
     ) -> None:
         kwargs = {} if clock is None else {"clock": clock}
         self._lru = LRUCache(max_entries, ttl, on_evict=self._forget_key, **kwargs)
+        #: row-count cap per stored result (None = uncapped); the entry-count
+        #: LRU bound alone would let one huge result pin a full-table copy.
+        self.max_rows = max_rows
         #: table name -> keys of live entries that read from the table
         self._keys_by_table: Dict[str, set] = {}
         self._index_lock = threading.Lock()
@@ -106,7 +110,12 @@ class FacetedQueryCache:
         return None if value is MISSING else value
 
     def put(self, key: Hashable, tables: Sequence[str], entries: List[CachedEntry]) -> None:
-        """Store a result and register it for invalidation on each table."""
+        """Store a result and register it for invalidation on each table.
+
+        Oversized results (more rows than ``max_rows``) are served but not
+        stored, bounding per-entry memory."""
+        if self.max_rows is not None and len(entries) > self.max_rows:
+            return
         with self._index_lock:
             for table in tables:
                 self._keys_by_table.setdefault(table, set()).add(key)

@@ -44,7 +44,10 @@ class JeevesRuntime:
 
     def __init__(self) -> None:
         self.policy_env = PolicyEnv()
-        self._pc_stack: List[PathCondition] = [EMPTY_PC]
+        # The path condition is control-flow state, so it is per-thread: two
+        # request workers sharing one runtime each get their own stack and
+        # cannot observe (or corrupt) each other's speculative branches.
+        self._pc_state = threading.local()
         self._viewer_hint: Any = None
 
     # -- labels and policies -----------------------------------------------------
@@ -71,27 +74,36 @@ class JeevesRuntime:
 
     # -- path condition management ------------------------------------------------
 
+    def _pc_stack(self) -> List[PathCondition]:
+        stack = getattr(self._pc_state, "stack", None)
+        if stack is None:
+            stack = [EMPTY_PC]
+            self._pc_state.stack = stack
+        return stack
+
     def current_pc(self) -> PathCondition:
-        return self._pc_stack[-1]
+        return self._pc_stack()[-1]
 
     @contextlib.contextmanager
     def under_pc(self, pc: PathCondition):
         """Run a block with an explicit path condition (used by the FORM)."""
-        self._pc_stack.append(pc)
+        stack = self._pc_stack()
+        stack.append(pc)
         try:
             yield pc
         finally:
-            self._pc_stack.pop()
+            stack.pop()
 
     @contextlib.contextmanager
     def under_branch(self, label: Label, positive: bool):
         """Run a block with the current pc extended by one branch."""
         new_pc = self.current_pc().extend_label(label, positive)
-        self._pc_stack.append(new_pc)
+        stack = self._pc_stack()
+        stack.append(new_pc)
         try:
             yield new_pc
         finally:
-            self._pc_stack.pop()
+            stack.pop()
 
     # -- faceted control flow -------------------------------------------------------
 
@@ -241,7 +253,7 @@ class JeevesRuntime:
     def reset(self) -> None:
         """Drop all policies and path conditions (fresh application state)."""
         self.policy_env = PolicyEnv()
-        self._pc_stack = [EMPTY_PC]
+        self._pc_state = threading.local()
         self._viewer_hint = None
 
 

@@ -24,7 +24,20 @@ class Backend(abc.ABC):
     write, so caches layered above the database can never serve rows older
     than the latest committed write.  The bus is created lazily; publishing
     with no subscribers is a cheap counter bump.
+
+    Thread-safety contract (relied on by the WSGI serving layer): every
+    method may be called from any thread.  Writes serialise internally and
+    publish their invalidation event exactly once, after the write is
+    committed/visible; reads return a consistent snapshot no older than the
+    latest completed write.  Backends that can serve reads without blocking
+    a concurrent writer advertise it via :attr:`supports_concurrent_reads`.
     """
+
+    #: Whether reads proceed without waiting on an in-flight writer
+    #: (e.g. SQLite in WAL mode with per-thread connections).
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return False
 
     @property
     def invalidation(self) -> InvalidationBus:
@@ -88,6 +101,19 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def delete(self, table: str, where: Optional[Expression]) -> int:
         """Delete matching rows; returns the number of rows removed."""
+
+    def replace_rows(
+        self, table: str, where: Optional[Expression], rows: Sequence[Dict[str, Any]]
+    ) -> List[int]:
+        """Replace the rows matching ``where`` with ``rows``; returns new pks.
+
+        The FORM rewrites a record's facet-row set with this on every update.
+        Concrete backends override it to make the swap atomic for readers
+        (one transaction / one lock hold) with a single invalidation event;
+        this default is the non-atomic delete + insert fallback.
+        """
+        self.delete(table, where)
+        return self.insert_many(table, rows)
 
     # -- queries -----------------------------------------------------------------------
 

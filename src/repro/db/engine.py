@@ -27,6 +27,23 @@ class Database:
     def __init__(self, backend: Optional[Backend] = None) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
 
+    @classmethod
+    def sqlite(cls, path: str = ":memory:", timeout: float = 30.0) -> "Database":
+        """A database backed by SQLite.
+
+        A file ``path`` gets per-thread WAL connections (concurrent readers);
+        ``":memory:"`` falls back to one lock-serialised connection.
+        """
+        from repro.db.sqlite_backend import SqliteBackend
+
+        return cls(SqliteBackend(path, timeout=timeout))
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     @property
     def invalidation(self) -> InvalidationBus:
         """The backend's write-event bus (write-through cache invalidation)."""
@@ -70,6 +87,15 @@ class Database:
 
     def delete(self, table: str, where: Optional[Expression] = None) -> int:
         return self.backend.delete(table, where)
+
+    def replace_rows(
+        self,
+        table: str,
+        where: Optional[Expression],
+        rows: Sequence[Dict[str, Any]],
+    ) -> List[int]:
+        """Atomically swap the rows matching ``where`` for ``rows``."""
+        return self.backend.replace_rows(table, where, rows)
 
     def query(self, table: str) -> Query:
         """Start a fluent query against ``table``."""

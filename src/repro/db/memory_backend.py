@@ -1,7 +1,15 @@
-"""A pure-Python relational backend built on :class:`repro.db.table.Table`."""
+"""A pure-Python relational backend built on :class:`repro.db.table.Table`.
+
+Thread safety: all table access -- reads included -- serialises on one
+coarse re-entrant lock, so request worker threads can share a backend
+without tearing the row dicts or index sets mid-scan.  Invalidation events
+publish after the lock is released, keeping subscriber callbacks free to
+touch the backend re-entrantly.
+"""
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 from repro.db.backend import Backend
@@ -16,17 +24,21 @@ class MemoryBackend(Backend):
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        self._lock = threading.RLock()
 
     # -- schema management ---------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:
-        if schema.name in self._tables:
-            return
-        self._tables[schema.name] = Table(schema)
+        with self._lock:
+            if schema.name in self._tables:
+                return
+            self._tables[schema.name] = Table(schema)
         self._publish_schema_change()
 
     def drop_table(self, name: str) -> None:
-        if self._tables.pop(name, None) is not None:
+        with self._lock:
+            dropped = self._tables.pop(name, None) is not None
+        if dropped:
             self._publish_schema_change(name)
 
     def has_table(self, name: str) -> bool:
@@ -47,45 +59,79 @@ class MemoryBackend(Backend):
     # -- data manipulation -------------------------------------------------------------
 
     def insert(self, table: str, values: Dict[str, Any]) -> int:
-        pk = self._table(table).insert(values)
+        with self._lock:
+            pk = self._table(table).insert(values)
         self._publish_write(table)
         return pk
 
     def insert_many(self, table: str, rows) -> List[int]:
-        """Batch insert: one invalidation event for the whole batch.
+        """Batch insert: atomic, with one invalidation event for the batch.
 
-        The event must fire even when a later row fails validation --
-        earlier rows are already in the table, and caches must not keep
-        serving the pre-insert result.
+        A mid-batch failure removes the rows already inserted (mirroring the
+        SQLite backend's transaction rollback), so a record expanded into
+        several facet rows is either fully present or fully absent.
         """
-        target = self._table(table)
-        pks: List[int] = []
-        try:
-            for row in rows:
-                pks.append(target.insert(row))
-        finally:
-            if pks:
-                self._publish_write(table)
+        with self._lock:
+            target = self._table(table)
+            pks: List[int] = []
+            try:
+                for row in rows:
+                    pks.append(target.insert(row))
+            except BaseException:
+                for pk in pks:
+                    target.remove(pk)
+                raise
+        if pks:
+            self._publish_write(table)
         return pks
 
     def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
-        count = self._table(table).update(where, values)
+        with self._lock:
+            count = self._table(table).update(where, values)
         if count:
             self._publish_write(table)
         return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
-        count = self._table(table).delete(where)
+        with self._lock:
+            count = self._table(table).delete(where)
         if count:
             self._publish_write(table)
         return count
 
+    def replace_rows(self, table: str, where: Optional[Expression], rows) -> List[int]:
+        """Swap matching rows for ``rows`` under one lock hold, atomically.
+
+        Readers serialise on the same lock, so they observe the table before
+        or after the swap, never the emptied middle state.  On any insert
+        failure the swap is rolled back (inserted rows removed, deleted rows
+        restored), matching the SQLite backend's transaction semantics.
+        """
+        with self._lock:
+            target = self._table(table)
+            replaced = target.scan(where)
+            target.delete(where)
+            pks: List[int] = []
+            try:
+                for row in rows:
+                    pks.append(target.insert(row))
+            except BaseException:
+                for pk in pks:
+                    target.remove(pk)
+                for old_row in replaced:
+                    target.insert(old_row)
+                raise
+        if replaced or pks:
+            self._publish_write(table)
+        return pks
+
     # -- queries --------------------------------------------------------------------------
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
-        rows = self._join_rows(query)
-        if query.where is not None:
-            rows = [row for row in rows if query.where.evaluate(row)]
+        with self._lock:
+            rows = self._join_rows(query)
+            if query.where is not None:
+                rows = [row for row in rows if query.where.evaluate(row)]
         rows = apply_order(rows, query.order_by)
         rows = apply_limit(rows, query.limit, query.offset)
         columns = query.qualified_columns() if query.is_join() else query.columns
@@ -96,9 +142,10 @@ class MemoryBackend(Backend):
     def aggregate(self, query: Query) -> Any:
         if query.aggregate is None:
             raise ValueError("aggregate() requires a query with an aggregate")
-        rows = self._join_rows(query)
-        if query.where is not None:
-            rows = [row for row in rows if query.where.evaluate(row)]
+        with self._lock:
+            rows = self._join_rows(query)
+            if query.where is not None:
+                rows = [row for row in rows if query.where.evaluate(row)]
         if query.group_by:
             grouped: Dict[tuple, List[Dict[str, Any]]] = {}
             for row in rows:
@@ -111,8 +158,9 @@ class MemoryBackend(Backend):
         return compute_aggregate(rows, query.aggregate)
 
     def clear(self) -> None:
-        for table in self._tables.values():
-            table.clear()
+        with self._lock:
+            for table in self._tables.values():
+                table.clear()
         self._publish_clear()
 
     # -- internals ---------------------------------------------------------------------------

@@ -120,6 +120,28 @@ def apply_limit(
     return rows
 
 
+def limit_by_key(items: List[Any], key, limit: Optional[int]) -> List[Any]:
+    """Keep every item of the first ``limit`` distinct keys, in order.
+
+    The record-counting limit shared by both ORMs: the FORM limits facet
+    rows per jid, the baseline limits joined rows per pk.  All items of a
+    kept key are retained wherever they appear, so a limited result can
+    never truncate one record to a subset of its rows.
+    """
+    if limit is None:
+        return items
+    kept: Dict[Any, None] = {}
+    limited: List[Any] = []
+    for item in items:
+        item_key = key(item)
+        if item_key not in kept:
+            if len(kept) >= limit:
+                continue
+            kept[item_key] = None
+        limited.append(item)
+    return limited
+
+
 def compute_aggregate(rows: List[Dict[str, Any]], aggregate: Aggregate) -> Any:
     """Evaluate an aggregate over already-filtered rows."""
     function = aggregate.function.upper()

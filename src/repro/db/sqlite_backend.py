@@ -3,14 +3,28 @@
 This demonstrates the paper's claim that the FORM "works with existing
 relational database implementations": the same meta-data manipulation used
 by the in-memory engine runs unmodified against a real SQL database.
+
+Concurrency model (the serving layer runs requests on worker threads):
+
+* **File databases** use one connection per thread from a small pool, with
+  WAL journaling so readers never block on the single writer.  Reads run on
+  the calling thread's own connection without any framework lock; writes
+  serialise on a process-wide write lock and commit before the lock is
+  released, so the invalidation bus publishes exactly once per committed
+  write and no cached read can observe rows older than that write.
+* **In-memory databases** cannot be shared between connections, so every
+  operation -- reads included -- serialises on the write lock over the one
+  shared connection.  That keeps ``:memory:`` correct (tests, benchmarks)
+  at the cost of read concurrency; use a file path for concurrent serving.
 """
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import sqlite3
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.db.backend import Backend
 from repro.db.expr import Expression
@@ -19,14 +33,144 @@ from repro.db.schema import Column, ColumnType, SchemaError, TableSchema
 from repro.db.sqlgen import query_to_sql, schema_to_sql
 
 
+class _ConnectionPool:
+    """Per-thread ``sqlite3`` connections against one database file.
+
+    A thread borrows a connection on first use and keeps it for its
+    lifetime; connections owned by finished threads are reclaimed onto a
+    free list (swept deterministically whenever another thread needs a
+    connection -- no reliance on GC finalisers), so thread-per-connection
+    servers reuse a handful of connections instead of leaking one per
+    request thread.  Connections are configured for WAL + busy-timeout and
+    tracked so :meth:`close_all` can release them
+    (``check_same_thread=False`` permits the cross-thread reuse and close).
+    """
+
+    def __init__(self, path: str, timeout: float) -> None:
+        self._path = path
+        self._timeout = timeout
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._free: List[sqlite3.Connection] = []
+        #: thread ident -> (thread, its borrowed connection)
+        self._owners: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def connection(self) -> sqlite3.Connection:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection
+        me = threading.current_thread()
+        with self._lock:
+            if self._closed:
+                raise sqlite3.ProgrammingError("connection pool is closed")
+            self._reclaim_dead_locked()
+            connection = self._free.pop() if self._free else None
+        created = False
+        if connection is None:
+            connection = sqlite3.connect(
+                self._path, timeout=self._timeout, check_same_thread=False
+            )
+            connection.row_factory = sqlite3.Row
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute(f"PRAGMA busy_timeout={int(self._timeout * 1000)}")
+            created = True
+        with self._lock:
+            # Re-check under the registering lock hold: close_all() may have
+            # run while this connection was being opened, and a connection
+            # registered after the close would never be closed.
+            if not self._closed:
+                if created:
+                    self._connections.append(connection)
+                self._owners[me.ident] = (me, connection)
+                self._local.connection = connection
+                return connection
+        try:
+            connection.close()
+        except sqlite3.Error:  # pragma: no cover - close is best-effort
+            pass
+        raise sqlite3.ProgrammingError("connection pool is closed")
+
+    def _reclaim_dead_locked(self) -> None:
+        """Move connections of finished threads back to the free list."""
+        for ident, (thread, connection) in list(self._owners.items()):
+            if not thread.is_alive():
+                del self._owners[ident]
+                self._free.append(connection)
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._closed = True
+            connections, self._connections = self._connections, []
+            self._free.clear()
+            self._owners.clear()
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+
+
 class SqliteBackend(Backend):
     """Stores tables in a SQLite database (in-memory by default)."""
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path, check_same_thread=False)
-        self._connection.row_factory = sqlite3.Row
-        self._lock = threading.Lock()
+    def __init__(self, path: str = ":memory:", timeout: float = 30.0) -> None:
+        self._path = path
+        self._is_memory = path == ":memory:"
+        self._write_lock = threading.RLock()
         self._schemas: Dict[str, TableSchema] = {}
+        if self._is_memory:
+            self._shared_connection: Optional[sqlite3.Connection] = sqlite3.connect(
+                path, check_same_thread=False
+            )
+            self._shared_connection.row_factory = sqlite3.Row
+            self._pool: Optional[_ConnectionPool] = None
+        else:
+            self._shared_connection = None
+            self._pool = _ConnectionPool(path, timeout)
+            # Create the file (and switch it to WAL) eagerly so a failure
+            # surfaces at construction, not on the first worker thread.
+            self._pool.connection()
+
+    #: File-backed instances serve concurrent readers without locking (WAL).
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return not self._is_memory
+
+    # -- connection handling ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _reading(self) -> Iterator[sqlite3.Connection]:
+        """A connection suitable for a read on the calling thread."""
+        if self._is_memory:
+            with self._write_lock:
+                yield self._shared_connection
+        else:
+            yield self._pool.connection()
+
+    @contextlib.contextmanager
+    def _writing(self) -> Iterator[sqlite3.Connection]:
+        """The write-lock-protected connection; commit before it is released.
+
+        Any exception rolls the connection back: a failed statement must not
+        leave the implicit transaction open, or every later lock-free WAL
+        read on this thread's connection would be pinned to a stale snapshot.
+        """
+        with self._write_lock:
+            connection = (
+                self._shared_connection if self._is_memory else self._pool.connection()
+            )
+            try:
+                yield connection
+            except BaseException:
+                connection.rollback()
+                raise
 
     # -- schema management ------------------------------------------------------------
 
@@ -34,22 +178,23 @@ class SqliteBackend(Backend):
         if schema.name in self._schemas:
             return
         statement = schema_to_sql(schema)
-        with self._lock:
-            self._connection.execute(statement)
+        with self._writing() as connection:
+            connection.execute(statement)
             for column in schema.indexed_columns():
-                self._connection.execute(
+                connection.execute(
                     f'CREATE INDEX IF NOT EXISTS "idx_{schema.name}_{column.name}" '
                     f'ON "{schema.name}" ("{column.name}")'
                 )
-            self._connection.commit()
-        self._schemas[schema.name] = schema
+            connection.commit()
+            self._schemas[schema.name] = schema
         self._publish_schema_change()
 
     def drop_table(self, name: str) -> None:
-        with self._lock:
-            self._connection.execute(f'DROP TABLE IF EXISTS "{name}"')
-            self._connection.commit()
-        if self._schemas.pop(name, None) is not None:
+        with self._writing() as connection:
+            connection.execute(f'DROP TABLE IF EXISTS "{name}"')
+            connection.commit()
+            dropped = self._schemas.pop(name, None) is not None
+        if dropped:
             self._publish_schema_change(name)
 
     def has_table(self, name: str) -> bool:
@@ -66,21 +211,33 @@ class SqliteBackend(Backend):
 
     # -- data manipulation ---------------------------------------------------------------
 
-    def insert(self, table: str, values: Dict[str, Any]) -> int:
-        schema = self.schema(table)
+    def _prepare_row(self, schema: TableSchema, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a row and drop an unassigned primary key."""
         row = schema.validate_row(values)
         pk_name = schema.primary_key.name
         if row.get(pk_name) is None:
             row.pop(pk_name, None)
+        return row
+
+    def _insert_one(
+        self, connection: sqlite3.Connection, schema: TableSchema, table: str,
+        row: Dict[str, Any],
+    ) -> int:
+        """Execute one INSERT on ``connection`` (no commit) and return the pk."""
         columns = list(row.keys())
         placeholders = ", ".join("?" for _ in columns)
         column_sql = ", ".join(f'"{name}"' for name in columns)
-        params = [self._encode(schema.column(name), row[name]) for name in columns]
         statement = f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
-        with self._lock:
-            cursor = self._connection.execute(statement, params)
-            self._connection.commit()
-            pk = int(cursor.lastrowid)
+        params = [self._encode(schema.column(name), row[name]) for name in columns]
+        cursor = connection.execute(statement, params)
+        return int(cursor.lastrowid)
+
+    def insert(self, table: str, values: Dict[str, Any]) -> int:
+        schema = self.schema(table)
+        row = self._prepare_row(schema, values)
+        with self._writing() as connection:
+            pk = self._insert_one(connection, schema, table, row)
+            connection.commit()
         self._publish_write(table)
         return pk
 
@@ -95,58 +252,41 @@ class SqliteBackend(Backend):
             return []
         schema = self.schema(table)
         pk_name = schema.primary_key.name
-        prepared = []
-        for values in rows:
-            row = schema.validate_row(values)
-            if row.get(pk_name) is None:
-                row.pop(pk_name, None)
-            prepared.append(row)
+        prepared = [self._prepare_row(schema, values) for values in rows]
         column_sets = {tuple(sorted(row.keys())) for row in prepared}
         # executemany cannot report per-row ids; only use it when the rows
         # are homogeneous and let SQLite assign every primary key, so the
         # assigned range is contiguous from MAX(rowid).
         batchable = len(column_sets) == 1 and not any(pk_name in row for row in prepared)
         pks: List[int] = []
-        with self._lock:
-            # The batch is one transaction: roll back on any failure so a
-            # half-inserted batch can neither linger uncommitted on the
-            # shared connection nor be committed later by an unrelated
-            # write without an invalidation event.
-            try:
-                if batchable:
-                    columns = list(prepared[0].keys())
-                    placeholders = ", ".join("?" for _ in columns)
-                    column_sql = ", ".join(f'"{name}"' for name in columns)
-                    statement = f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
-                    params = [
-                        [self._encode(schema.column(name), row[name]) for name in columns]
-                        for row in prepared
-                    ]
-                    self._connection.executemany(statement, params)
-                    # Ids are assigned contiguously ending at the new max:
-                    # we hold the connection lock, so no writer interleaves.
-                    # (Counting down from the post-insert max is correct for
-                    # both AUTOINCREMENT and plain rowid allocation, unlike
-                    # pre-insert max + 1, which is wrong after deletions.)
-                    cursor = self._connection.execute("SELECT MAX(rowid) FROM " + f'"{table}"')
-                    after = int(cursor.fetchone()[0])
-                    self._connection.commit()
-                    pks = list(range(after - len(prepared) + 1, after + 1))
-                else:
-                    for row in prepared:
-                        columns = list(row.keys())
-                        placeholders = ", ".join("?" for _ in columns)
-                        column_sql = ", ".join(f'"{name}"' for name in columns)
-                        statement = (
-                            f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
-                        )
-                        params = [self._encode(schema.column(name), row[name]) for name in columns]
-                        cursor = self._connection.execute(statement, params)
-                        pks.append(int(cursor.lastrowid))
-                    self._connection.commit()
-            except BaseException:
-                self._connection.rollback()
-                raise
+        # The batch is one transaction (_writing rolls back on any failure),
+        # so a half-inserted batch can neither linger uncommitted on the
+        # connection nor be committed later by an unrelated write without an
+        # invalidation event.
+        with self._writing() as connection:
+            if batchable:
+                columns = list(prepared[0].keys())
+                placeholders = ", ".join("?" for _ in columns)
+                column_sql = ", ".join(f'"{name}"' for name in columns)
+                statement = f'INSERT INTO "{table}" ({column_sql}) VALUES ({placeholders})'
+                params = [
+                    [self._encode(schema.column(name), row[name]) for name in columns]
+                    for row in prepared
+                ]
+                connection.executemany(statement, params)
+                # Ids are assigned contiguously ending at the new max:
+                # we hold the write lock, so no writer interleaves.
+                # (Counting down from the post-insert max is correct for
+                # both AUTOINCREMENT and plain rowid allocation, unlike
+                # pre-insert max + 1, which is wrong after deletions.)
+                cursor = connection.execute("SELECT MAX(rowid) FROM " + f'"{table}"')
+                after = int(cursor.fetchone()[0])
+                connection.commit()
+                pks = list(range(after - len(prepared) + 1, after + 1))
+            else:
+                for row in prepared:
+                    pks.append(self._insert_one(connection, schema, table, row))
+                connection.commit()
         self._publish_write(table)
         return pks
 
@@ -161,9 +301,9 @@ class SqliteBackend(Backend):
             where_sql, where_params = where.to_sql()
             statement += f" WHERE {where_sql}"
             params.extend(self._encode_params(where_params))
-        with self._lock:
-            cursor = self._connection.execute(statement, params)
-            self._connection.commit()
+        with self._writing() as connection:
+            cursor = connection.execute(statement, params)
+            connection.commit()
             count = cursor.rowcount
         if count:
             self._publish_write(table)
@@ -176,20 +316,45 @@ class SqliteBackend(Backend):
             where_sql, where_params = where.to_sql()
             statement += f" WHERE {where_sql}"
             params.extend(self._encode_params(where_params))
-        with self._lock:
-            cursor = self._connection.execute(statement, params)
-            self._connection.commit()
+        with self._writing() as connection:
+            cursor = connection.execute(statement, params)
+            connection.commit()
             count = cursor.rowcount
         if count:
             self._publish_write(table)
         return count
 
+    def replace_rows(self, table: str, where: Optional[Expression], rows) -> List[int]:
+        """Swap matching rows for ``rows`` in one committed transaction.
+
+        WAL readers on other connections see the pre- or post-swap table,
+        never the emptied middle state, and the invalidation bus fires once.
+        """
+        schema = self.schema(table)
+        delete_statement = f'DELETE FROM "{table}"'
+        delete_params: List[Any] = []
+        if where is not None:
+            where_sql, where_params = where.to_sql()
+            delete_statement += f" WHERE {where_sql}"
+            delete_params.extend(self._encode_params(where_params))
+        prepared = [self._prepare_row(schema, values) for values in rows]
+        pks: List[int] = []
+        with self._writing() as connection:
+            cursor = connection.execute(delete_statement, delete_params)
+            deleted = cursor.rowcount
+            for row in prepared:
+                pks.append(self._insert_one(connection, schema, table, row))
+            connection.commit()
+        if deleted or pks:
+            self._publish_write(table)
+        return pks
+
     # -- queries ------------------------------------------------------------------------------
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         statement, params = query_to_sql(query, qualify=query.is_join())
-        with self._lock:
-            cursor = self._connection.execute(statement, self._encode_params(params))
+        with self._reading() as connection:
+            cursor = connection.execute(statement, self._encode_params(params))
             raw_rows = cursor.fetchall()
         if query.is_join():
             columns = self._join_column_names(query)
@@ -213,20 +378,23 @@ class SqliteBackend(Backend):
                 for key, group in grouped.items()
             }
         statement, params = query_to_sql(query, qualify=query.is_join())
-        with self._lock:
-            cursor = self._connection.execute(statement, self._encode_params(params))
+        with self._reading() as connection:
+            cursor = connection.execute(statement, self._encode_params(params))
             row = cursor.fetchone()
         return row[0] if row is not None else None
 
     def clear(self) -> None:
-        with self._lock:
+        with self._writing() as connection:
             for name in self._schemas:
-                self._connection.execute(f'DELETE FROM "{name}"')
-            self._connection.commit()
+                connection.execute(f'DELETE FROM "{name}"')
+            connection.commit()
         self._publish_clear()
 
     def close(self) -> None:
-        self._connection.close()
+        if self._shared_connection is not None:
+            self._shared_connection.close()
+        if self._pool is not None:
+            self._pool.close_all()
 
     # -- encoding ---------------------------------------------------------------------------------
 

@@ -73,6 +73,15 @@ class Table:
             del self._rows[pk]
         return len(doomed)
 
+    def remove(self, pk: int) -> bool:
+        """Delete one row by primary key; returns whether it existed."""
+        row = self._rows.get(pk)
+        if row is None:
+            return False
+        self._index_remove(row)
+        del self._rows[pk]
+        return True
+
     def clear(self) -> None:
         self._rows.clear()
         self._next_pk = 1

@@ -36,7 +36,15 @@ from repro.form.fields import (
 from repro.form.policies import jacqueline, label_for
 from repro.form.model import JModel, ModelOptions
 from repro.form.manager import DoesNotExist, Manager, QuerySet
-from repro.form.context import FORM, current_form, current_viewer, use_form, viewer_context
+from repro.form.context import (
+    FORM,
+    current_form,
+    current_viewer,
+    set_default_form,
+    set_form,
+    use_form,
+    viewer_context,
+)
 from repro.form.marshal import format_jvars, parse_jvars
 from repro.form.migrations import add_metadata_columns, migrate_legacy_rows
 
@@ -59,6 +67,8 @@ __all__ = [
     "DoesNotExist",
     "FORM",
     "use_form",
+    "set_form",
+    "set_default_form",
     "current_form",
     "viewer_context",
     "current_viewer",

@@ -22,6 +22,7 @@ from repro.cache.config import CacheConfig
 from repro.cache.integration import FormCaches
 from repro.core.runtime import JeevesRuntime
 from repro.db.engine import Database
+from repro.db.query import Query
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.form.model import JModel
@@ -47,6 +48,19 @@ class FORM:
         self.runtime = runtime if runtime is not None else JeevesRuntime()
         self._models: Dict[str, type] = {}
         self._jid_counters: Dict[str, int] = {}
+        #: serialises jid allocation across request worker threads
+        self._jid_lock = threading.Lock()
+        #: striped locks for check-then-create sections (get_or_create):
+        #: same-key callers serialise, disjoint keys mostly proceed in
+        #: parallel instead of funnelling through one FORM-wide lock
+        self._creation_locks = tuple(threading.RLock() for _ in range(16))
+        #: serialises the delete+reinsert of a record's facet rows on update
+        self._save_lock = threading.RLock()
+        #: per-thread state for the policy re-entrancy guard: a label being
+        #: resolved is optimistically visible only within the thread (and
+        #: hence the resolution cycle) doing the resolving -- a second
+        #: request thread must evaluate the policy for real.
+        self._resolving_local = threading.local()
         #: label names whose policies have already been attached to the runtime
         self.registered_labels: set = set()
         self.cache_config = cache_config if cache_config is not None else CacheConfig()
@@ -57,11 +71,30 @@ class FORM:
     # -- model registration -------------------------------------------------------
 
     def register(self, model: type) -> None:
-        """Create the model's augmented table in this FORM's database."""
+        """Create the model's augmented table in this FORM's database.
+
+        When the table already holds rows (a persistent database reopened by
+        a fresh process), the jid counter resumes past the stored maximum so
+        new records can never collide with existing ones.
+        """
         options = model._meta
         self.database.create_table(options.table_schema())
         self._models[options.table_name] = model
-        self._jid_counters.setdefault(options.table_name, 0)
+        with self._jid_lock:
+            self._jid_counters.setdefault(options.table_name, 0)
+        try:
+            stored_max = self.database.aggregate(
+                Query(table=options.table_name).with_aggregate("MAX", "jid")
+            )
+        except Exception:
+            # The table pre-exists without the jid meta-data column (legacy
+            # schema awaiting migration): SQLITE_DQS=0 builds raise here.
+            stored_max = None
+        # Non-numeric results cover the same legacy case on permissive
+        # SQLite builds, which resolve the unknown quoted identifier to the
+        # string 'jid' instead of raising.
+        if isinstance(stored_max, (int, float)) and not isinstance(stored_max, bool):
+            self.note_jid(options.table_name, int(stored_max))
 
     def register_all(self, models: List[type]) -> None:
         for model in models:
@@ -73,15 +106,21 @@ class FORM:
     # -- jid allocation --------------------------------------------------------------
 
     def next_jid(self, table_name: str) -> int:
-        """Allocate the next facet identifier for a table."""
-        current = self._jid_counters.get(table_name, 0) + 1
-        self._jid_counters[table_name] = current
-        return current
+        """Allocate the next facet identifier for a table (thread-safe)."""
+        with self._jid_lock:
+            current = self._jid_counters.get(table_name, 0) + 1
+            self._jid_counters[table_name] = current
+            return current
+
+    def creation_lock(self, key: Any) -> Any:
+        """The lock serialising get_or_create for one filter key (striped)."""
+        return self._creation_locks[hash(key) % len(self._creation_locks)]
 
     def note_jid(self, table_name: str, jid: int) -> None:
         """Record an externally chosen jid so future allocations stay unique."""
-        if jid > self._jid_counters.get(table_name, 0):
-            self._jid_counters[table_name] = jid
+        with self._jid_lock:
+            if jid > self._jid_counters.get(table_name, 0):
+                self._jid_counters[table_name] = jid
 
     # -- convenience -----------------------------------------------------------------
 
@@ -91,17 +130,49 @@ class FORM:
         self.runtime.reset()
         self.registered_labels.clear()
         self.caches.clear()
-        for name in self._jid_counters:
-            self._jid_counters[name] = 0
+        with self._jid_lock:
+            for name in self._jid_counters:
+                self._jid_counters[name] = 0
 
 
 _state = threading.local()
+
+#: The process-wide default FORM.  The bottom of every thread's form stack is
+#: this shared instance, so a worker thread spawned by a WSGI server (or any
+#: ``threading.Thread``) sees the same database as the main thread instead of
+#: silently minting a private empty FORM.  Created lazily; replaced with
+#: :func:`set_default_form`.
+_default_form: Optional[FORM] = None
+_default_form_lock = threading.Lock()
+
+
+def _get_default_form() -> FORM:
+    global _default_form
+    with _default_form_lock:
+        if _default_form is None:
+            _default_form = FORM()
+        return _default_form
+
+
+def set_default_form(form: FORM) -> FORM:
+    """Install ``form`` as the process-wide default FORM.
+
+    Threads that have not pushed their own FORM (via :func:`use_form` or
+    :func:`set_form`) resolve :func:`current_form` to this instance.  Threads
+    whose stack was already initialised keep their current binding; serving
+    layers should therefore install the default before spawning workers (or
+    rely on the per-request ``use_form`` the applications perform anyway).
+    """
+    global _default_form
+    with _default_form_lock:
+        _default_form = form
+    return form
 
 
 def _form_stack() -> List[FORM]:
     stack = getattr(_state, "form_stack", None)
     if stack is None:
-        stack = [FORM()]
+        stack = [_get_default_form()]
         _state.form_stack = stack
     return stack
 

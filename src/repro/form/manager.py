@@ -23,7 +23,7 @@ from repro.cache.label_cache import viewer_cache_key
 from repro.core.facets import Facet
 from repro.core.labels import Label
 from repro.db.expr import Expression, eq
-from repro.db.query import Query
+from repro.db.query import Query, limit_by_key
 from repro.form.context import FORM, current_form, current_viewer
 from repro.form.fields import ForeignKey
 from repro.form.marshal import (
@@ -135,14 +135,19 @@ class QuerySet:
         return bool(count)
 
     def delete(self) -> int:
-        """Delete every facet row of every matching record."""
+        """Delete every facet row of every matching record.
+
+        Runs under the FORM save lock so deletions cannot interleave with a
+        concurrent update's delete+reinsert and be silently undone.
+        """
         form = current_form()
-        entries = self._fetch_entries(form)
         table = self.model._meta.table_name
-        deleted = 0
-        for jid in {jid for jid, _branches, _instance in entries}:
-            deleted += form.database.delete(table, eq("jid", jid))
-        return deleted
+        with form._save_lock:
+            entries = self._fetch_entries(form)
+            deleted = 0
+            for jid in {jid for jid, _branches, _instance in entries}:
+                deleted += form.database.delete(table, eq("jid", jid))
+            return deleted
 
     # -- internals -----------------------------------------------------------------------
 
@@ -161,32 +166,46 @@ class QuerySet:
         query, joined_tables = self._build_query(meta)
         cache = form.caches.queries if form.caches.query_cache_enabled else None
         key = None
+        raw_entries: Optional[
+            List[Tuple[int, Tuple[JvarBranch, ...], Dict[str, Any]]]
+        ] = None
         if cache is not None:
             key = cache.key_for(meta.table_name, query)
-            raw = cache.get(key)
-            if raw is not None:
-                return [
-                    (jid, branches, _instance_from_row(self.model, values))
-                    for jid, branches, values in raw
-                ]
-        rows = form.database.execute(query)
-        entries: List[Tuple[int, Tuple[JvarBranch, ...], Any]] = []
-        raw_entries: List[Tuple[int, Tuple[JvarBranch, ...], Dict[str, Any]]] = []
-        for row in rows:
-            values = self._base_values(meta, row, joined_tables)
-            branches = list(parse_jvars(values.get("jvars")))
-            # Joins contribute the jvars of every joined table (Table 2).
-            for table in joined_tables:
-                branches.extend(parse_jvars(row.get(f"{table}.jvars")))
-            jid = int(values.get("jid"))
-            unique_branches = tuple(dict.fromkeys(branches))
-            instance = _instance_from_row(self.model, values)
-            entries.append((jid, unique_branches, instance))
+            raw_entries = cache.get(key)
+        if raw_entries is None:
+            rows = form.database.execute(query)
+            raw_entries = []
+            for row in rows:
+                values = self._base_values(meta, row, joined_tables)
+                branches = list(parse_jvars(values.get("jvars")))
+                # Joins contribute the jvars of every joined table (Table 2).
+                for table in joined_tables:
+                    branches.extend(parse_jvars(row.get(f"{table}.jvars")))
+                jid = int(values.get("jid"))
+                raw_entries.append((jid, tuple(dict.fromkeys(branches)), values))
             if cache is not None:
-                raw_entries.append((jid, unique_branches, values))
-        if cache is not None:
-            cache.put(key, [meta.table_name, *joined_tables], raw_entries)
-        return entries
+                # The cache stores the full (unlimited) result, so one entry
+                # serves every limit of the same filters/ordering.
+                cache.put(key, [meta.table_name, *joined_tables], raw_entries)
+        # Truncate before unmarshalling so a limited fetch pays instance-
+        # building cost only for the kept rows, cached or not.
+        return [
+            (jid, branches, _instance_from_row(self.model, values))
+            for jid, branches, values in self._limit_entries(raw_entries)
+        ]
+
+    def _limit_entries(
+        self, entries: List[Tuple[int, Tuple[JvarBranch, ...], Any]]
+    ) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
+        """Apply ``self.limit`` per distinct record (jid), not per facet row.
+
+        Every facet row of a kept record is retained -- wherever it appears
+        in the row order -- so a limited result can never show a viewer the
+        wrong facet of a record or undercount records whose facets span
+        several rows.  Record order follows first appearance, which matches
+        the query's ORDER BY.
+        """
+        return limit_by_key(entries, lambda entry: entry[0], self.limit)
 
     def _build_query(self, meta) -> Tuple[Query, List[str]]:
         query = Query(table=meta.table_name)
@@ -196,9 +215,21 @@ class QuerySet:
             query = self._apply_filter(meta, query, joined, lookup, value, has_join)
         for field, ascending in self.order_fields:
             column = self._column_for(meta, field)
+            if joined and "." not in column:
+                # Under a join, both tables carry jid/jvars (and possibly
+                # application columns with the same name); an unqualified
+                # ORDER BY column is ambiguous on SQLite and resolved
+                # arbitrarily by the in-memory engine.
+                column = f"{meta.table_name}.{column}"
             query = query.ordered_by(column, ascending)
-        if self.limit is not None and not joined:
-            query = query.limited(self.limit)
+        # self.limit is deliberately NOT pushed into the relational query: a
+        # SQL LIMIT counts facet *rows*, but one logical record spans several
+        # rows (one per facet), so a row limit could truncate a record to a
+        # subset of its facets or undercount records.  _fetch_entries applies
+        # the limit per distinct jid after grouping instead.  (A bounded
+        # pushdown needs a jid subselect -- `WHERE jid IN (SELECT DISTINCT
+        # jid ... LIMIT n)` -- which repro.db does not express yet; see
+        # ROADMAP.  Until then limited()/first() scan the full match set.)
         return query, joined
 
     def _apply_filter(
@@ -340,7 +371,7 @@ class QuerySet:
                         if (
                             label_cache is not None
                             and viewer_key is not None
-                            and not getattr(form, "_resolving_labels", None)
+                            and not _resolving_labels(form)
                         ):
                             label_cache.put(
                                 label_name, viewer_key, actual,
@@ -375,10 +406,7 @@ class QuerySet:
 
         # Same re-entrancy guard as _resolve_label: a policy that queries the
         # data it guards sees its own label optimistically as visible.
-        resolving = getattr(form, "_resolving_labels", None)
-        if resolving is None:
-            resolving = set()
-            form._resolving_labels = resolving
+        resolving = _resolving_labels(form)
         key = (label_name, id(viewer))
         if key in resolving:
             return True
@@ -417,6 +445,12 @@ class Manager:
         extra field values used only on creation; join lookups
         (``fk__field``) cannot be turned into field values and are rejected
         when creation is required.
+
+        The check-then-create section is transactional with respect to other
+        ``get_or_create`` calls on the same FORM: concurrent callers with the
+        same filters serialise on a (striped) per-key creation lock, so
+        exactly one of them creates the record and the rest observe it --
+        while creations for unrelated keys proceed in parallel.
         """
         found = self.get(**filters)
         if found is not None:
@@ -426,9 +460,40 @@ class Manager:
             raise ValueError(
                 f"get_or_create cannot build a record from join lookups {joined!r}"
             )
-        params = dict(filters)
-        params.update(defaults or {})
-        return self.create(**params), True
+        form = current_form()
+        with form.creation_lock(self._creation_key(filters)):
+            # Re-check under the lock: another thread may have created the
+            # record between the optimistic get above and lock acquisition.
+            found = self.get(**filters)
+            if found is not None:
+                return found, False
+            params = dict(filters)
+            params.update(defaults or {})
+            return self.create(**params), True
+
+    def _creation_key(self, filters: Dict[str, Any]) -> Tuple:
+        """A stable lock key for get_or_create's check-then-create section.
+
+        Values are marshalled the way the query itself marshals them (jid
+        for model instances, ``to_db`` for field values), so two callers
+        racing on the same logical record always hash to the same lock --
+        ``repr`` of live instances would not be stable across copies.
+        """
+        from repro.form.model import JModel
+
+        meta = self.model._meta
+        parts = []
+        for name, value in filters.items():
+            if isinstance(value, JModel):
+                value = value.jid
+            else:
+                field = meta.fields.get(name)
+                if field is None and name.endswith("_id"):
+                    field = meta.fields.get(name[:-3])
+                if field is not None and not isinstance(value, Facet):
+                    value = field.to_db(value)
+            parts.append((name, repr(value)))
+        return (meta.table_name, tuple(sorted(parts)))
 
     def bulk_create(self, instances: Sequence[Any]) -> List[Any]:
         """Save many unsaved instances with one bulk database write.
@@ -487,6 +552,24 @@ class Manager:
 
     def count(self) -> Any:
         return QuerySet(self.model).count()
+
+
+def _resolving_labels(form: FORM) -> set:
+    """This thread's set of labels currently being resolved on ``form``.
+
+    Per-thread on purpose: the optimistic-visibility answer for a label mid-
+    resolution is only sound inside the resolution cycle asking for it.  A
+    concurrent request thread hitting the same (label, viewer) must block on
+    nothing and evaluate the policy for real, or a denied viewer could be
+    shown the secret facet whenever another request happens to be resolving
+    the same label.
+    """
+    local = form._resolving_local
+    labels = getattr(local, "labels", None)
+    if labels is None:
+        labels = set()
+        local.labels = labels
+    return labels
 
 
 def _instance_from_row(model: Type, values: Dict[str, Any]) -> Any:
@@ -550,10 +633,7 @@ def _resolve_label(form: FORM, label_name: str, viewer: Any) -> bool:
     is already being resolved is optimistically treated as visible inside its
     own policy evaluation.
     """
-    resolving = getattr(form, "_resolving_labels", None)
-    if resolving is None:
-        resolving = set()
-        form._resolving_labels = resolving
+    resolving = _resolving_labels(form)
     key = (label_name, id(viewer))
     if key in resolving:
         return True

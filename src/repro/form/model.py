@@ -250,53 +250,74 @@ class JModel(metaclass=ModelMeta):
         pc = form.runtime.current_pc()
 
         if created and not pc:
-            for branches, values in rows:
-                self._insert_row(form, values, branches)
+            # One bulk write: all facet rows of the record land in a single
+            # backend transaction/lock hold with one invalidation event, so
+            # a concurrent reader can never observe a partially-created
+            # record (some facets present, others missing).
+            form.database.insert_many(
+                table, [self._db_row(values, branches) for branches, values in rows]
+            )
             return self
 
-        existing = form.database.find(table, jid=self.jid)
-        if not pc:
-            form.database.delete(table, eq("jid", self.jid))
-            for branches, values in rows:
-                self._insert_row(form, values, branches)
-            return self
+        # Updates rewrite the record's whole facet-row set.  The FORM save
+        # lock serialises concurrent read-modify-writes of the same record;
+        # the backend's replace_rows swaps the rows atomically, so readers
+        # observe the record before or after the update, never mid-rewrite.
+        with form._save_lock:
+            if not pc:
+                form.database.replace_rows(
+                    table,
+                    eq("jid", self.jid),
+                    [self._db_row(values, branches) for branches, values in rows],
+                )
+                return self
 
-        # Guarded update: new rows apply where the path condition holds; the
-        # previously stored rows remain for every assignment falsifying it.
-        pc_branches = [(branch.label.name, branch.positive) for branch in pc.branches()]
-        form.database.delete(table, eq("jid", self.jid))
-        seen = set()
-        for branches, values in rows:
-            combined = tuple(sorted(set(branches) | set(pc_branches)))
-            if _branches_contradictory(combined):
-                continue
-            key = (combined, _freeze_values(values))
-            if key not in seen:
-                seen.add(key)
-                self._insert_row(form, values, combined)
-        for old_row in existing:
-            old_branches = parse_jvars(old_row.get("jvars"))
-            old_values = {
-                name: old_row.get(name)
-                for name in old_row
-                if name not in ("id", "jid", "jvars")
-            }
-            for negated in _complement_assignments(pc_branches):
-                combined = tuple(sorted(set(old_branches) | set(negated)))
+            # Guarded update: new rows apply where the path condition holds;
+            # the previously stored rows remain for every assignment
+            # falsifying it.
+            existing = form.database.find(table, jid=self.jid)
+            pc_branches = [
+                (branch.label.name, branch.positive) for branch in pc.branches()
+            ]
+            replacement = []
+            seen = set()
+            for branches, values in rows:
+                combined = tuple(sorted(set(branches) | set(pc_branches)))
                 if _branches_contradictory(combined):
                     continue
-                key = (combined, _freeze_values(old_values))
+                key = (combined, _freeze_values(values))
                 if key not in seen:
                     seen.add(key)
-                    self._insert_row(form, old_values, combined)
-        return self
+                    replacement.append(self._db_row(values, combined))
+            for old_row in existing:
+                old_branches = parse_jvars(old_row.get("jvars"))
+                old_values = {
+                    name: old_row.get(name)
+                    for name in old_row
+                    if name not in ("id", "jid", "jvars")
+                }
+                for negated in _complement_assignments(pc_branches):
+                    combined = tuple(sorted(set(old_branches) | set(negated)))
+                    if _branches_contradictory(combined):
+                        continue
+                    key = (combined, _freeze_values(old_values))
+                    if key not in seen:
+                        seen.add(key)
+                        replacement.append(self._db_row(old_values, combined))
+            form.database.replace_rows(table, eq("jid", self.jid), replacement)
+            return self
 
     def delete(self, form: Optional[FORM] = None) -> None:
-        """Remove every facet row of this record."""
+        """Remove every facet row of this record.
+
+        Takes the FORM save lock so a delete cannot interleave with a
+        concurrent update's read-modify-write and be undone by its reinsert.
+        """
         if self.jid is None:
             return
         form = form or current_form()
-        form.database.delete(type(self)._meta.table_name, eq("jid", self.jid))
+        with form._save_lock:
+            form.database.delete(type(self)._meta.table_name, eq("jid", self.jid))
 
     # -- row expansion ----------------------------------------------------------------------------
 
@@ -341,8 +362,8 @@ class JModel(metaclass=ModelMeta):
     ) -> Dict[str, Any]:
         """The concrete database row for one facet row of this instance.
 
-        Shared by :meth:`save` (via ``_insert_row``) and
-        ``Manager.bulk_create`` so both write paths marshal identically.
+        Shared by :meth:`save` and ``Manager.bulk_create`` so both write
+        paths marshal identically.
         """
         row = dict(values)
         row["jid"] = self.jid
@@ -351,11 +372,6 @@ class JModel(metaclass=ModelMeta):
             name: (value if not isinstance(value, Facet) else None)
             for name, value in row.items()
         }
-
-    def _insert_row(
-        self, form: FORM, values: Dict[str, Any], branches: Sequence[JvarBranch]
-    ) -> None:
-        form.database.insert_row(type(self)._meta.table_name, self._db_row(values, branches))
 
 
 def _branches_contradictory(branches: Sequence[JvarBranch]) -> bool:

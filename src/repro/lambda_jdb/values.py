@@ -15,6 +15,7 @@ paper's faceted-row representation.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
@@ -158,18 +159,30 @@ def make_facet_value(label: str, high: Value, low: Value) -> Value:
     assert isinstance(high, TableV) and isinstance(low, TableV)
     high_rows = list(high.rows)
     low_rows = list(low.rows)
-    high_set = set(high_rows)
-    low_set = set(low_rows)
-    shared = [row for row in high_rows if row in low_set]
-    result = list(shared)
+    # Tables are bags, so sharing must respect multiplicity: a row occurring
+    # h times in the high table and l times in the low table contributes
+    # min(h, l) unannotated copies plus the per-side excess under k / ¬k.
+    high_counts = Counter(high_rows)
+    low_counts = Counter(low_rows)
+    shared_counts = {
+        row: min(count, low_counts.get(row, 0)) for row, count in high_counts.items()
+    }
+    result = []
+    seen_high: Counter = Counter()
     for branches, fields in high_rows:
-        if (branches, fields) in low_set:
+        row = (branches, fields)
+        seen_high[row] += 1
+        if seen_high[row] <= shared_counts.get(row, 0):
+            result.append(row)
             continue
         if (label, False) in branches:
             continue
         result.append((frozenset(branches | {(label, True)}), fields))
+    seen_low: Counter = Counter()
     for branches, fields in low_rows:
-        if (branches, fields) in high_set:
+        row = (branches, fields)
+        seen_low[row] += 1
+        if seen_low[row] <= shared_counts.get(row, 0):
             continue
         if (label, True) in branches:
             continue

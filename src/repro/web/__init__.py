@@ -17,8 +17,11 @@ for the logged-in viewer.  This package provides those pieces:
   (Early Pruning) and concretises every value handed to a template;
   ``BaselineApp`` provides the same plumbing without any of that, for the
   hand-coded-policy comparison;
-* :mod:`repro.web.testclient` -- an in-process client used by the examples,
-  tests and benchmarks (the stand-in for the paper's FunkLoad HTTP driver).
+* :mod:`repro.web.testclient` -- in-process clients used by the examples,
+  tests and benchmarks (the stand-in for the paper's FunkLoad HTTP driver);
+* :mod:`repro.web.wsgi` / :mod:`repro.web.serve` -- the serving layer:
+  a WSGI adapter for any WSGI server plus a bundled threaded server for
+  zero-dependency local runs.
 """
 
 from repro.web.http import HttpError, Request, Response
@@ -27,7 +30,9 @@ from repro.web.templates import Template, render_template
 from repro.web.sessions import Session, SessionStore
 from repro.web.auth import AuthenticationError, Authenticator
 from repro.web.app import Application, BaselineApp, JacquelineApp
-from repro.web.testclient import TestClient
+from repro.web.testclient import TestClient, WsgiClient
+from repro.web.wsgi import SESSION_COOKIE, WsgiAdapter
+from repro.web.serve import BackgroundServer, ThreadingWSGIServer, make_threaded_server, serve
 
 __all__ = [
     "Request",
@@ -45,4 +50,11 @@ __all__ = [
     "JacquelineApp",
     "BaselineApp",
     "TestClient",
+    "WsgiClient",
+    "WsgiAdapter",
+    "SESSION_COOKIE",
+    "BackgroundServer",
+    "ThreadingWSGIServer",
+    "make_threaded_server",
+    "serve",
 ]

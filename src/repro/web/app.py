@@ -51,6 +51,17 @@ class Application:
     def add_template(self, name: str, source: str) -> None:
         self.templates[name] = source
 
+    def wsgi(self) -> Any:
+        """This application as a WSGI callable (see :mod:`repro.web.wsgi`).
+
+        ``handle`` is safe to call from concurrent worker threads: per-request
+        ambient state (active FORM, speculated viewer, path conditions) lives
+        in thread-local stacks entered by ``_request_context``.
+        """
+        from repro.web.wsgi import WsgiAdapter  # deferred: wsgi imports app
+
+        return WsgiAdapter(self)
+
     # -- request handling -----------------------------------------------------------
 
     def handle(self, request: Request) -> Response:
@@ -75,6 +86,8 @@ class Application:
             # Runs even when the view crashes with a non-HTTP error: a
             # failed non-GET handler may already have mutated state the
             # caches cannot see, so invalidation must not be skipped.
+            # The session id is re-read because a login view rotates it.
+            request.session_id = request.session.session_id
             self._finish_request(request, response)
         return response
 

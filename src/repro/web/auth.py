@@ -49,12 +49,18 @@ class Authenticator:
         expected = self._credentials.get(username)
         if expected is None or expected != hash_password(password):
             raise AuthenticationError(f"invalid credentials for {username!r}")
-        session["username"] = username
-        session["user_id"] = self._user_ids[username]
+        self.force_login(session, self._user_ids[username], username)
         return self.user_for(session)
 
     def force_login(self, session: Session, user_id: Any, username: str = "") -> None:
-        """Record a login without credentials (tests and benchmarks)."""
+        """Record a login without credentials (tests and benchmarks).
+
+        The session id is rotated before the identity is written, so a
+        pre-planted (fixated) cookie never becomes an authenticated session.
+        """
+        rotate = getattr(session, "rotate", None)
+        if callable(rotate):
+            rotate()
         session["username"] = username
         session["user_id"] = user_id
 

@@ -1,24 +1,50 @@
-"""In-memory sessions keyed by opaque session ids."""
+"""In-memory sessions keyed by opaque session ids.
+
+The store is shared by every worker thread of a threaded server, so session
+creation/lookup serialises on a lock.  The server path mints a session for
+every cookie-less request (health checks, crawlers), so the store is
+LRU-bounded: beyond ``max_sessions`` the least recently used session is
+evicted and that client simply re-authenticates.  Being process-local, it
+implies the single-process threading model documented in the README;
+multi-process deployments need a shared session backend.
+"""
 
 from __future__ import annotations
 
 import itertools
 import secrets
+import threading
+from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 
 class Session:
     """A per-client key/value store; ``user_id`` identifies the login."""
 
-    def __init__(self, session_id: str) -> None:
+    def __init__(self, session_id: str, store: "Optional[SessionStore]" = None) -> None:
         self.session_id = session_id
         self.data: Dict[str, Any] = {}
+        #: the store this session persists into on first write (lazy
+        #: persistence: stateless sessions are never stored)
+        self._store = store
+        #: whether the session is held by a store; the WSGI layer only sends
+        #: a session cookie for persisted sessions, so anonymous requests
+        #: neither churn ids nor clobber a concurrent login's cookie
+        self.persisted = store is None
 
     def get(self, name: str, default: Any = None) -> Any:
         return self.data.get(name, default)
 
+    def rotate(self) -> str:
+        """Swap in a fresh unguessable id (fixation defence on login)."""
+        if self._store is not None:
+            self._store._rotate(self)
+        return self.session_id
+
     def __setitem__(self, name: str, value: Any) -> None:
         self.data[name] = value
+        if self._store is not None:
+            self._store._persist(self)
 
     def __getitem__(self, name: str) -> Any:
         return self.data[name]
@@ -34,31 +60,76 @@ class Session:
 
 
 class SessionStore:
-    """Creates and looks up sessions."""
+    """Creates and looks up sessions (LRU-bounded, thread-safe).
 
-    def __init__(self) -> None:
-        self._sessions: Dict[str, Session] = {}
+    Persistence is lazy: a session minted for a cookie-less request is only
+    stored once something is written into it (login, view state), so
+    unauthenticated request floods cannot grow the store -- or evict real
+    logged-in sessions out of the LRU bound.
+    """
+
+    def __init__(self, max_sessions: int = 10_000) -> None:
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self.max_sessions = max_sessions
+
+    def _new_session(self) -> Session:
+        """Mint a session with a fresh unguessable id (not yet stored)."""
+        return Session(f"s{next(self._counter)}-{secrets.token_hex(8)}", store=self)
+
+    def _store_locked(self, session: Session) -> None:
+        self._sessions[session.session_id] = session
+        session.persisted = True
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+
+    def _persist(self, session: Session) -> None:
+        """Store a session on its first write (idempotent)."""
+        with self._lock:
+            if session.session_id not in self._sessions:
+                self._store_locked(session)
+
+    def _rotate(self, session: Session) -> None:
+        """Re-key a session under a fresh id (its old id stops resolving)."""
+        with self._lock:
+            was_stored = self._sessions.pop(session.session_id, None) is not None
+            session.session_id = f"s{next(self._counter)}-{secrets.token_hex(8)}"
+            if was_stored or session.data:
+                self._store_locked(session)
+            else:
+                session.persisted = False
 
     def create(self) -> Session:
-        session_id = f"s{next(self._counter)}-{secrets.token_hex(8)}"
-        session = Session(session_id)
-        self._sessions[session_id] = session
+        """Mint and immediately store a session (explicit creation)."""
+        session = self._new_session()
+        with self._lock:
+            self._store_locked(session)
         return session
 
     def get(self, session_id: Optional[str]) -> Optional[Session]:
         if session_id is None:
             return None
-        return self._sessions.get(session_id)
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                self._sessions.move_to_end(session_id)
+            return session
 
     def get_or_create(self, session_id: Optional[str]) -> Session:
-        session = self.get(session_id)
-        if session is None:
-            session = self.create()
-        return session
+        # Ids are unguessable tokens, so two threads only race here when they
+        # share a client-supplied id; the lock makes that a single session.
+        with self._lock:
+            session = self._sessions.get(session_id) if session_id else None
+            if session is not None:
+                self._sessions.move_to_end(session.session_id)
+                return session
+        # Not stored yet: the session persists itself on first write.
+        return self._new_session()
 
     def drop(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
+        with self._lock:
+            self._sessions.pop(session_id, None)
 
     def __len__(self) -> int:
         return len(self._sessions)

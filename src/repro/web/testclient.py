@@ -1,16 +1,20 @@
-"""An in-process test client.
+"""In-process test clients.
 
-The paper drives its stress tests with FunkLoad over HTTP; this client plays
-that role without the network: it builds requests, maintains the session id
-across calls (like a cookie jar) and returns the framework's responses
-directly.  Benchmarks time ``client.get(...)`` calls, which measure the whole
-server-side path: routing, view, ORM, policy resolution and template
-rendering.
+The paper drives its stress tests with FunkLoad over HTTP; these clients play
+that role without the network: they build requests, maintain the session id
+across calls (like a cookie jar) and return the framework's responses
+directly.  :class:`TestClient` dispatches straight into ``app.handle``;
+:class:`WsgiClient` goes through the full WSGI adapter (environ parsing,
+form-body decoding, session cookie round-trip) without opening a socket --
+the client the concurrent load benchmark runs on its worker threads.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+import io
+from http.cookies import SimpleCookie
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import urlencode
 
 from repro.web.app import Application
 from repro.web.http import Request, Response
@@ -56,10 +60,74 @@ class TestClient:
         """Attach a login to the client's session without going through a view."""
         request = Request("GET", "/", session_id=self.session_id)
         session = self.app.sessions.get_or_create(request.session_id)
-        self.session_id = session.session_id
         self.app.auth.force_login(session, user_id, username)
+        # Read the id only after the login: force_login rotates it.
+        self.session_id = session.session_id
 
     def logout(self) -> None:
         session = self.app.sessions.get(self.session_id)
         if session is not None:
             self.app.auth.logout(session)
+
+
+class WsgiClient:
+    """Drives an application through its WSGI adapter, in process.
+
+    Requests are synthesised as WSGI environ dicts and responses come back
+    through ``start_response``, so the path exercised is exactly what a real
+    WSGI server executes per request -- minus the socket.  Each client keeps
+    its own session cookie; use one client per simulated user/thread.
+    """
+
+    __test__ = False
+
+    def __init__(self, wsgi_app: Any) -> None:
+        # Accept either a WSGI callable or a bare Application.
+        if isinstance(wsgi_app, Application):
+            wsgi_app = wsgi_app.wsgi()
+        self.wsgi_app = wsgi_app
+        self.cookies: SimpleCookie = SimpleCookie()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Mapping[str, Any]] = None,
+        data: Optional[Mapping[str, Any]] = None,
+    ) -> Response:
+        path, _, path_query = path.partition("?")
+        query_parts = [part for part in (path_query, urlencode(dict(params or {}))) if part]
+        body = urlencode({k: str(v) for k, v in dict(data or {}).items()}).encode()
+        environ: Dict[str, Any] = {
+            "REQUEST_METHOD": method.upper(),
+            "PATH_INFO": path,
+            "QUERY_STRING": "&".join(query_parts),
+            "CONTENT_TYPE": "application/x-www-form-urlencoded",
+            "CONTENT_LENGTH": str(len(body)),
+            "wsgi.input": io.BytesIO(body),
+        }
+        cookie_header = "; ".join(
+            f"{name}={morsel.value}" for name, morsel in self.cookies.items()
+        )
+        if cookie_header:
+            environ["HTTP_COOKIE"] = cookie_header
+
+        captured: Dict[str, Any] = {}
+
+        def start_response(status: str, headers: List[Tuple[str, str]]) -> None:
+            captured["status"] = int(status.split(" ", 1)[0])
+            captured["headers"] = headers
+
+        chunks = self.wsgi_app(environ, start_response)
+        text = b"".join(chunks).decode("utf-8")
+        headers = dict(captured["headers"])
+        for name, value in captured["headers"]:
+            if name.lower() == "set-cookie":
+                self.cookies.load(value)
+        return Response(body=text, status=captured["status"], headers=headers)
+
+    def get(self, path: str, **params: Any) -> Response:
+        return self.request("GET", path, params=params)
+
+    def post(self, path: str, **data: Any) -> Response:
+        return self.request("POST", path, data=data)

@@ -1,0 +1,135 @@
+"""WSGI adapter: run :class:`~repro.web.app.Application` under any WSGI server.
+
+The framework-internal :class:`~repro.web.http.Request`/``Response`` objects
+stay the single dispatch path -- the adapter translates a WSGI ``environ``
+into a ``Request`` (method, path, query string, urlencoded form body,
+session cookie) and the returned ``Response`` back into a WSGI
+``(status, headers, body)`` triple.  Sessions ride on one cookie holding the
+opaque session id the session store already mints.
+
+Both application classes are safe to serve from worker threads:
+``JacquelineApp`` activates its FORM (and the speculated viewer) per request
+through thread-local context stacks, so concurrent requests cannot observe
+each other's bindings.
+
+Usage::
+
+    from repro.web.wsgi import WsgiAdapter
+    application = WsgiAdapter(build_conf_app(form))   # any WSGI server
+"""
+
+from __future__ import annotations
+
+from http.client import responses as _REASON_PHRASES
+from http.cookies import SimpleCookie
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+from urllib.parse import parse_qs
+
+from repro.web.app import Application
+from repro.web.http import Request, Response
+
+#: Name of the cookie carrying the opaque session id.
+SESSION_COOKIE = "repro_session"
+
+StartResponse = Callable[..., Any]
+
+
+class WsgiAdapter:
+    """A WSGI callable wrapping one :class:`Application`.
+
+    Stateless apart from the wrapped application, so a single instance may
+    be shared by every worker thread of a threaded WSGI server.
+    """
+
+    def __init__(self, app: Application, session_cookie: str = SESSION_COOKIE) -> None:
+        self.app = app
+        self.session_cookie = session_cookie
+
+    # -- request translation ----------------------------------------------------------
+
+    def build_request(self, environ: Dict[str, Any]) -> Request:
+        """Translate a WSGI environ into a framework request."""
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "") or "/"
+        query = environ.get("QUERY_STRING", "")
+        if query:
+            path = f"{path}?{query}"
+        return Request(
+            method,
+            path,
+            data=self._form_data(environ),
+            session_id=self._session_id(environ),
+        )
+
+    def _session_id(self, environ: Dict[str, Any]) -> Any:
+        cookie_header = environ.get("HTTP_COOKIE", "")
+        if not cookie_header:
+            return None
+        cookies: SimpleCookie = SimpleCookie()
+        try:
+            cookies.load(cookie_header)
+        except Exception:  # malformed cookie header: treat as no session
+            return None
+        morsel = cookies.get(self.session_cookie)
+        return morsel.value if morsel is not None else None
+
+    def _form_data(self, environ: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        if length > 0:
+            body = environ["wsgi.input"].read(length)
+        elif environ.get("wsgi.input_terminated"):
+            # De-chunked body with no CONTENT_LENGTH (gunicorn et al. flag
+            # EOF-terminated input); servers without the flag may block on an
+            # unbounded read, so only read to EOF when it is safe.
+            body = environ["wsgi.input"].read()
+        else:
+            return {}
+        if not body:
+            return {}
+        content_type = (environ.get("CONTENT_TYPE") or "").split(";")[0].strip()
+        if content_type not in ("", "application/x-www-form-urlencoded"):
+            # Views receive the raw body under a reserved key; only
+            # urlencoded forms populate named fields.
+            return {"_raw_body": body}
+        text = body.decode("utf-8", errors="replace")
+        # keep_blank_values: "title=" must arrive as '' (present-but-empty),
+        # matching what views see through the in-process test clients.
+        return {
+            name: values[-1]
+            for name, values in parse_qs(text, keep_blank_values=True).items()
+        }
+
+    # -- the WSGI callable ---------------------------------------------------------------
+
+    def __call__(
+        self, environ: Dict[str, Any], start_response: StartResponse
+    ) -> Iterable[bytes]:
+        request = self.build_request(environ)
+        response = self.app.handle(request)
+        return self._respond(request, response, start_response)
+
+    def _respond(
+        self, request: Request, response: Response, start_response: StartResponse
+    ) -> Iterable[bytes]:
+        body = response.body.encode("utf-8")
+        headers: List[Tuple[str, str]] = [
+            (name, str(value)) for name, value in response.headers.items()
+        ]
+        if not any(name.lower() == "content-length" for name, _ in headers):
+            headers.append(("Content-Length", str(len(body))))
+        # Only persisted sessions get a cookie: an anonymous request's
+        # unstored session would mint a different id every time, and its
+        # Set-Cookie could clobber the cookie of a concurrent login.
+        if request.session_id and getattr(request.session, "persisted", True):
+            headers.append(
+                (
+                    "Set-Cookie",
+                    f"{self.session_cookie}={request.session_id}; Path=/; HttpOnly",
+                )
+            )
+        reason = _REASON_PHRASES.get(response.status, "Unknown")
+        start_response(f"{response.status} {reason}", headers)
+        return [body]

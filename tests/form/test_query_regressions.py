@@ -1,0 +1,164 @@
+"""Regression tests for the faceted-query fixes, on both backends.
+
+Three bugs, each previously reproducible:
+
+1. ``QuerySet.limited(n)`` was silently dropped when the query had joins;
+2. SQL ``LIMIT`` counted facet *rows*, so a record whose facets span
+   several rows could be truncated to the wrong facet or undercounted;
+3. ``order_by`` columns were never table-qualified under joins, raising
+   "ambiguous column name" on SQLite for shared column names.
+"""
+
+import pytest
+
+from repro.db import Database, MemoryBackend, SqliteBackend
+from repro.form import (
+    CharField,
+    FORM,
+    ForeignKey,
+    JModel,
+    jacqueline,
+    label_for,
+    use_form,
+    viewer_context,
+)
+
+
+class RegAuthor(JModel):
+    name = CharField(max_length=64)
+    rank = CharField(max_length=64)
+
+
+class RegBook(JModel):
+    # ``name`` exists on both tables: ordering by it under a join is
+    # ambiguous unless qualified (bug 3).
+    name = CharField(max_length=64)
+    author = ForeignKey(RegAuthor)
+
+
+class RegSecret(JModel):
+    """A model whose records always span two facet rows (public + secret)."""
+
+    title = CharField(max_length=64)
+    owner = CharField(max_length=64)
+
+    @staticmethod
+    def jacqueline_get_public_title(record):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    @jacqueline
+    def jacqueline_restrict_title(record, viewer):
+        return viewer is not None and getattr(viewer, "name", None) == record.owner
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def reg_form(request):
+    if request.param == "memory":
+        database = Database(MemoryBackend())
+    else:
+        backend = SqliteBackend()
+        database = Database(backend)
+    form = FORM(database)
+    form.register_all([RegAuthor, RegBook, RegSecret])
+    with use_form(form):
+        yield form
+    database.close()
+
+
+class Viewer:
+    def __init__(self, name):
+        self.name = name
+
+
+def _seed_books():
+    authors = {}
+    for name in ("ada", "bob"):
+        authors[name] = RegAuthor.objects.create(name=name, rank="x")
+    # Book names deliberately collide across authors and with author names.
+    for index in range(4):
+        RegBook.objects.create(name=f"book{index}", author=authors["ada"])
+    for index in range(4, 6):
+        RegBook.objects.create(name=f"book{index}", author=authors["bob"])
+    return authors
+
+
+# -- bug 1: limit dropped under joins ---------------------------------------------------
+
+
+def test_limit_applies_to_joined_queries(reg_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        books = RegBook.objects.filter(author__name="ada").limited(2).fetch()
+    assert len(books) == 2
+
+
+def test_joined_query_without_limit_unchanged(reg_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        books = RegBook.objects.filter(author__name="ada").fetch()
+    assert len(books) == 4
+
+
+# -- bug 2: limit must count records (jids), not facet rows ------------------------------
+
+
+def test_limit_counts_records_not_facet_rows(reg_form):
+    # Each record stores two facet rows; a raw row LIMIT of n would return
+    # only ceil(n/2) complete records (or split one record's facets).
+    for index in range(5):
+        RegSecret.objects.create(title=f"title{index}", owner="alice")
+    with viewer_context(Viewer("alice")):
+        visible = RegSecret.objects.all().limited(3).fetch()
+    assert len(visible) == 3
+    # The owner sees the secret facet of every returned record.
+    assert all(record.title.startswith("title") for record in visible)
+
+
+def test_limit_keeps_both_facets_of_kept_records(reg_form):
+    for index in range(4):
+        RegSecret.objects.create(title=f"title{index}", owner="alice")
+    # A stranger sees the public facet; with the old row-level LIMIT the
+    # kept rows could all be secret facets, hiding the records entirely.
+    with viewer_context(Viewer("stranger")):
+        visible = RegSecret.objects.all().limited(2).fetch()
+    assert len(visible) == 2
+    assert all(record.title == "[redacted]" for record in visible)
+
+
+def test_faceted_limit_outside_viewer_context(reg_form):
+    for index in range(4):
+        RegSecret.objects.create(title=f"title{index}", owner="alice")
+    collection = RegSecret.objects.all().limited(2).fetch()
+    owner_view = reg_form.runtime.concretize(collection, Viewer("alice"))
+    stranger_view = reg_form.runtime.concretize(collection, Viewer("bob"))
+    assert len(owner_view) == 2
+    assert len(stranger_view) == 2
+    assert all(record.title.startswith("title") for record in owner_view)
+    assert all(record.title == "[redacted]" for record in stranger_view)
+
+
+# -- bug 3: order_by under joins --------------------------------------------------------
+
+
+def test_order_by_shared_column_name_under_join(reg_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        # "name" exists on RegBook and RegAuthor: unqualified, SQLite raises
+        # "ambiguous column name"; the in-memory engine picked an arbitrary
+        # table.  Qualified, it orders by the base table's column.
+        books = RegBook.objects.filter(author__name="ada").order_by("-name").fetch()
+    assert [book.name for book in books] == ["book3", "book2", "book1", "book0"]
+
+
+def test_order_by_with_join_and_limit(reg_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        books = (
+            RegBook.objects.filter(author__name="ada")
+            .order_by("-name")
+            .limited(2)
+            .fetch()
+        )
+    assert [book.name for book in books] == ["book3", "book2"]

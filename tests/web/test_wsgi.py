@@ -1,0 +1,163 @@
+"""The WSGI adapter and the bundled threaded server."""
+
+import io
+import threading
+import urllib.request
+
+import pytest
+
+from repro.apps.conf.models import ConferencePhase
+from repro.apps.conf.seed import seed_conference
+from repro.apps.conf.views import build_conf_app, setup_conf
+from repro.db import Database, MemoryBackend
+from repro.web import BackgroundServer, WsgiAdapter, WsgiClient
+from repro.web.serve import demo_app, make_threaded_server
+
+
+@pytest.fixture
+def conf_app():
+    form = setup_conf(Database(MemoryBackend()))
+    created = seed_conference(form, papers=4, users=4, pc_members=2)
+    yield build_conf_app(form), created
+    ConferencePhase.reset()
+
+
+# -- environ translation ----------------------------------------------------------------
+
+
+def test_build_request_parses_environ():
+    adapter = WsgiAdapter(build_conf_app(setup_conf(Database(MemoryBackend()))))
+    body = b"title=Hello+World"
+    environ = {
+        "REQUEST_METHOD": "POST",
+        "PATH_INFO": "/submit",
+        "QUERY_STRING": "draft=1",
+        "CONTENT_TYPE": "application/x-www-form-urlencoded",
+        "CONTENT_LENGTH": str(len(body)),
+        "wsgi.input": io.BytesIO(body),
+        "HTTP_COOKIE": "repro_session=s1-abc",
+    }
+    request = adapter.build_request(environ)
+    assert request.method == "POST"
+    assert request.path == "/submit"
+    assert request.params["draft"] == "1"
+    assert request.form("title") == "Hello World"
+    assert request.session_id == "s1-abc"
+
+
+def test_wsgi_response_includes_session_cookie_and_content_length(conf_app):
+    app, _created = conf_app
+    client = WsgiClient(app)
+    response = client.get("/papers")
+    assert response.status == 200
+    assert "Content-Length" in response.headers
+    # Anonymous sessions are never persisted, so no cookie churns per request;
+    # the cookie appears once the session gains state (login).
+    assert len(client.cookies) == 0
+    client.post("/login", username="author0")
+    assert len(client.cookies) == 1
+
+
+def test_wsgi_session_persists_across_requests(conf_app):
+    app, _created = conf_app
+    client = WsgiClient(app)
+    assert client.post("/login", username="author0").status == 302
+    # The login rides the cookie: a subsequent personal page must render the
+    # viewer-specific facets (author0 sees their own name on their papers).
+    page = client.get("/papers")
+    assert page.status == 200
+    assert "author0" in page.body
+
+
+def test_wsgi_clients_are_isolated_viewers(conf_app):
+    app, _created = conf_app
+    author = WsgiClient(app)
+    stranger = WsgiClient(app)
+    author.post("/login", username="author0")
+    author_page = author.get("/papers")
+    stranger_page = stranger.get("/papers")
+    assert "author0" in author_page.body
+    assert "author0" not in stranger_page.body  # anonymous during submission
+
+
+def test_unknown_route_is_404(conf_app):
+    app, _created = conf_app
+    assert WsgiClient(app).get("/no-such-page").status == 404
+
+
+def test_login_rotates_session_id_against_fixation(conf_app):
+    app, _created = conf_app
+    attacker = WsgiClient(app)
+    attacker.post("/login", username="author1")
+    attacker_sid = next(iter(attacker.cookies.values())).value
+
+    victim = WsgiClient(app)
+    victim.cookies.load(f"repro_session={attacker_sid}")  # planted cookie
+    victim.post("/login", username="author0")
+    victim_sid = next(iter(victim.cookies.values())).value
+    assert victim_sid != attacker_sid  # id rotated on login
+
+    # The planted cookie must not ride along into the victim's login.
+    replay = WsgiClient(app)
+    replay.cookies.load(f"repro_session={attacker_sid}")
+    assert "author0" not in replay.get("/papers").body
+
+
+def test_anonymous_requests_do_not_evict_logged_in_sessions(conf_app):
+    # Cookie-less requests mint sessions lazily (never stored while empty),
+    # so a flood of them cannot push authenticated sessions out of the
+    # LRU-bounded store.
+    app, _created = conf_app
+    app.sessions.max_sessions = 5
+    user = WsgiClient(app)
+    assert user.post("/login", username="author0").status == 302
+    for _ in range(50):
+        WsgiClient(app).get("/papers")  # fresh client per request, no cookie
+    page = user.get("/papers")
+    assert page.status == 200
+    assert "author0" in page.body  # still logged in
+    assert len(app.sessions) <= 5
+
+
+# -- threaded server --------------------------------------------------------------------
+
+
+def test_background_server_serves_http(conf_app):
+    app, _created = conf_app
+    with BackgroundServer(app) as server:
+        with urllib.request.urlopen(server.url + "/papers", timeout=10) as response:
+            assert response.status == 200
+            assert "Submitted papers" in response.read().decode()
+
+
+def test_background_server_concurrent_requests(conf_app):
+    app, _created = conf_app
+    statuses = []
+    with BackgroundServer(app) as server:
+        def fetch():
+            with urllib.request.urlopen(server.url + "/users", timeout=10) as response:
+                statuses.append(response.status)
+
+        threads = [threading.Thread(target=fetch) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert statuses == [200] * 6
+
+
+def test_make_threaded_server_binds_free_port(conf_app):
+    app, _created = conf_app
+    server = make_threaded_server(app)
+    try:
+        assert server.server_address[1] != 0
+    finally:
+        server.server_close()
+
+
+def test_demo_app_is_a_wsgi_callable():
+    wsgi = demo_app("conf", seed_size=2)
+    client = WsgiClient(wsgi)
+    response = client.get("/papers")
+    assert response.status == 200
+    ConferencePhase.reset()
