@@ -17,8 +17,8 @@ import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.db.engine import Database
-from repro.db.expr import eq
-from repro.db.query import Query, limit_by_key
+from repro.db.expr import eq, eq_or_null
+from repro.db.query import Query, limit_by_key, plan_bounded
 from repro.db.schema import Column, ColumnType, TableSchema
 from repro.form.fields import Field
 from repro.baseline.fields import ForeignKey
@@ -228,25 +228,33 @@ class BaselineQuerySet:
         filters: Optional[Dict[str, Any]] = None,
         order_fields: Tuple[Tuple[str, bool], ...] = (),
         limit: Optional[int] = None,
+        offset: int = 0,
     ) -> None:
         self.model = model
         self.filters = dict(filters or {})
         self.order_fields = order_fields
         self.limit = limit
+        self.offset = offset
 
     def filter(self, **filters: Any) -> "BaselineQuerySet":
         combined = dict(self.filters)
         combined.update(filters)
-        return BaselineQuerySet(self.model, combined, self.order_fields, self.limit)
+        return BaselineQuerySet(
+            self.model, combined, self.order_fields, self.limit, self.offset
+        )
 
     def order_by(self, *fields: str) -> "BaselineQuerySet":
         order = list(self.order_fields)
         for field in fields:
             order.append((field.lstrip("-"), not field.startswith("-")))
-        return BaselineQuerySet(self.model, self.filters, tuple(order), self.limit)
+        return BaselineQuerySet(
+            self.model, self.filters, tuple(order), self.limit, self.offset
+        )
 
-    def limited(self, limit: int) -> "BaselineQuerySet":
-        return BaselineQuerySet(self.model, self.filters, self.order_fields, limit)
+    def limited(self, limit: int, offset: int = 0) -> "BaselineQuerySet":
+        return BaselineQuerySet(
+            self.model, self.filters, self.order_fields, limit, offset
+        )
 
     # -- execution ----------------------------------------------------------------------
 
@@ -260,10 +268,9 @@ class BaselineQuerySet:
             values = self._base_values(meta, row, joined)
             instances.append(_instance_from_row(self.model, values))
         if joined:
-            # Joined queries cannot push the limit into SQL: the join may
-            # duplicate base rows, and a row limit would count duplicates.
-            # Count distinct records (pks) instead -- the same helper the
-            # FORM uses per jid, so both stacks return the same record set.
+            # The bounded pushdown already restricts a joined query to the
+            # selected pks; this distinct-record truncation (same helper the
+            # FORM uses per jid) stays as a backend-independent safety net.
             instances = limit_by_key(instances, lambda inst: inst.pk, self.limit)
         return instances
 
@@ -274,7 +281,9 @@ class BaselineQuerySet:
         return len(self.fetch())
 
     def first(self) -> Optional[Model]:
-        rows = self.fetch()
+        """The first match, fetched with ``LIMIT 1`` pushed to the database."""
+        bounded = self if self.limit is not None else self.limited(1, self.offset)
+        rows = bounded.fetch()
         return rows[0] if rows else None
 
     def count(self) -> int:
@@ -306,8 +315,14 @@ class BaselineQuerySet:
                 # column of the same name, which SQLite rejects as ambiguous.
                 column = f"{meta.table_name}.{column}"
             query = query.ordered_by(column, ascending)
-        if self.limit is not None and not joined:
-            query = query.limited(self.limit)
+        if joined:
+            # A row LIMIT under a join would count join-duplicated rows, so a
+            # bounded joined query compiles to the id-subselect pushdown (the
+            # same plan the FORM uses with jid), bounding *records* in SQL.
+            if self.limit is not None or self.offset:
+                query = plan_bounded(query, "id", self.limit, self.offset)
+        elif self.limit is not None or self.offset:
+            query = query.limited(self.limit, self.offset)
         return query, joined
 
     def _apply_filter(
@@ -331,10 +346,10 @@ class BaselineQuerySet:
             column = "id" if related in ("id", "pk") else target_meta.field_column(related)
             if isinstance(value, Model):
                 value = value.pk
-            return query.filter(eq(f"{target_meta.table_name}.{column}", value))
+            return query.filter(eq_or_null(f"{target_meta.table_name}.{column}", value))
         if lookup in ("id", "pk"):
             column = f"{meta.table_name}.id" if has_join else "id"
-            return query.filter(eq(column, value))
+            return query.filter(eq_or_null(column, value))
         field = meta.fields.get(lookup)
         if field is None and lookup.endswith("_id"):
             field = meta.fields.get(lookup[:-3])
@@ -347,7 +362,7 @@ class BaselineQuerySet:
         column = field.column_name
         if has_join:
             column = f"{meta.table_name}.{column}"
-        return query.filter(eq(column, value))
+        return query.filter(eq_or_null(column, value))
 
     @staticmethod
     def _base_values(meta: BaselineOptions, row: Dict[str, Any], joined: List[str]) -> Dict[str, Any]:

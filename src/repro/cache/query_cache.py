@@ -90,13 +90,15 @@ class FacetedQueryCache:
 
         Besides the table and normalised query text, the key carries the
         schema generation and the write generation of every table the query
-        reads.  Stamping write generations makes cache fills safe against
-        concurrent writers: a result computed *before* a write is stored
-        under the pre-write generations, which no post-write lookup ever
-        produces, so it can never be served stale -- event-driven
-        invalidation then only reclaims the memory.
+        reads -- joins *and* tables referenced only inside subqueries (a
+        bounded query's jid subselect reads the same tables, but a future
+        pushdown may not).  Stamping write generations makes cache fills
+        safe against concurrent writers: a result computed *before* a write
+        is stored under the pre-write generations, which no post-write
+        lookup ever produces, so it can never be served stale -- event-
+        driven invalidation then only reclaims the memory.
         """
-        tables = (table, *(join.table for join in getattr(query, "joins", ())))
+        tables = self._tables_read(table, query)
         if self._bus is not None:
             schema_generation = self._bus.schema_generation
             write_generations = tuple(self._bus.write_generation(t) for t in tables)
@@ -104,6 +106,18 @@ class FacetedQueryCache:
             schema_generation = 0
             write_generations = ()
         return (table, normalize_query(query), schema_generation, write_generations)
+
+    @staticmethod
+    def _tables_read(table: str, query: Any) -> Tuple[str, ...]:
+        """Every table ``query`` reads, subqueries included; duck-typed so
+        plain strings/objects without the Query protocol still key safely."""
+        tables_read = getattr(query, "tables_read", None)
+        if callable(tables_read):
+            tables = tables_read()
+            if table not in tables:
+                tables = (table, *tables)
+            return tuple(tables)
+        return (table, *(join.table for join in getattr(query, "joins", ())))
 
     def get(self, key: Hashable) -> Optional[List[CachedEntry]]:
         value = self._lru.lookup(key)

@@ -34,7 +34,7 @@ from repro.db.table import Table
 from repro.db.engine import Database
 from repro.db.backend import Backend
 from repro.db.memory_backend import MemoryBackend
-from repro.db.sqlite_backend import SqliteBackend
+from repro.db.sqlite_backend import RecordingSqliteBackend, SqliteBackend
 from repro.db.sqlgen import query_to_sql, schema_to_sql
 
 __all__ = [
@@ -60,6 +60,7 @@ __all__ = [
     "Backend",
     "MemoryBackend",
     "SqliteBackend",
+    "RecordingSqliteBackend",
     "query_to_sql",
     "schema_to_sql",
 ]

@@ -2,7 +2,13 @@
 
 The FORM and the baseline ORM are written against this interface, which
 mirrors the subset of SQL the paper's FORM needs: create/drop, insert,
-select (with joins, ordering and limits), update, delete and aggregates.
+select (with joins, ordering, limits and subselects), update, delete and
+aggregates.  Both concrete backends must agree on every query shape --
+``tests/db/`` runs each query test against the two of them.
+
+>>> from repro.db import Database
+>>> Database().backend.supports_concurrent_reads   # MemoryBackend default
+False
 """
 
 from __future__ import annotations
@@ -126,7 +132,19 @@ class Backend(abc.ABC):
         """Run an aggregate query and return the scalar result."""
 
     def count(self, table: str, where: Optional[Expression] = None) -> int:
-        """Convenience COUNT(*) helper."""
+        """Convenience COUNT(*) helper.
+
+        ``where`` may contain subqueries: both backends resolve them (the
+        SQL backend inline, the memory engine by materialisation).
+
+        >>> from repro.db import Database
+        >>> from repro.db.schema import ColumnType
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     _ = db.insert("Paper", title="facets")
+        ...     db.backend.count("Paper")
+        1
+        """
         query = Query(table=table, where=where).with_aggregate("COUNT")
         return int(self.aggregate(query) or 0)
 

@@ -22,6 +22,12 @@ class Database:
 
     ``Database()`` defaults to the in-memory engine; pass
     ``Database(SqliteBackend())`` to run against SQLite.
+
+    >>> with Database() as db:
+    ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+    ...     pk = db.insert("Paper", title="facets")
+    ...     db.get("Paper", id=pk)["title"]
+    'facets'
     """
 
     def __init__(self, backend: Optional[Backend] = None) -> None:
@@ -54,8 +60,16 @@ class Database:
     def create_table(self, schema: TableSchema) -> None:
         self.backend.create_table(schema)
 
-    def define_table(self, name: str, **columns: ColumnType) -> TableSchema:
-        """Define and create a table with an implicit ``id`` primary key."""
+    def define_table(self, name: str, /, **columns: ColumnType) -> TableSchema:
+        """Define and create a table with an implicit ``id`` primary key.
+
+        ``name`` is positional-only so a column may itself be called
+        ``name``.
+
+        >>> with Database() as db:
+        ...     db.define_table("Person", name=ColumnType.TEXT).name
+        'Person'
+        """
         schema = TableSchema(
             name,
             (Column("id", ColumnType.INTEGER, primary_key=True),)
@@ -73,13 +87,27 @@ class Database:
     # -- data helpers --------------------------------------------------------------------
 
     def insert(self, table: str, **values: Any) -> int:
+        """Insert one row, returning its primary key.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     db.insert("Paper", title="facets")
+        1
+        """
         return self.backend.insert(table, values)
 
     def insert_row(self, table: str, values: Dict[str, Any]) -> int:
+        """Like :meth:`insert`, taking the row as a dict."""
         return self.backend.insert(table, values)
 
     def insert_many(self, table: str, rows: Sequence[Dict[str, Any]]) -> List[int]:
-        """Bulk insert; backends batch this into one write + one event."""
+        """Bulk insert; backends batch this into one write + one event.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     db.insert_many("Paper", [{"title": "a"}, {"title": "b"}])
+        [1, 2]
+        """
         return self.backend.insert_many(table, rows)
 
     def update(self, table: str, where: Optional[Expression], **values: Any) -> int:
@@ -98,7 +126,11 @@ class Database:
         return self.backend.replace_rows(table, where, rows)
 
     def query(self, table: str) -> Query:
-        """Start a fluent query against ``table``."""
+        """Start a fluent query against ``table``.
+
+        >>> Database().query("Paper").limited(3).limit
+        3
+        """
         return Query(table=table)
 
     def rows(
@@ -116,14 +148,30 @@ class Database:
         return self.backend.execute(query)
 
     def find(self, table: str, **filters: Any) -> List[Dict[str, Any]]:
-        """Django-style keyword filtering."""
+        """Django-style keyword filtering.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     _ = db.insert_many("Paper", [{"title": "a"}, {"title": "b"}])
+        ...     [row["title"] for row in db.find("Paper", title="b")]
+        ['b']
+        """
         return self.rows(table, where=filters_to_expr(filters))
 
     def get(self, table: str, **filters: Any) -> Optional[Dict[str, Any]]:
+        """The first matching row dict, or ``None``."""
         matches = self.find(table, **filters)
         return matches[0] if matches else None
 
     def count(self, table: str, where: Optional[Expression] = None) -> int:
+        """COUNT(*) of the rows matching ``where`` (all rows when ``None``).
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     _ = db.insert_many("Paper", [{"title": "a"}, {"title": "b"}])
+        ...     db.count("Paper")
+        2
+        """
         return self.backend.count(table, where)
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:

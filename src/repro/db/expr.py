@@ -9,7 +9,7 @@ join queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 class Expression:
@@ -21,11 +21,28 @@ class Expression:
         raise NotImplementedError
 
     def to_sql(self) -> Tuple[str, List[Any]]:
-        """Render to a SQL fragment and its bound parameters."""
+        """Render to a SQL fragment and its bound parameters.
+
+        >>> eq("name", "ada").to_sql()
+        ('name = ?', ['ada'])
+        """
         raise NotImplementedError
 
     def columns(self) -> List[str]:
-        """Column names referenced by this expression."""
+        """Column names referenced by this expression.
+
+        >>> (eq("name", "ada") & eq("rank", 1)).columns()
+        ['name', 'rank']
+        """
+        return []
+
+    def subqueries(self) -> List[Any]:
+        """The :class:`~repro.db.query.Query` objects nested in this tree.
+
+        Used by the in-memory engine (to materialise them before row-by-row
+        evaluation) and by the cache layer (to register every table a query
+        reads for write-through invalidation).
+        """
         return []
 
     # boolean combinators ------------------------------------------------------
@@ -106,8 +123,15 @@ class Comparison(Expression):
         if self.op not in _OPERATORS:
             raise ValueError(f"unknown comparison operator {self.op!r}")
 
-    def evaluate(self, row: Dict[str, Any]) -> bool:
-        return _OPERATORS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        # SQL three-valued semantics: comparing against NULL is UNKNOWN
+        # (None) for every operator, matching SQLite.  Use IsNull for
+        # explicit NULL tests.
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        return _OPERATORS[self.op](left, right)
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         left_sql, left_params = self.left.to_sql()
@@ -117,16 +141,61 @@ class Comparison(Expression):
     def columns(self) -> List[str]:
         return self.left.columns() + self.right.columns()
 
+    def subqueries(self) -> List[Any]:
+        return self.left.subqueries() + self.right.subqueries()
+
 
 @dataclass(frozen=True)
 class InList(Expression):
-    """Membership test ``column IN (v1, v2, ...)``."""
+    """Membership test ``column IN (v1, v2, ...)``.
+
+    Follows SQL's three-valued NULL semantics, which matters now that
+    subqueries resolve to ``InList`` on the in-memory engine: a ``None``
+    operand yields UNKNOWN (``None``), and a miss against a list containing
+    ``None`` also yields UNKNOWN -- so ``x IN (NULL)`` never matches *and*
+    ``x NOT IN ('a', NULL)`` never matches, exactly as on SQLite.  WHERE
+    filtering treats UNKNOWN as a non-match; :class:`NotExpr` propagates it.
+
+    >>> InList(col("id"), (None, 2)).evaluate({"id": None}) is None
+    True
+    >>> InList(col("id"), (None, 2)).evaluate({"id": 2})
+    True
+    >>> InList(col("id"), (None, 2)).evaluate({"id": 3}) is None
+    True
+    >>> InList(col("id"), (1, 2)).evaluate({"id": 3})
+    False
+    """
 
     operand: Expression
     values: Tuple[Any, ...]
 
-    def evaluate(self, row: Dict[str, Any]) -> bool:
-        return self.operand.evaluate(row) in self.values
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        # Hot path of resolved pushdown subqueries: the outer scan tests
+        # every row against the IN list, so membership is a cached set.
+        cached = self.__dict__.get("_members")
+        if cached is None:
+            has_null = any(item is None for item in self.values)
+            try:
+                members = frozenset(item for item in self.values if item is not None)
+            except TypeError:  # unhashable list values
+                members = False
+            cached = (members, has_null)
+            object.__setattr__(self, "_members", cached)
+        members, has_null = cached
+        if members is not False:
+            try:
+                if value in members:
+                    return True
+            except TypeError:
+                pass
+            else:
+                return None if has_null else False
+        if any(item is not None and item == value for item in self.values):
+            return True
+        return None if has_null else False
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         operand_sql, params = self.operand.to_sql()
@@ -136,14 +205,71 @@ class InList(Expression):
     def columns(self) -> List[str]:
         return self.operand.columns()
 
+    def subqueries(self) -> List[Any]:
+        return self.operand.subqueries()
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """Membership test against a nested select: ``column IN (SELECT ...)``.
+
+    The pushdown form of a bounded faceted query: the subquery selects the
+    (distinct) record identifiers -- ``jid`` for the FORM, ``id`` for the
+    baseline ORM -- with the ORDER BY / LIMIT / OFFSET applied *inside*, so
+    the database prunes to the first *n* records before the outer query
+    fetches their facet rows.
+
+    ``subquery`` is a :class:`~repro.db.query.Query` that must select exactly
+    one column.  SQL backends render it inline (a correlated-free subselect);
+    the in-memory engine materialises it first with
+    :func:`resolve_subqueries`, so :meth:`evaluate` on an unresolved tree is
+    an error rather than a silently wrong answer.
+
+    >>> from repro.db.query import Query
+    >>> bounded = Query("Paper").select("jid").distinct_rows().limited(2)
+    >>> InSubquery(col("jid"), bounded).to_sql()
+    ('jid IN (SELECT DISTINCT "jid" FROM "Paper" LIMIT 2)', [])
+    """
+
+    operand: Expression
+    subquery: Any
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        raise TypeError(
+            "InSubquery cannot be evaluated row-by-row; materialise it first "
+            "with repro.db.expr.resolve_subqueries(expression, run_subquery)"
+        )
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        from repro.db.sqlgen import query_to_sql
+
+        operand_sql, params = self.operand.to_sql()
+        sub_sql, sub_params = query_to_sql(self.subquery, qualify=self.subquery.is_join())
+        return f"{operand_sql} IN ({sub_sql})", params + sub_params
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+    def subqueries(self) -> List[Any]:
+        return [self.subquery]
+
 
 @dataclass(frozen=True)
 class AndExpr(Expression):
     left: Expression
     right: Expression
 
-    def evaluate(self, row: Dict[str, Any]) -> bool:
-        return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        # SQL three-valued AND: FALSE dominates, then UNKNOWN (None).
+        left = self.left.evaluate(row)
+        if left is not None and not left:
+            return False
+        right = self.right.evaluate(row)
+        if right is not None and not right:
+            return False
+        if left is None or right is None:
+            return None
+        return True
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         left_sql, left_params = self.left.to_sql()
@@ -153,14 +279,26 @@ class AndExpr(Expression):
     def columns(self) -> List[str]:
         return self.left.columns() + self.right.columns()
 
+    def subqueries(self) -> List[Any]:
+        return self.left.subqueries() + self.right.subqueries()
+
 
 @dataclass(frozen=True)
 class OrExpr(Expression):
     left: Expression
     right: Expression
 
-    def evaluate(self, row: Dict[str, Any]) -> bool:
-        return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        # SQL three-valued OR: TRUE dominates, then UNKNOWN (None).
+        left = self.left.evaluate(row)
+        if left is not None and left:
+            return True
+        right = self.right.evaluate(row)
+        if right is not None and right:
+            return True
+        if left is None or right is None:
+            return None
+        return False
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         left_sql, left_params = self.left.to_sql()
@@ -170,13 +308,22 @@ class OrExpr(Expression):
     def columns(self) -> List[str]:
         return self.left.columns() + self.right.columns()
 
+    def subqueries(self) -> List[Any]:
+        return self.left.subqueries() + self.right.subqueries()
+
 
 @dataclass(frozen=True)
 class NotExpr(Expression):
     operand: Expression
 
-    def evaluate(self, row: Dict[str, Any]) -> bool:
-        return not bool(self.operand.evaluate(row))
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        # SQL three-valued NOT: UNKNOWN stays UNKNOWN, so a NOT IN filter
+        # over a NULL operand (or a NULL-containing list) matches nothing
+        # on both backends instead of everything on the memory engine.
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return not bool(value)
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         operand_sql, params = self.operand.to_sql()
@@ -184,6 +331,9 @@ class NotExpr(Expression):
 
     def columns(self) -> List[str]:
         return self.operand.columns()
+
+    def subqueries(self) -> List[Any]:
+        return self.operand.subqueries()
 
 
 @dataclass(frozen=True)
@@ -205,29 +355,134 @@ class IsNull(Expression):
     def columns(self) -> List[str]:
         return self.operand.columns()
 
+    def subqueries(self) -> List[Any]:
+        return self.operand.subqueries()
+
+
+# -- subquery resolution ---------------------------------------------------------
+
+
+def resolve_subqueries(
+    expression: Expression, run: Callable[[Any], List[Any]]
+) -> Expression:
+    """Replace every :class:`InSubquery` with an :class:`InList` of its values.
+
+    ``run`` executes one subquery and returns the list of selected values.
+    The in-memory engine calls this before filtering so that row-by-row
+    evaluation never needs backend access; trees without subqueries are
+    returned unchanged (same object).
+    """
+    if not expression.subqueries():
+        return expression
+    if isinstance(expression, InSubquery):
+        return InList(expression.operand, tuple(run(expression.subquery)))
+    if isinstance(expression, AndExpr):
+        return AndExpr(
+            resolve_subqueries(expression.left, run),
+            resolve_subqueries(expression.right, run),
+        )
+    if isinstance(expression, OrExpr):
+        return OrExpr(
+            resolve_subqueries(expression.left, run),
+            resolve_subqueries(expression.right, run),
+        )
+    if isinstance(expression, NotExpr):
+        return NotExpr(resolve_subqueries(expression.operand, run))
+    raise TypeError(
+        f"cannot resolve subqueries under {type(expression).__name__}; "
+        "InSubquery may only appear under AND/OR/NOT"
+    )
+
+
+def subquery_values(rows: List[Dict[str, Any]], subquery: Any) -> List[Any]:
+    """Extract the single selected column from an executed subquery's rows.
+
+    Join subqueries return qualified keys (``"Table.column"``); the lookup
+    accepts either form, like every other column resolution in this module.
+    """
+    columns = subquery.columns
+    if not columns or len(columns) != 1:
+        raise ValueError(
+            f"subquery must select exactly one column, got {columns!r}"
+        )
+    name = columns[0]
+    values = []
+    for row in rows:
+        try:
+            values.append(_lookup(row, name))
+        except KeyError:
+            # Fail loudly: silently treating a misnamed column as NULL would
+            # make the memory engine match rows SQL never would ("x IN
+            # (NULL)" matches nothing) -- an empty-or-wrong result instead
+            # of an error at the source.
+            raise ValueError(
+                f"subquery selected column {name!r} missing from result row "
+                f"{sorted(row)!r}"
+            ) from None
+    return values
+
 
 # -- convenience constructors ----------------------------------------------------
 
 
 def col(name: str) -> ColumnRef:
-    """Shorthand for a column reference."""
+    """Shorthand for a column reference.
+
+    >>> col("Paper.title").to_sql()
+    ('Paper.title', [])
+    """
     return ColumnRef(name)
 
 
 def lit(value: Any) -> Literal:
-    """Shorthand for a literal."""
+    """Shorthand for a literal.
+
+    >>> lit(42).evaluate({})
+    42
+    """
     return Literal(value)
 
 
 def eq(column: str, value: Any) -> Comparison:
-    """``column = value`` where ``value`` may be a column reference."""
+    """``column = value`` where ``value`` may be a column reference.
+
+    >>> eq("name", "ada").evaluate({"name": "ada"})
+    True
+    """
     right = value if isinstance(value, Expression) else Literal(value)
     return Comparison("=", ColumnRef(column), right)
 
 
 def ne(column: str, value: Any) -> Comparison:
+    """``column != value`` where ``value`` may be a column reference.
+
+    >>> ne("name", "ada").evaluate({"name": "bob"})
+    True
+    """
     right = value if isinstance(value, Expression) else Literal(value)
     return Comparison("!=", ColumnRef(column), right)
+
+
+def eq_or_null(column: str, value: Any) -> Expression:
+    """``column = value``, or ``column IS NULL`` when ``value`` is ``None``.
+
+    The translation ORM filter layers use for keyword lookups (Django's
+    ``field=None`` semantics): a literal ``= NULL`` comparison is UNKNOWN
+    in SQL and would match nothing.
+
+    >>> eq_or_null("title", None).to_sql()
+    ('title IS NULL', [])
+    >>> eq_or_null("title", "x").to_sql()
+    ('title = ?', ['x'])
+    """
+    if value is None:
+        return IsNull(ColumnRef(column))
+    return eq(column, value)
+
+
+def in_subquery(column: str, subquery: Any) -> InSubquery:
+    """``column IN (SELECT ...)`` against a :class:`~repro.db.query.Query`."""
+    return InSubquery(ColumnRef(column), subquery)
 
 
 def and_all(expressions: Sequence[Expression]) -> Optional[Expression]:
@@ -239,5 +494,13 @@ def and_all(expressions: Sequence[Expression]) -> Optional[Expression]:
 
 
 def filters_to_expr(filters: Dict[str, Any]) -> Optional[Expression]:
-    """Translate a Django-style ``{column: value}`` filter dict to an expression."""
-    return and_all([eq(name, value) for name, value in filters.items()])
+    """Translate a Django-style ``{column: value}`` filter dict to an expression.
+
+    ``None`` translates to ``IS NULL``, like Django: under SQL's
+    three-valued semantics ``column = NULL`` is UNKNOWN and would match
+    nothing on any backend.
+
+    >>> filters_to_expr({"title": None}).to_sql()
+    ('title IS NULL', [])
+    """
+    return and_all([eq_or_null(name, value) for name, value in filters.items()])

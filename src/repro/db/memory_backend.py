@@ -13,8 +13,16 @@ import threading
 from typing import Any, Dict, List, Optional
 
 from repro.db.backend import Backend
-from repro.db.expr import Expression
-from repro.db.query import Query, apply_limit, apply_order, compute_aggregate
+from repro.db.expr import Expression, resolve_subqueries, subquery_values
+from repro.db.query import (
+    Query,
+    apply_limit,
+    apply_order,
+    compute_aggregate,
+    dedupe_rows,
+    order_outside_selection,
+    row_key,
+)
 from repro.db.schema import SchemaError, TableSchema
 from repro.db.table import Table
 
@@ -87,14 +95,14 @@ class MemoryBackend(Backend):
 
     def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
         with self._lock:
-            count = self._table(table).update(where, values)
+            count = self._table(table).update(self._resolve_expression(where), values)
         if count:
             self._publish_write(table)
         return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
         with self._lock:
-            count = self._table(table).delete(where)
+            count = self._table(table).delete(self._resolve_expression(where))
         if count:
             self._publish_write(table)
         return count
@@ -109,6 +117,7 @@ class MemoryBackend(Backend):
         """
         with self._lock:
             target = self._table(table)
+            where = self._resolve_expression(where)
             replaced = target.scan(where)
             target.delete(where)
             pks: List[int] = []
@@ -128,24 +137,58 @@ class MemoryBackend(Backend):
     # -- queries --------------------------------------------------------------------------
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
-        with self._lock:
-            rows = self._join_rows(query)
-            if query.where is not None:
-                rows = [row for row in rows if query.where.evaluate(row)]
-        rows = apply_order(rows, query.order_by)
-        rows = apply_limit(rows, query.limit, query.offset)
         columns = query.qualified_columns() if query.is_join() else query.columns
-        if columns:
-            rows = [self._pick_columns(row, columns) for row in rows]
+        with self._lock:
+            where = self._resolved_where(query)
+            source = self._join_rows(query)
+            if query.distinct and query.limit is not None and not query.order_by:
+                # Unordered distinct-limit (the bounded pushdown subquery):
+                # stream filter -> project -> dedupe with early exit, so the
+                # scan stops as soon as limit+offset distinct rows are found
+                # instead of materialising the full match set.
+                matching = (
+                    row for row in source if where is None or where.evaluate(row)
+                )
+                projected = (
+                    self._pick_columns(row, columns) if columns else row
+                    for row in matching
+                )
+                rows = dedupe_rows(projected, stop_after=query.limit + query.offset)
+                return rows[query.offset:]
+            rows = source
+            if where is not None:
+                rows = [row for row in rows if where.evaluate(row)]
+        if order_outside_selection(query):
+            # Ordered distinct over non-selected columns: evaluate in the
+            # same grouped MIN/MAX form sqlgen renders, so both backends
+            # keep identical keys under a LIMIT (see order_outside_selection).
+            rows = self._grouped_distinct(rows, query, columns)
+            return apply_limit(rows, query.limit, query.offset)
+        rows = apply_order(rows, query.order_by)
+        if query.distinct:
+            # SQL semantics: project, deduplicate, then LIMIT/OFFSET -- the
+            # order a distinct-limited pushdown subquery depends on.
+            if columns:
+                rows = [self._pick_columns(row, columns) for row in rows]
+            stop_after = (
+                query.limit + query.offset if query.limit is not None else None
+            )
+            rows = dedupe_rows(rows, stop_after=stop_after)
+            rows = apply_limit(rows, query.limit, query.offset)
+        else:
+            rows = apply_limit(rows, query.limit, query.offset)
+            if columns:
+                rows = [self._pick_columns(row, columns) for row in rows]
         return rows
 
     def aggregate(self, query: Query) -> Any:
         if query.aggregate is None:
             raise ValueError("aggregate() requires a query with an aggregate")
         with self._lock:
+            where = self._resolved_where(query)
             rows = self._join_rows(query)
-            if query.where is not None:
-                rows = [row for row in rows if query.where.evaluate(row)]
+            if where is not None:
+                rows = [row for row in rows if where.evaluate(row)]
         if query.group_by:
             grouped: Dict[tuple, List[Dict[str, Any]]] = {}
             for row in rows:
@@ -164,6 +207,69 @@ class MemoryBackend(Backend):
         self._publish_clear()
 
     # -- internals ---------------------------------------------------------------------------
+
+    def _resolved_where(self, query: Query):
+        """The query's where clause with subqueries materialised."""
+        return self._resolve_expression(query.where)
+
+    def _resolve_expression(self, where: Optional[Expression]) -> Optional[Expression]:
+        """Materialise any subqueries nested in a where expression.
+
+        Used by reads *and* writes (SQLite renders subselects inline in
+        UPDATE/DELETE too, and the backends must agree on every shape).
+        Runs under the backend lock (re-entrant), so the subquery and the
+        outer scan observe the same table snapshot -- mirroring the single
+        SQL statement the SQLite backend issues.
+        """
+        if where is None or not where.subqueries():
+            return where
+        return resolve_subqueries(
+            where, lambda subquery: subquery_values(self.execute(subquery), subquery)
+        )
+
+    def _grouped_distinct(
+        self, rows: List[Dict[str, Any]], query: Query, columns
+    ) -> List[Dict[str, Any]]:
+        """``GROUP BY selected ORDER BY MIN/MAX(order column), selected``.
+
+        The deterministic semantics of an ordered distinct subquery: group
+        rows by their projection, order groups by the per-group MIN of each
+        ascending term (MAX for descending), tie-break on the projected
+        values themselves.  Matches the SQL sqlgen renders for the same
+        query, so the jid sets a bounded query keeps are backend-identical.
+        """
+        from repro.db.query import _qualified_get
+
+        groups: Dict[Any, list] = {}
+        ordered_keys: List[Any] = []
+        for row in rows:
+            projected = self._pick_columns(row, columns)
+            key = row_key(projected)
+            entry = groups.get(key)
+            if entry is None:
+                entry = groups[key] = [projected, [[] for _ in query.order_by]]
+                ordered_keys.append(key)
+            for index, order in enumerate(query.order_by):
+                entry[1][index].append(_qualified_get(row, order.column))
+        items = [groups[key] for key in ordered_keys]
+        # Stable sorts from the last criterion to the first: tie-break on
+        # the projected values, then each order term (None-safe, mirroring
+        # apply_order's convention).
+        items.sort(
+            key=lambda item: tuple(
+                (item[0][name] is None, item[0][name]) for name in columns
+            )
+        )
+        for index, order in reversed(list(enumerate(query.order_by))):
+            def sort_key(item, index=index, order=order):
+                values = [v for v in item[1][index] if v is not None]
+                if not values:
+                    return (True, None)
+                aggregate = min(values) if order.ascending else max(values)
+                return (False, aggregate)
+
+            items.sort(key=sort_key, reverse=not order.ascending)
+        return [item[0] for item in items]
 
     def _join_rows(self, query: Query) -> List[Dict[str, Any]]:
         """Materialise the FROM/JOIN part of a query.

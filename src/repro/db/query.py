@@ -9,7 +9,7 @@ FORM needs when it adds ``jvars`` columns from every joined table (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.db.expr import Expression
 
@@ -45,7 +45,15 @@ class Aggregate:
 
 @dataclass(frozen=True)
 class Query:
-    """A declarative select query against one table plus optional joins."""
+    """A declarative select query against one table plus optional joins.
+
+    Queries are immutable; every builder returns a new query.
+
+    >>> from repro.db.expr import eq
+    >>> q = Query("Paper").filter(eq("accepted", True)).ordered_by("title")
+    >>> q.limit is None and not q.distinct
+    True
+    """
 
     table: str
     columns: Optional[Tuple[str, ...]] = None
@@ -56,46 +64,207 @@ class Query:
     offset: int = 0
     aggregate: Optional[Aggregate] = None
     group_by: Tuple[str, ...] = ()
+    #: SELECT DISTINCT: deduplicate result rows (after column projection).
+    distinct: bool = False
 
     # -- fluent builders --------------------------------------------------------------
 
     def select(self, *columns: str) -> "Query":
+        """Restrict the result to the named columns.
+
+        >>> Query("Paper").select("jid", "title").columns
+        ('jid', 'title')
+        """
         return replace(self, columns=tuple(columns) if columns else None)
 
     def filter(self, expression: Expression) -> "Query":
+        """AND a where-clause expression onto the query.
+
+        >>> from repro.db.expr import eq
+        >>> Query("Paper").filter(eq("accepted", True)).where is not None
+        True
+        """
         from repro.db.expr import AndExpr
 
         combined = expression if self.where is None else AndExpr(self.where, expression)
         return replace(self, where=combined)
 
     def join(self, table: str, left_column: str, right_column: str) -> "Query":
+        """Add an inner join: ``JOIN table ON base.left = table.right``.
+
+        >>> Query("Paper").join("ConfUser", "author", "jid").is_join()
+        True
+        """
         return replace(self, joins=self.joins + (Join(table, left_column, right_column),))
 
     def ordered_by(self, column: str, ascending: bool = True) -> "Query":
+        """Append an ORDER BY term (stable across multiple calls).
+
+        >>> Query("Paper").ordered_by("title", ascending=False).order_by
+        (Order(column='title', ascending=False),)
+        """
         return replace(self, order_by=self.order_by + (Order(column, ascending),))
 
     def limited(self, limit: int, offset: int = 0) -> "Query":
+        """Bound the result to ``limit`` rows, skipping ``offset`` first.
+
+        >>> Query("Paper").limited(5, offset=10).offset
+        10
+        """
         return replace(self, limit=limit, offset=offset)
 
+    def distinct_rows(self) -> "Query":
+        """SELECT DISTINCT: drop duplicate result rows.
+
+        The building block of the bounded-query pushdown: a distinct
+        single-column select of record identifiers with LIMIT applied
+        *inside* a subquery (see :meth:`in_subquery`).
+
+        >>> Query("Paper").select("jid").distinct_rows().distinct
+        True
+        """
+        return replace(self, distinct=True)
+
+    def in_subquery(self, column: str, subquery: "Query") -> "Query":
+        """Filter by membership in a nested single-column select.
+
+        Renders as ``WHERE column IN (SELECT ... )`` on SQL backends; the
+        in-memory engine materialises the subquery before scanning.
+
+        >>> sub = Query("Paper").select("jid").distinct_rows().limited(2)
+        >>> bounded = Query("Paper").in_subquery("jid", sub)
+        >>> [type(e).__name__ for e in bounded.where.subqueries()]
+        ['Query']
+        """
+        from repro.db.expr import InSubquery, ColumnRef
+
+        return self.filter(InSubquery(ColumnRef(column), subquery))
+
     def with_aggregate(self, function: str, column: str = "*") -> "Query":
+        """Turn the query into an aggregate (COUNT/SUM/AVG/MIN/MAX).
+
+        >>> Query("Paper").with_aggregate("COUNT").aggregate
+        Aggregate(function='COUNT', column='*')
+        """
         return replace(self, aggregate=Aggregate(function, column))
 
     def grouped_by(self, *columns: str) -> "Query":
+        """GROUP BY for aggregate queries.
+
+        >>> Query("Paper").with_aggregate("COUNT").grouped_by("author").group_by
+        ('author',)
+        """
         return replace(self, group_by=tuple(columns))
 
     # -- helpers ------------------------------------------------------------------------
 
     def is_join(self) -> bool:
+        """Whether the query joins at least one other table."""
         return bool(self.joins)
 
     def qualified_columns(self) -> Optional[Tuple[str, ...]]:
-        """Requested columns qualified with the base table when unqualified."""
+        """Requested columns qualified with the base table when unqualified.
+
+        >>> Query("Paper", columns=("jid", "ConfUser.name")).qualified_columns()
+        ('Paper.jid', 'ConfUser.name')
+        """
         if self.columns is None:
             return None
         qualified = []
         for name in self.columns:
             qualified.append(name if "." in name else f"{self.table}.{name}")
         return tuple(qualified)
+
+    def tables_read(self) -> Tuple[str, ...]:
+        """Every table this query reads: base, joins and nested subqueries.
+
+        The cache layer registers a cached result against each of these for
+        write-through invalidation, so a write to a table only referenced
+        inside a subquery still drops the entry.
+
+        >>> sub = Query("Paper").join("Review", "jid", "paper").select("jid")
+        >>> Query("Paper").in_subquery("jid", sub).tables_read()
+        ('Paper', 'Review')
+        """
+        tables = [self.table]
+        tables.extend(join.table for join in self.joins)
+        if self.where is not None:
+            for subquery in self.where.subqueries():
+                tables.extend(subquery.tables_read())
+        seen: Dict[str, None] = dict.fromkeys(tables)
+        return tuple(seen)
+
+
+def order_outside_selection(query: "Query") -> bool:
+    """Whether a distinct query orders by columns outside its select list.
+
+    Such a query is ambiguous as plain ``SELECT DISTINCT ... ORDER BY``:
+    SQLite sorts each distinct value by an *arbitrary* representative row,
+    so two backends (or two SQLite runs) may disagree on *which* keys a
+    LIMIT keeps.  Both backends therefore evaluate it in the grouped form
+    -- ``GROUP BY key ORDER BY MIN(col)`` (``MAX`` for descending), with
+    the key itself as the final tie-break -- which is deterministic and
+    identical across backends.
+
+    >>> q = Query("T").select("jid").distinct_rows().ordered_by("title")
+    >>> order_outside_selection(q)
+    True
+    >>> order_outside_selection(Query("T").select("jid").distinct_rows().ordered_by("jid"))
+    False
+    """
+    if not (query.distinct and query.columns and query.order_by):
+        return False
+    if query.group_by or query.aggregate is not None:
+        return False
+    selected = set(query.columns) | set(query.qualified_columns() or ())
+    bare = {name.rsplit(".", 1)[-1] for name in selected}
+    for order in query.order_by:
+        if order.column in selected:
+            continue
+        # An *unqualified* order column matching a selected column's bare
+        # name resolves to the select list.  A qualified one must match
+        # literally: "ConfUser.jid" is NOT the selected "Paper.jid" even
+        # though the bare names agree.
+        if "." not in order.column and order.column in bare:
+            continue
+        return True
+    return False
+
+
+def plan_bounded(
+    query: "Query", key_column: str, limit: Optional[int], offset: int = 0
+) -> "Query":
+    """Compile a bounded query to the key-subselect pushdown form.
+
+    A raw SQL ``LIMIT`` on a faceted (or joined) query counts *rows*, but one
+    logical record spans several rows -- one per facet for the FORM, one per
+    join match for the baseline -- so a row bound could truncate a record to
+    a subset of its facets or undercount records.  Instead, the bound is
+    pushed into a subquery that selects the first ``limit`` DISTINCT record
+    keys under the query's own filters, joins and ordering; the outer query
+    then fetches every row of exactly those records::
+
+        WHERE "T"."jid" IN (SELECT DISTINCT "T"."jid" FROM ...
+                            ORDER BY ... LIMIT n OFFSET m)
+
+    ``key_column`` is the record identity -- ``jid`` for the FORM, ``id``
+    for the baseline ORM -- qualified automatically under joins.
+
+    >>> q = plan_bounded(Query("Paper"), "jid", 5)
+    >>> from repro.db.sqlgen import query_to_sql
+    >>> query_to_sql(q)[0]
+    'SELECT * FROM "Paper" WHERE jid IN (SELECT DISTINCT "jid" FROM "Paper" LIMIT 5)'
+    """
+    if "." not in key_column and query.is_join():
+        key_column = f"{query.table}.{key_column}"
+    subquery = replace(
+        query, columns=(key_column,), distinct=True, limit=limit, offset=offset
+    )
+    # Strip any row-level limit from the outer query: the record bound lives
+    # in the subquery, and a leftover outer LIMIT would count raw facet/join
+    # rows -- the truncation bug this planner exists to prevent.
+    outer = replace(query, limit=None, offset=0)
+    return outer.in_subquery(key_column, subquery)
 
 
 def apply_order(rows: List[Dict[str, Any]], order_by: Sequence[Order]) -> List[Dict[str, Any]]:
@@ -113,11 +282,57 @@ def apply_order(rows: List[Dict[str, Any]], order_by: Sequence[Order]) -> List[D
 def apply_limit(
     rows: List[Dict[str, Any]], limit: Optional[int], offset: int
 ) -> List[Dict[str, Any]]:
+    """Apply LIMIT/OFFSET to an ordered row list.
+
+    >>> apply_limit([1, 2, 3, 4], 2, 1)
+    [2, 3]
+    """
     if offset:
         rows = rows[offset:]
     if limit is not None:
         rows = rows[:limit]
     return rows
+
+
+def row_key(row: Dict[str, Any]) -> Any:
+    """A hashable identity for one result row (used by SELECT DISTINCT)."""
+    key = tuple(sorted(row.items(), key=lambda item: item[0]))
+    try:
+        hash(key)
+    except TypeError:  # unhashable values: fall back to their repr
+        return repr(key)
+    return key
+
+
+def dedupe_rows(
+    rows: Iterable[Dict[str, Any]], stop_after: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Drop duplicate rows, keeping first appearance (SELECT DISTINCT).
+
+    Runs after projection and ordering, so for a distinct-limited subquery
+    the kept order matches SQL: dedupe first, then LIMIT/OFFSET.
+    ``stop_after`` stops consuming ``rows`` once that many distinct rows are
+    collected -- the early exit behind the bounded-query pushdown staying
+    flat as tables grow on the in-memory backend.
+
+    >>> dedupe_rows([{"jid": 1}, {"jid": 2}, {"jid": 1}])
+    [{'jid': 1}, {'jid': 2}]
+    >>> dedupe_rows([{"jid": 1}], stop_after=0)
+    []
+    """
+    if stop_after is not None and stop_after <= 0:
+        return []
+    seen = set()
+    unique: List[Dict[str, Any]] = []
+    for row in rows:
+        key = row_key(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(row)
+        if stop_after is not None and len(unique) >= stop_after:
+            break
+    return unique
 
 
 def limit_by_key(items: List[Any], key, limit: Optional[int]) -> List[Any]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.db.query import Query
+from repro.db.query import Query, order_outside_selection
 from repro.db.schema import TableSchema
 
 
@@ -30,8 +30,39 @@ def schema_to_sql(schema: TableSchema) -> str:
 
 
 def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
-    """Render a query to a SELECT statement and its bound parameters."""
+    """Render a query to a SELECT statement and its bound parameters.
+
+    The bounded-query pushdown renders as a jid subselect -- the LIMIT sits
+    inside, so the database prunes to *n* records before the outer query
+    fetches their facet rows:
+
+    >>> from repro.db.expr import eq
+    >>> sub = (Query("Paper").filter(eq("accepted", True))
+    ...        .select("jid").distinct_rows().limited(5))
+    >>> outer = Query("Paper").filter(eq("accepted", True)).in_subquery("jid", sub)
+    >>> statement, params = query_to_sql(outer)
+    >>> print(statement)
+    SELECT * FROM "Paper" WHERE (accepted = ? AND jid IN (SELECT DISTINCT "jid" FROM "Paper" WHERE accepted = ? LIMIT 5))
+    >>> params
+    [True, True]
+
+    An *ordered* bounded subquery renders in the grouped form instead --
+    SQLite's ``DISTINCT ... ORDER BY non-selected-column`` sorts each key
+    by an arbitrary row, so the order column is aggregated per key (MIN
+    ascending / MAX descending, key tie-break) to make the kept record set
+    deterministic and backend-independent:
+
+    >>> sub = Query("Paper").select("jid").distinct_rows().ordered_by("title").limited(5)
+    >>> print(query_to_sql(sub)[0])
+    SELECT "jid" FROM "Paper" GROUP BY "jid" ORDER BY (MIN("title") IS NULL) ASC, MIN("title") ASC, "jid" ASC LIMIT 5
+    """
     params: List[Any] = []
+
+    # A distinct query ordered by non-selected columns evaluates in grouped
+    # form (see order_outside_selection): DISTINCT becomes GROUP BY over
+    # the selected columns and every order term becomes MIN/MAX per group.
+    grouped_order = order_outside_selection(query)
+    names: Optional[Sequence[str]] = None
 
     if query.aggregate is not None:
         column = query.aggregate.column
@@ -46,6 +77,9 @@ def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
         )
     else:
         select_clause = "*"
+
+    if query.distinct and not grouped_order:
+        select_clause = f"DISTINCT {select_clause}"
 
     statement = f'SELECT {select_clause} FROM "{query.table}"'
 
@@ -65,18 +99,37 @@ def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
 
     if query.group_by:
         statement += " GROUP BY " + ", ".join(_quote_name(c) for c in query.group_by)
+    elif grouped_order:
+        statement += " GROUP BY " + ", ".join(_quote_name(name) for name in names)
 
     if query.order_by:
         terms = []
         for order in query.order_by:
             direction = "ASC" if order.ascending else "DESC"
-            terms.append(f"{_quote_name(order.column)} {direction}")
+            if grouped_order:
+                # Aggregate per group, with an explicit IS-NULL sort flag:
+                # the memory engine sorts None last ascending (first
+                # descending), while bare SQL puts NULL first ascending --
+                # the flag pins both backends to the same record set.
+                function = "MIN" if order.ascending else "MAX"
+                target = f"{function}({_quote_name(order.column)})"
+                terms.append(f"({target} IS NULL) {direction}")
+                terms.append(f"{target} {direction}")
+            else:
+                terms.append(f"{_quote_name(order.column)} {direction}")
+        if grouped_order:
+            # Deterministic tie-break so equal aggregate keys cannot make
+            # the two backends keep different records under a LIMIT.
+            terms.extend(f"{_quote_name(name)} ASC" for name in names)
         statement += " ORDER BY " + ", ".join(terms)
 
     if query.limit is not None:
         statement += f" LIMIT {int(query.limit)}"
         if query.offset:
             statement += f" OFFSET {int(query.offset)}"
+    elif query.offset:
+        # SQLite requires a LIMIT clause before OFFSET; -1 means unbounded.
+        statement += f" LIMIT -1 OFFSET {int(query.offset)}"
 
     return statement, params
 

@@ -353,6 +353,7 @@ class SqliteBackend(Backend):
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         statement, params = query_to_sql(query, qualify=query.is_join())
+        self._statement_rendered(statement)
         with self._reading() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             raw_rows = cursor.fetchall()
@@ -382,6 +383,13 @@ class SqliteBackend(Backend):
             cursor = connection.execute(statement, self._encode_params(params))
             row = cursor.fetchone()
         return row[0] if row is not None else None
+
+    def _statement_rendered(self, statement: str) -> None:
+        """Hook observing the exact SELECT text about to execute.
+
+        No-op here; :class:`RecordingSqliteBackend` captures it, so the
+        recorded SQL is the statement actually sent, rendered once.
+        """
 
     def clear(self) -> None:
         with self._writing() as connection:
@@ -443,3 +451,20 @@ class SqliteBackend(Backend):
             for column in self.schema(table).columns:
                 names.append(f"{table}.{column.name}")
         return names
+
+
+class RecordingSqliteBackend(SqliteBackend):
+    """A :class:`SqliteBackend` that records the SQL of every SELECT it runs.
+
+    Observability helper shared by tests and benchmarks to assert exactly
+    which statements a query plan issues (e.g. that a bounded fetch is one
+    jid-subselect statement).  ``statements`` holds the rendered SQL text in
+    execution order; clear it between measured sections.
+    """
+
+    def __init__(self, path: str = ":memory:", timeout: float = 30.0) -> None:
+        super().__init__(path, timeout=timeout)
+        self.statements: List[str] = []
+
+    def _statement_rendered(self, statement: str) -> None:
+        self.statements.append(statement)

@@ -22,8 +22,8 @@ from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
 from repro.core.facets import Facet
 from repro.core.labels import Label
-from repro.db.expr import Expression, eq
-from repro.db.query import Query, limit_by_key
+from repro.db.expr import Expression, eq, eq_or_null
+from repro.db.query import Query, limit_by_key, plan_bounded
 from repro.form.context import FORM, current_form, current_viewer
 from repro.form.fields import ForeignKey
 from repro.form.marshal import (
@@ -47,18 +47,20 @@ class QuerySet:
         filters: Optional[Dict[str, Any]] = None,
         order_fields: Tuple[Tuple[str, bool], ...] = (),
         limit: Optional[int] = None,
+        offset: int = 0,
     ) -> None:
         self.model = model
         self.filters = dict(filters or {})
         self.order_fields = order_fields
         self.limit = limit
+        self.offset = offset
 
     # -- chaining -------------------------------------------------------------------
 
     def filter(self, **filters: Any) -> "QuerySet":
         combined = dict(self.filters)
         combined.update(filters)
-        return QuerySet(self.model, combined, self.order_fields, self.limit)
+        return QuerySet(self.model, combined, self.order_fields, self.limit, self.offset)
 
     def order_by(self, *fields: str) -> "QuerySet":
         order = list(self.order_fields)
@@ -70,10 +72,13 @@ class QuerySet:
             if not name or name.startswith("-"):
                 raise ValueError(f"malformed order_by field {field!r}")
             order.append((name, ascending))
-        return QuerySet(self.model, self.filters, tuple(order), self.limit)
+        return QuerySet(self.model, self.filters, tuple(order), self.limit, self.offset)
 
-    def limited(self, limit: int) -> "QuerySet":
-        return QuerySet(self.model, self.filters, self.order_fields, limit)
+    def limited(self, limit: int, offset: int = 0) -> "QuerySet":
+        """Bound the result to the first ``limit`` *records* (jids), skipping
+        ``offset`` records first -- both counted per record, never per facet
+        row, and pushed into the database as a jid subselect."""
+        return QuerySet(self.model, self.filters, self.order_fields, limit, offset)
 
     # -- execution --------------------------------------------------------------------
 
@@ -109,7 +114,37 @@ class QuerySet:
         return len(result)
 
     def first(self) -> Any:
-        """The first matching record (or ``None`` / a faceted option)."""
+        """The first *visible* matching record (or ``None`` / a faceted option).
+
+        Inside a viewer context this compiles to the bounded jid-subselect
+        form (``LIMIT 1`` on distinct jids) instead of fetching the full
+        match set -- what makes ``get()`` by unique fields constant-cost on
+        large tables.  The bound selects the first *matching* record
+        pre-pruning; when that record turns out to be invisible to the
+        viewer (the filter matched a secret facet, or the record was
+        persisted under a path condition), the query falls back to the
+        unbounded scan so the next visible match is still found -- ``get``
+        can never report ``None`` for a record the viewer could see.
+
+        Outside a viewer context the full faceted result is kept: its first
+        element differs per possible world, which a pre-pruning ``LIMIT 1``
+        cannot express (the facet sharing collapse would hand every viewer
+        the one fetched record).
+        """
+        viewer = current_viewer()
+        if self.limit is None and viewer is not None:
+            form = current_form()
+            bounded = self.limited(1, self.offset)
+            entries = bounded._fetch_entries(form)
+            if not entries:
+                return None  # no matching record at all: no fallback needed
+            bounded._register_policies(form, entries)
+            pruned = bounded._pruned(form, entries, viewer)
+            if pruned:
+                return pruned[0]
+            # The one bounded record exists but is invisible to this viewer:
+            # only now pay for the unbounded scan (rare -- requires a filter
+            # that matched an inaccessible facet).
         result = self.fetch()
         if isinstance(result, Facet):
             from repro.core.facets import facet_map
@@ -184,11 +219,13 @@ class QuerySet:
                 jid = int(values.get("jid"))
                 raw_entries.append((jid, tuple(dict.fromkeys(branches)), values))
             if cache is not None:
-                # The cache stores the full (unlimited) result, so one entry
-                # serves every limit of the same filters/ordering.
-                cache.put(key, [meta.table_name, *joined_tables], raw_entries)
-        # Truncate before unmarshalling so a limited fetch pays instance-
-        # building cost only for the kept rows, cached or not.
+                # Bounded queries carry their jid subselect in the query (and
+                # so in the cache key): each (filters, ordering, limit,
+                # offset) combination caches its own already-bounded result.
+                # The registered tables come from tables_read(), so a write
+                # to a table referenced only inside the subquery still
+                # invalidates the entry.
+                cache.put(key, list(query.tables_read()), raw_entries)
         return [
             (jid, branches, _instance_from_row(self.model, values))
             for jid, branches, values in self._limit_entries(raw_entries)
@@ -199,11 +236,12 @@ class QuerySet:
     ) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
         """Apply ``self.limit`` per distinct record (jid), not per facet row.
 
-        Every facet row of a kept record is retained -- wherever it appears
-        in the row order -- so a limited result can never show a viewer the
-        wrong facet of a record or undercount records whose facets span
-        several rows.  Record order follows first appearance, which matches
-        the query's ORDER BY.
+        With the jid-subselect pushdown the database already bounds the
+        result to ``limit`` distinct jids (offset included), making this a
+        no-op safety net; it still guarantees -- independently of backend
+        behaviour -- that a limited result can never undercount records or
+        show a viewer the wrong facet of a record.  Record order follows
+        first appearance, which matches the query's ORDER BY.
         """
         return limit_by_key(entries, lambda entry: entry[0], self.limit)
 
@@ -222,14 +260,12 @@ class QuerySet:
                 # arbitrarily by the in-memory engine.
                 column = f"{meta.table_name}.{column}"
             query = query.ordered_by(column, ascending)
-        # self.limit is deliberately NOT pushed into the relational query: a
-        # SQL LIMIT counts facet *rows*, but one logical record spans several
-        # rows (one per facet), so a row limit could truncate a record to a
-        # subset of its facets or undercount records.  _fetch_entries applies
-        # the limit per distinct jid after grouping instead.  (A bounded
-        # pushdown needs a jid subselect -- `WHERE jid IN (SELECT DISTINCT
-        # jid ... LIMIT n)` -- which repro.db does not express yet; see
-        # ROADMAP.  Until then limited()/first() scan the full match set.)
+        # Bounded queries compile to the jid-subselect pushdown: the LIMIT
+        # counts DISTINCT jids inside a subquery, so the database prunes to
+        # the first n records instead of this side scanning the full match
+        # set and truncating (the ROADMAP LIMIT-pushdown item).
+        if self.limit is not None or self.offset:
+            query = plan_bounded(query, "jid", self.limit, self.offset)
         return query, joined
 
     def _apply_filter(
@@ -256,11 +292,11 @@ class QuerySet:
             )
             if isinstance(value, JModel):
                 value = value.jid
-            return query.filter(eq(f"{target_meta.table_name}.{column}", value))
+            return query.filter(eq_or_null(f"{target_meta.table_name}.{column}", value))
 
         if lookup in ("jid", "pk"):
             column = f"{meta.table_name}.jid" if has_join else "jid"
-            return query.filter(eq(column, value))
+            return query.filter(eq_or_null(column, value))
         field = meta.fields.get(lookup)
         if field is None and lookup.endswith("_id"):
             # Allow filtering on the raw foreign-key column (``event_id=...``).
@@ -274,7 +310,7 @@ class QuerySet:
         column = field.column_name
         if has_join:
             column = f"{meta.table_name}.{column}"
-        return query.filter(eq(column, value))
+        return query.filter(eq_or_null(column, value))
 
     @staticmethod
     def _column_for(meta, field_name: str) -> str:

@@ -1,0 +1,289 @@
+"""Bounded faceted queries compile to the jid-subselect pushdown.
+
+``limited(n, offset)``, ``first()`` and ``get()`` must issue a single SQL
+statement of the form ``WHERE jid IN (SELECT DISTINCT jid ... LIMIT n
+OFFSET m)`` -- and still return exactly the records the old full-scan-then-
+truncate path returned, on both backends.
+"""
+
+import pytest
+
+from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.form import (
+    CharField,
+    FORM,
+    ForeignKey,
+    JModel,
+    jacqueline,
+    label_for,
+    use_form,
+    viewer_context,
+)
+
+
+class PushAuthor(JModel):
+    name = CharField(max_length=64)
+
+
+class PushBook(JModel):
+    name = CharField(max_length=64)
+    author = ForeignKey(PushAuthor)
+
+
+class PushSecret(JModel):
+    """Records always span two facet rows (public + secret)."""
+
+    title = CharField(max_length=64)
+    owner = CharField(max_length=64)
+
+    @staticmethod
+    def jacqueline_get_public_title(record):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    @jacqueline
+    def jacqueline_restrict_title(record, viewer):
+        return viewer is not None and getattr(viewer, "name", None) == record.owner
+
+
+MODELS = [PushAuthor, PushBook, PushSecret]
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def push_form(request):
+    if request.param == "memory":
+        database = Database(MemoryBackend())
+    else:
+        database = Database(SqliteBackend())
+    form = FORM(database)
+    form.register_all(MODELS)
+    with use_form(form):
+        yield form
+    database.close()
+
+
+class Viewer:
+    def __init__(self, name):
+        self.name = name
+
+
+def _seed_books(count=6, per_author=3):
+    authors = [PushAuthor.objects.create(name=f"author{i}") for i in range(2)]
+    for index in range(count):
+        PushBook.objects.create(
+            name=f"book{index}", author=authors[0 if index < per_author else 1]
+        )
+    return authors
+
+
+def _seed_secrets(count=6, owner="alice"):
+    return [
+        PushSecret.objects.create(title=f"title{index}", owner=owner)
+        for index in range(count)
+    ]
+
+
+# -- the bounded query issues one jid-subselect statement --------------------------------
+
+
+def test_limited_issues_single_jid_subquery_statement():
+    backend = RecordingSqliteBackend()
+    form = FORM(Database(backend))
+    form.register_all(MODELS)
+    with use_form(form):
+        _seed_secrets(4)
+        backend.statements.clear()
+        with viewer_context(Viewer("alice")):
+            PushSecret.objects.all().order_by("title").limited(2).fetch()
+    selects = [s for s in backend.statements if s.startswith("SELECT * ")]
+    assert len(selects) == 1
+    # Ordered bounds use the deterministic grouped jid-subselect form.
+    assert 'jid IN (SELECT "jid" FROM "PushSecret"' in selects[0]
+    assert (
+        'GROUP BY "jid" ORDER BY (MIN("title") IS NULL) ASC, MIN("title") ASC, '
+        '"jid" ASC LIMIT 2'
+    ) in selects[0]
+    backend.close()
+
+
+def test_unordered_limited_issues_distinct_jid_subquery():
+    backend = RecordingSqliteBackend()
+    form = FORM(Database(backend))
+    form.register_all(MODELS)
+    with use_form(form):
+        _seed_secrets(4)
+        backend.statements.clear()
+        with viewer_context(Viewer("alice")):
+            PushSecret.objects.all().limited(2).fetch()
+    selects = [s for s in backend.statements if s.startswith("SELECT * ")]
+    assert len(selects) == 1
+    assert 'jid IN (SELECT DISTINCT "jid" FROM "PushSecret" LIMIT 2)' in selects[0]
+    backend.close()
+
+
+def test_first_issues_bounded_statement():
+    backend = RecordingSqliteBackend()
+    form = FORM(Database(backend))
+    form.register_all(MODELS)
+    with use_form(form):
+        _seed_secrets(4)
+        backend.statements.clear()
+        with viewer_context(Viewer("alice")):
+            PushSecret.objects.filter(owner="alice").first()
+    selects = [s for s in backend.statements if s.startswith("SELECT * ")]
+    assert len(selects) == 1
+    assert "LIMIT 1" in selects[0]
+    backend.close()
+
+
+# -- limited(n, offset) with joins --------------------------------------------------------
+
+
+def test_limited_with_offset_under_join(push_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        books = (
+            PushBook.objects.filter(author__name="author0")
+            .order_by("name")
+            .limited(2, offset=1)
+            .fetch()
+        )
+    assert [book.name for book in books] == ["book1", "book2"]
+
+
+def test_offset_without_limit(push_form):
+    _seed_secrets(4)
+    with viewer_context(Viewer("alice")):
+        visible = PushSecret.objects.all().order_by("title").limited(None, offset=2).fetch()
+    assert [record.title for record in visible] == ["title2", "title3"]
+
+
+def test_limited_join_counts_records_not_join_rows(push_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        books = PushBook.objects.filter(author__name="author1").limited(2).fetch()
+    assert len(books) == 2
+
+
+# -- first() on empty and faceted tables --------------------------------------------------
+
+
+def test_first_on_empty_table(push_form):
+    assert PushSecret.objects.filter(owner="nobody").first() is None
+    with viewer_context(Viewer("alice")):
+        assert PushSecret.objects.filter(owner="nobody").first() is None
+
+
+def test_first_on_faceted_table_per_viewer(push_form):
+    _seed_secrets(3)
+    with viewer_context(Viewer("alice")):
+        assert PushSecret.objects.all().order_by("title").first().title == "title0"
+    with viewer_context(Viewer("stranger")):
+        assert PushSecret.objects.all().order_by("title").first().title == "[redacted]"
+
+
+def test_first_outside_viewer_context_is_faceted(push_form):
+    _seed_secrets(2)
+    option = PushSecret.objects.all().order_by("title").first()
+    owner_view = push_form.runtime.concretize(option, Viewer("alice"))
+    stranger_view = push_form.runtime.concretize(option, Viewer("bob"))
+    assert owner_view.title == "title0"
+    assert stranger_view.title == "[redacted]"
+
+
+def test_get_uses_bounded_query(push_form):
+    _seed_secrets(3)
+    with viewer_context(Viewer("alice")):
+        record = PushSecret.objects.get(title="title1")
+    assert record is not None and record.title == "title1"
+
+
+def test_get_falls_back_when_first_match_is_invisible(push_form):
+    # Record A matches title="target" only via its secret facet (owner bob);
+    # record B (owner alice) matches visibly.  A bounded LIMIT-1 fetch picks
+    # A, pruning drops it for alice -- first()/get() must fall back to the
+    # unbounded scan and return B, exactly like the pre-pushdown path.
+    PushSecret.objects.create(title="target", owner="bob")
+    visible = PushSecret.objects.create(title="target", owner="alice")
+    with viewer_context(Viewer("alice")):
+        found = PushSecret.objects.get(title="target")
+        assert found is not None and found.jid == visible.jid
+        assert PushSecret.objects.filter(title="target").first().jid == visible.jid
+
+
+def test_get_on_invisible_only_match_returns_none(push_form):
+    PushSecret.objects.create(title="target", owner="bob")
+    with viewer_context(Viewer("alice")):
+        assert PushSecret.objects.get(title="target") is None
+
+
+def test_filter_on_none_matches_null_fields(push_form):
+    PushAuthor.objects.create(name=None)
+    PushAuthor.objects.create(name="ada")
+    with viewer_context(Viewer("reader")):
+        matches = PushAuthor.objects.filter(name=None).fetch()
+        assert len(matches) == 1 and matches[0].name is None
+
+
+# -- subquery + order_by interaction -----------------------------------------------------
+
+
+def test_order_by_propagates_into_subquery(push_form):
+    _seed_secrets(5)
+    with viewer_context(Viewer("alice")):
+        descending = PushSecret.objects.all().order_by("-title").limited(2).fetch()
+    assert [record.title for record in descending] == ["title4", "title3"]
+
+
+def test_order_by_with_join_and_bound(push_form):
+    _seed_books()
+    with viewer_context(Viewer("reader")):
+        books = (
+            PushBook.objects.filter(author__name="author0")
+            .order_by("-name")
+            .limited(2)
+            .fetch()
+        )
+    assert [book.name for book in books] == ["book2", "book1"]
+
+
+def test_limit_keeps_every_facet_of_kept_records(push_form):
+    _seed_secrets(4)
+    # A stranger must see the public facet of the bounded records -- the
+    # subselect bounds jids, never facet rows, so no record loses a facet.
+    with viewer_context(Viewer("stranger")):
+        visible = PushSecret.objects.all().limited(2).fetch()
+    assert len(visible) == 2
+    assert all(record.title == "[redacted]" for record in visible)
+
+
+# -- backend parity -----------------------------------------------------------------------
+
+
+def _bounded_jids(database):
+    form = FORM(database)
+    form.register_all(MODELS)
+    with use_form(form):
+        _seed_secrets(8)
+        _seed_books()
+        with viewer_context(Viewer("alice")):
+            secrets = PushSecret.objects.all().order_by("-title").limited(3, offset=2).fetch()
+            books = (
+                PushBook.objects.filter(author__name="author0")
+                .order_by("name")
+                .limited(2, offset=1)
+                .fetch()
+            )
+        return [r.jid for r in secrets], [b.jid for b in books]
+
+
+def test_memory_and_sqlite_return_identical_jid_sets():
+    memory = Database(MemoryBackend())
+    sqlite = Database(SqliteBackend())
+    memory_jids = _bounded_jids(memory)
+    sqlite_jids = _bounded_jids(sqlite)
+    memory.close()
+    sqlite.close()
+    assert memory_jids == sqlite_jids
+    assert all(jids for jids in memory_jids)
