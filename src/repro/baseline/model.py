@@ -18,7 +18,14 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.db.engine import Database
 from repro.db.expr import eq, eq_or_null
-from repro.db.query import Query, limit_by_key, plan_bounded
+from repro.db.query import (
+    Query,
+    limit_by_key,
+    plan_bounded,
+    plan_count_distinct,
+    plan_exists,
+    plan_scalar_aggregate,
+)
 from repro.db.schema import Column, ColumnType, TableSchema
 from repro.form.fields import Field
 from repro.baseline.fields import ForeignKey
@@ -287,10 +294,77 @@ class BaselineQuerySet:
         return rows[0] if rows else None
 
     def count(self) -> int:
-        return len(self.fetch())
+        """The number of matching records, in one ``COUNT(DISTINCT id)``.
+
+        Counting DISTINCT primary keys (rather than raw rows) keeps the
+        count per *record* under joins, where one record spans one row per
+        join match -- the same record-counting discipline as the FORM's
+        jid-based count.  Bounded query sets keep the fetching path: the
+        bound itself counts records, which a scalar plan cannot see.
+        """
+        if self.limit is not None or self.offset:
+            return len(self.fetch())
+        db = current_baseline_db().database
+        query, _joined = self._build_query(self.model._meta)
+        return int(db.aggregate(plan_count_distinct(query, "id")) or 0)
 
     def exists(self) -> bool:
-        return bool(self.fetch())
+        """Whether any record matches, via one ``SELECT EXISTS(...)``.
+
+        The database answers the probe without returning rows: SQLite stops
+        at its first hit and the memory engine early-exits its scan.
+        """
+        if self.limit is not None or self.offset:
+            return bool(self.fetch())
+        db = current_baseline_db().database
+        query, _joined = self._build_query(self.model._meta)
+        return bool(db.aggregate(plan_exists(query)))
+
+    def aggregate(self, field_name: str, function: str) -> Any:
+        """Aggregate a field over the matching rows in one SQL statement.
+
+        ``function`` is COUNT, SUM, AVG, MIN or MAX with SQL's NULL rules
+        (NULLs skipped; SUM/AVG/MIN/MAX of no values is ``None``, COUNT is
+        0).  Under a join the aggregate ranges over the joined rows, like
+        Django's -- a record matched by several join rows contributes each
+        of them.  Bounded query sets reduce the fetched instances instead.
+        """
+        function = function.upper()
+        meta = self.model._meta
+        if field_name in ("id", "pk"):
+            column = "id"
+        else:
+            from repro.form.aggregates import check_aggregate_field
+
+            column = check_aggregate_field(
+                field_name, meta.fields.get(field_name), meta.table_name, function
+            )
+        if self.limit is not None or self.offset:
+            from repro.form.aggregates import stats_of_values
+
+            # Instances expose the primary key as ``pk``, not ``id``.
+            attribute = "pk" if column == "id" else column
+            values = [getattr(instance, attribute, None) for instance in self.fetch()]
+            return stats_of_values(values).finalise(function)
+        db = current_baseline_db().database
+        query, _joined = self._build_query(meta)
+        return db.aggregate(plan_scalar_aggregate(query, function, column))
+
+    def sum(self, field_name: str) -> Any:
+        """``SUM(field)`` in one statement (``None`` when no values)."""
+        return self.aggregate(field_name, "SUM")
+
+    def avg(self, field_name: str) -> Any:
+        """``AVG(field)`` in one statement (``None`` when no values)."""
+        return self.aggregate(field_name, "AVG")
+
+    def min(self, field_name: str) -> Any:
+        """``MIN(field)`` in one statement (``None`` when no values)."""
+        return self.aggregate(field_name, "MIN")
+
+    def max(self, field_name: str) -> Any:
+        """``MAX(field)`` in one statement (``None`` when no values)."""
+        return self.aggregate(field_name, "MAX")
 
     def delete(self) -> int:
         db = current_baseline_db().database
@@ -405,6 +479,12 @@ class BaselineManager:
 
     def count(self) -> int:
         return BaselineQuerySet(self.model).count()
+
+    def exists(self) -> bool:
+        return BaselineQuerySet(self.model).exists()
+
+    def aggregate(self, field_name: str, function: str) -> Any:
+        return BaselineQuerySet(self.model).aggregate(field_name, function)
 
 
 def _instance_from_row(model: Type[Model], values: Dict[str, Any]) -> Model:

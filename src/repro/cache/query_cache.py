@@ -8,9 +8,17 @@ happen per request, for the actual viewer, against exactly the rows an
 uncached fetch would have produced.  Nothing viewer-specific is ever stored
 here.
 
+The same store caches aggregate plans: an aggregate pushdown's jvars
+partitions (``(branches, per-partition aggregate row)`` pairs) are
+pre-pruning data by the same argument -- the faceted merge and the
+per-viewer visibility filter both run per request -- and the aggregate
+query's own normalised text keys the entry, so a row-fetching plan and an
+aggregate plan over the same filters never collide.
+
 Invalidation is write-through: the cache subscribes to the owning database's
 :class:`~repro.cache.bus.InvalidationBus` and drops every entry whose query
-touched a written table (joins register every joined table).
+touched a written table (``Query.tables_read()`` registers joins and tables
+referenced only inside subqueries).
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from repro.cache.lru import LRUCache, MISSING
 
 #: One cached result row: (jid, jvar branches, unqualified column values).
 CachedEntry = Tuple[int, Tuple[Tuple[str, bool], ...], Dict[str, Any]]
+
+#: One cached aggregate partition: (jvar branches, per-partition aggregates).
+AggregateEntry = Tuple[Tuple[Tuple[str, bool], ...], Dict[str, Any]]
 
 
 def normalize_query(query: Any) -> str:

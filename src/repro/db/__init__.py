@@ -21,15 +21,29 @@ from repro.db.expr import (
     AndExpr,
     ColumnRef,
     Comparison,
+    ExistsSubquery,
     Expression,
     InList,
+    InSubquery,
     Literal,
     NotExpr,
     OrExpr,
     col,
+    exists_subquery,
+    in_subquery,
     lit,
 )
-from repro.db.query import Aggregate, Join, Order, Query
+from repro.db.query import (
+    Aggregate,
+    Join,
+    Order,
+    Query,
+    plan_aggregate,
+    plan_bounded,
+    plan_count_distinct,
+    plan_exists,
+    plan_scalar_aggregate,
+)
 from repro.db.table import Table
 from repro.db.engine import Database
 from repro.db.backend import Backend
@@ -55,6 +69,15 @@ __all__ = [
     "Join",
     "Order",
     "Aggregate",
+    "InSubquery",
+    "ExistsSubquery",
+    "in_subquery",
+    "exists_subquery",
+    "plan_aggregate",
+    "plan_bounded",
+    "plan_count_distinct",
+    "plan_exists",
+    "plan_scalar_aggregate",
     "Table",
     "Database",
     "Backend",

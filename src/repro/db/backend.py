@@ -131,6 +131,37 @@ class Backend(abc.ABC):
     def aggregate(self, query: Query) -> Any:
         """Run an aggregate query and return the scalar result."""
 
+    @staticmethod
+    def _check_aggregate(query: Query):
+        """Validate an aggregate query; returns its :class:`Aggregate`.
+
+        Shared by both backends so invalid shapes fail identically instead
+        of diverging (e.g. EXISTS has no grouped form in SQL).
+        """
+        aggregate = query.aggregate
+        if aggregate is None:
+            raise ValueError("aggregate() requires a query with an aggregate")
+        if aggregate.function.upper() == "EXISTS" and query.group_by:
+            raise ValueError("EXISTS cannot be combined with GROUP BY")
+        return aggregate
+
+    def _grouped_aggregate_dict(self, query: Query) -> Dict[tuple, Any]:
+        """The legacy ``{group key tuple: value}`` form of a GROUP BY aggregate.
+
+        Rewrites the scalar aggregate as a grouped aggregate *selection* and
+        executes it -- one statement on SQLite, the index-aware grouped path
+        on the memory engine -- so both backends share one grouping
+        implementation.
+        """
+        from dataclasses import replace
+
+        grouped = replace(query, aggregate=None, aggregates=(query.aggregate,))
+        key_name = query.aggregate.result_key()
+        return {
+            tuple(row.get(column) for column in query.group_by): row.get(key_name)
+            for row in self.execute(grouped)
+        }
+
     def count(self, table: str, where: Optional[Expression] = None) -> int:
         """Convenience COUNT(*) helper.
 
@@ -147,6 +178,26 @@ class Backend(abc.ABC):
         """
         query = Query(table=table, where=where).with_aggregate("COUNT")
         return int(self.aggregate(query) or 0)
+
+    def exists(self, table: str, where: Optional[Expression] = None) -> bool:
+        """Convenience ``SELECT EXISTS(...)`` helper: any matching row?
+
+        One statement on both backends -- SQLite stops at the first hit,
+        the memory engine early-exits its scan -- so probing a huge table
+        never fetches (or counts) its rows.
+
+        >>> from repro.db import Database
+        >>> from repro.db.schema import ColumnType
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     before = db.backend.exists("Paper")
+        ...     _ = db.insert("Paper", title="facets")
+        ...     (before, db.backend.exists("Paper"))
+        (False, True)
+        """
+        from repro.db.query import plan_exists
+
+        return bool(self.aggregate(plan_exists(Query(table=table, where=where))))
 
     # -- lifecycle -----------------------------------------------------------------------
 

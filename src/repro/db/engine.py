@@ -174,10 +174,49 @@ class Database:
         """
         return self.backend.count(table, where)
 
+    def count_distinct(
+        self, table: str, column: str, where: Optional[Expression] = None
+    ) -> int:
+        """``COUNT(DISTINCT column)`` in one statement (NULLs skipped).
+
+        The record-counting primitive behind the ORMs' ``count()``
+        pushdown: one logical record spans several rows sharing a key
+        (``jid``/``id``), so records are counted as distinct keys.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", jid=ColumnType.INTEGER)
+        ...     _ = db.insert_many("Paper", [{"jid": 1}, {"jid": 1}, {"jid": 2}])
+        ...     db.count_distinct("Paper", "jid")
+        2
+        """
+        from repro.db.query import plan_count_distinct
+
+        query = plan_count_distinct(Query(table=table, where=where), column)
+        return int(self.backend.aggregate(query) or 0)
+
+    def exists(self, table: str, where: Optional[Expression] = None) -> bool:
+        """``SELECT EXISTS(...)``: any matching row, without fetching rows.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     _ = db.insert("Paper", title="facets")
+        ...     db.exists("Paper")
+        True
+        """
+        return self.backend.exists(table, where)
+
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         return self.backend.execute(query)
 
     def aggregate(self, query: Query) -> Any:
+        """Run a scalar (or GROUP-BY dict) aggregate query.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", score=ColumnType.INTEGER)
+        ...     _ = db.insert_many("Paper", [{"score": 3}, {"score": 5}])
+        ...     db.aggregate(db.query("Paper").with_aggregate("MAX", "score"))
+        5
+        """
         return self.backend.aggregate(query)
 
     def clear(self) -> None:

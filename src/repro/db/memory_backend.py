@@ -137,10 +137,12 @@ class MemoryBackend(Backend):
     # -- queries --------------------------------------------------------------------------
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
+        if query.aggregates:
+            return self._aggregate_rows(query)
         columns = query.qualified_columns() if query.is_join() else query.columns
         with self._lock:
             where = self._resolved_where(query)
-            source = self._join_rows(query)
+            source = self._source_rows(query, where)
             if query.distinct and query.limit is not None and not query.order_by:
                 # Unordered distinct-limit (the bounded pushdown subquery):
                 # stream filter -> project -> dedupe with early exit, so the
@@ -182,23 +184,95 @@ class MemoryBackend(Backend):
         return rows
 
     def aggregate(self, query: Query) -> Any:
-        if query.aggregate is None:
-            raise ValueError("aggregate() requires a query with an aggregate")
+        self._check_aggregate(query)
+        if query.aggregate.function.upper() == "EXISTS":
+            # Early exit: stop scanning once enough matches are seen, like
+            # the database behind SELECT EXISTS(...).  LIMIT/OFFSET stay
+            # inside the SQL subselect, so they must be honoured here too:
+            # the window is non-empty iff more than ``offset`` rows match
+            # (and the limit allows at least one row through).
+            if query.limit is not None and query.limit <= 0:
+                return False
+            with self._lock:
+                where = self._resolved_where(query)
+                source = self._source_rows(query, where, copy=False)
+                needed = query.offset + 1
+                for row in source:
+                    if where is None or where.evaluate(row):
+                        needed -= 1
+                        if needed == 0:
+                            return True
+                return False
+        if query.group_by:
+            return self._grouped_aggregate_dict(query)
+        # Scalar aggregates never return row dicts, so they read the live
+        # rows and compute entirely under the lock -- no per-row copies.
         with self._lock:
             where = self._resolved_where(query)
-            rows = self._join_rows(query)
+            rows = self._source_rows(query, where, copy=False)
             if where is not None:
                 rows = [row for row in rows if where.evaluate(row)]
-        if query.group_by:
+            return compute_aggregate(rows, query.aggregate)
+
+    def _aggregate_rows(self, query: Query) -> List[Dict[str, Any]]:
+        """Grouped aggregate selections: one result row per group.
+
+        Result rows are keyed by the group columns (exactly as spelled in
+        ``query.group_by``) plus each aggregate's ``result_key()`` --
+        matching the aliases the SQL generator emits, so both backends
+        return identical rows.  With no GROUP BY the whole match set is one
+        group (SQL semantics: always exactly one result row).
+        """
+        from repro.db.query import _qualified_get
+
+        # Grouped aggregates read live rows and reduce entirely under the
+        # lock (result rows are fresh dicts, so nothing live escapes).
+        with self._lock:
+            where = self._resolved_where(query)
+            rows = self._source_rows(query, where, copy=False)
+            if where is not None:
+                rows = [row for row in rows if where.evaluate(row)]
             grouped: Dict[tuple, List[Dict[str, Any]]] = {}
-            for row in rows:
-                key = tuple(row.get(column) for column in query.group_by)
-                grouped.setdefault(key, []).append(row)
-            return {
-                key: compute_aggregate(group, query.aggregate)
-                for key, group in grouped.items()
-            }
-        return compute_aggregate(rows, query.aggregate)
+            if len(query.group_by) == 1:
+                # Hot path (the FORM groups by one jvars column): scalar
+                # keys, no per-row tuple construction.
+                column = query.group_by[0]
+                keyed: Dict[Any, List[Dict[str, Any]]] = {}
+                for row in rows:
+                    key = row[column] if column in row else _qualified_get(row, column)
+                    keyed.setdefault(key, []).append(row)
+                grouped = {(key,): group for key, group in keyed.items()}
+            else:
+                for row in rows:
+                    key = tuple(
+                        _qualified_get(row, column) for column in query.group_by
+                    )
+                    grouped.setdefault(key, []).append(row)
+            if not query.group_by and not grouped:
+                grouped[()] = []
+            result = []
+            for key, group in grouped.items():
+                out: Dict[str, Any] = dict(zip(query.group_by, key))
+                for aggregate in query.aggregates:
+                    out[aggregate.result_key()] = compute_aggregate(group, aggregate)
+                result.append(out)
+        result = apply_order(result, query.order_by)
+        return apply_limit(result, query.limit, query.offset)
+
+    def _source_rows(
+        self, query: Query, where, copy: bool = True
+    ) -> List[Dict[str, Any]]:
+        """The FROM/JOIN row set, narrowed by a hash index when possible.
+
+        For single-table queries an indexed equality / IN / IS NULL filter
+        (e.g. the resolved ``jid IN (...)`` of a bounded pushdown) reads the
+        index buckets instead of copying the whole heap -- the memory
+        backend's answer to SQLite walking its B-tree index.  ``copy=False``
+        hands out live row dicts for under-lock read-only consumers.
+        """
+        if not query.is_join():
+            return self._table(query.table).candidate_rows(where, copy=copy)
+        return self._join_rows(query)
 
     def clear(self) -> None:
         with self._lock:

@@ -33,14 +33,50 @@ class Order:
 
 @dataclass(frozen=True)
 class Aggregate:
-    """An aggregate computation: COUNT, SUM, AVG, MIN or MAX over a column."""
+    """An aggregate computation over a column.
+
+    ``COUNT``, ``SUM``, ``AVG``, ``MIN`` and ``MAX`` follow SQL's NULL
+    rules on both backends: NULL values are skipped, ``COUNT`` of no
+    values is 0, and every other function over no values is NULL.
+    ``distinct`` selects ``COUNT(DISTINCT column)`` and friends -- the
+    record-counting form of the FORM's ``count()`` pushdown, where one
+    logical record spans several facet rows sharing a ``jid``.
+    ``EXISTS`` is the whole-query membership test (``SELECT EXISTS(...)``);
+    it takes no column.
+
+    >>> Aggregate("COUNT", "jid", distinct=True).result_key()
+    'COUNT(DISTINCT jid)'
+    >>> Aggregate("EXISTS").result_key()
+    'EXISTS'
+    """
 
     function: str
     column: str = "*"
+    distinct: bool = False
 
     def __post_init__(self) -> None:
-        if self.function.upper() not in {"COUNT", "SUM", "AVG", "MIN", "MAX"}:
+        function = self.function.upper()
+        if function not in {"COUNT", "SUM", "AVG", "MIN", "MAX", "EXISTS"}:
             raise ValueError(f"unknown aggregate function {self.function!r}")
+        if self.distinct and self.column == "*":
+            raise ValueError("DISTINCT aggregates need an explicit column")
+        if function == "EXISTS" and (self.distinct or self.column != "*"):
+            raise ValueError("EXISTS takes neither a column nor DISTINCT")
+
+    def result_key(self) -> str:
+        """The result-row key (and SQL alias) of this aggregate selection.
+
+        Both backends name an aggregate's output column exactly like this,
+        so grouped aggregate rows are backend-identical.
+
+        >>> Aggregate("SUM", "score").result_key()
+        'SUM(score)'
+        """
+        function = self.function.upper()
+        if function == "EXISTS":
+            return "EXISTS"
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{function}({prefix}{self.column})"
 
 
 @dataclass(frozen=True)
@@ -66,6 +102,13 @@ class Query:
     group_by: Tuple[str, ...] = ()
     #: SELECT DISTINCT: deduplicate result rows (after column projection).
     distinct: bool = False
+    #: Aggregate *selections*: ``SELECT group_by..., AGG1, AGG2 ... GROUP BY
+    #: group_by`` executed through :meth:`Backend.execute`, one result row
+    #: per group keyed by the group columns plus each aggregate's
+    #: ``result_key()``.  Unlike :attr:`aggregate` (a single scalar through
+    #: ``Backend.aggregate``), this is the planner's grouped form -- the
+    #: FORM's per-jvars-partition aggregates ride on it.
+    aggregates: Tuple[Aggregate, ...] = ()
 
     # -- fluent builders --------------------------------------------------------------
 
@@ -140,13 +183,32 @@ class Query:
 
         return self.filter(InSubquery(ColumnRef(column), subquery))
 
-    def with_aggregate(self, function: str, column: str = "*") -> "Query":
-        """Turn the query into an aggregate (COUNT/SUM/AVG/MIN/MAX).
+    def with_aggregate(
+        self, function: str, column: str = "*", distinct: bool = False
+    ) -> "Query":
+        """Turn the query into a scalar aggregate (COUNT/SUM/AVG/MIN/MAX/EXISTS).
 
         >>> Query("Paper").with_aggregate("COUNT").aggregate
-        Aggregate(function='COUNT', column='*')
+        Aggregate(function='COUNT', column='*', distinct=False)
+        >>> Query("Paper").with_aggregate("COUNT", "jid", distinct=True).aggregate.result_key()
+        'COUNT(DISTINCT jid)'
         """
-        return replace(self, aggregate=Aggregate(function, column))
+        return replace(self, aggregate=Aggregate(function, column, distinct))
+
+    def select_aggregates(self, *aggregates: Aggregate) -> "Query":
+        """Select aggregate computations as result columns (grouped rows).
+
+        Combined with :meth:`grouped_by`, executes as one ``SELECT
+        group..., AGG... GROUP BY group`` statement returning a row per
+        group; each aggregate's value is keyed by its
+        :meth:`Aggregate.result_key`.
+
+        >>> q = (Query("Paper").select_aggregates(Aggregate("COUNT"))
+        ...      .grouped_by("jvars"))
+        >>> [a.result_key() for a in q.aggregates]
+        ['COUNT(*)']
+        """
+        return replace(self, aggregates=tuple(aggregates))
 
     def grouped_by(self, *columns: str) -> "Query":
         """GROUP BY for aggregate queries.
@@ -214,7 +276,7 @@ def order_outside_selection(query: "Query") -> bool:
     """
     if not (query.distinct and query.columns and query.order_by):
         return False
-    if query.group_by or query.aggregate is not None:
+    if query.group_by or query.aggregate is not None or query.aggregates:
         return False
     selected = set(query.columns) | set(query.qualified_columns() or ())
     bare = {name.rsplit(".", 1)[-1] for name in selected}
@@ -265,6 +327,105 @@ def plan_bounded(
     # rows -- the truncation bug this planner exists to prevent.
     outer = replace(query, limit=None, offset=0)
     return outer.in_subquery(key_column, subquery)
+
+
+def plan_scalar_aggregate(
+    query: "Query", function: str, column: str = "*", distinct: bool = False
+) -> "Query":
+    """Compile a filtered query to a single scalar-aggregate statement.
+
+    Strips the row-shaping clauses (projection, DISTINCT, ordering,
+    LIMIT/OFFSET) that are meaningless under a scalar aggregate, keeps the
+    filters and joins, and qualifies a bare ``column`` with the base table
+    under joins (both joined tables may carry the column).
+
+    >>> from repro.db.sqlgen import query_to_sql
+    >>> q = plan_scalar_aggregate(Query("Paper").ordered_by("title"), "MAX", "score")
+    >>> query_to_sql(q)[0]
+    'SELECT MAX("score") FROM "Paper"'
+    """
+    if column != "*" and "." not in column and query.is_join():
+        column = f"{query.table}.{column}"
+    return replace(
+        query,
+        columns=None,
+        distinct=False,
+        order_by=(),
+        limit=None,
+        offset=0,
+        aggregate=Aggregate(function, column, distinct),
+        aggregates=(),
+        group_by=(),
+    )
+
+
+def plan_count_distinct(query: "Query", key_column: str) -> "Query":
+    """Compile a record count to one ``COUNT(DISTINCT key)`` statement.
+
+    The record-counting analogue of :func:`plan_bounded`: a raw
+    ``COUNT(*)`` counts *rows*, but one logical record spans several rows
+    (one per facet for the FORM, one per join match for the baseline), so
+    the count ranges over DISTINCT record keys instead.
+
+    >>> from repro.db.sqlgen import query_to_sql
+    >>> query_to_sql(plan_count_distinct(Query("Paper"), "jid"))[0]
+    'SELECT COUNT(DISTINCT "jid") FROM "Paper"'
+    """
+    return plan_scalar_aggregate(query, "COUNT", key_column, distinct=True)
+
+
+def plan_exists(query: "Query") -> "Query":
+    """Compile a membership probe to one ``SELECT EXISTS(...)`` statement.
+
+    The database answers "does any row match?" without returning rows; the
+    in-memory engine evaluates it with the same early exit.
+
+    >>> from repro.db.expr import eq
+    >>> from repro.db.sqlgen import query_to_sql
+    >>> query_to_sql(plan_exists(Query("Paper").filter(eq("accepted", True))))[0]
+    'SELECT EXISTS(SELECT 1 FROM "Paper" WHERE accepted = ?)'
+    """
+    return plan_scalar_aggregate(query, "EXISTS")
+
+
+def plan_aggregate(
+    query: "Query",
+    group_columns: Sequence[str],
+    aggregates: Sequence[Aggregate],
+) -> "Query":
+    """Compile a filtered query to one grouped-aggregate statement.
+
+    Keeps the query's filters and joins, drops row shaping (projection,
+    DISTINCT, ordering, LIMIT/OFFSET), and selects ``aggregates`` per
+    group of ``group_columns`` -- the single statement behind the FORM's
+    aggregates-under-facets: grouping by the ``jvars`` columns partitions
+    matching rows by label assignment, and the per-partition aggregates
+    merge into one faceted result (see ``repro.form.aggregates``).
+
+    Bare group columns are qualified with the base table under joins, like
+    every other column resolution in this package.
+
+    >>> from repro.db.sqlgen import query_to_sql
+    >>> q = plan_aggregate(Query("Paper"), ["jvars"], [Aggregate("COUNT")])
+    >>> query_to_sql(q)[0]
+    'SELECT "jvars" AS "jvars", COUNT(*) AS "COUNT(*)" FROM "Paper" GROUP BY "jvars"'
+    """
+    qualified = []
+    for name in group_columns:
+        if "." not in name and query.is_join():
+            name = f"{query.table}.{name}"
+        qualified.append(name)
+    return replace(
+        query,
+        columns=None,
+        distinct=False,
+        order_by=(),
+        limit=None,
+        offset=0,
+        aggregate=None,
+        aggregates=tuple(aggregates),
+        group_by=tuple(qualified),
+    )
 
 
 def apply_order(rows: List[Dict[str, Any]], order_by: Sequence[Order]) -> List[Dict[str, Any]]:
@@ -358,17 +519,36 @@ def limit_by_key(items: List[Any], key, limit: Optional[int]) -> List[Any]:
 
 
 def compute_aggregate(rows: List[Dict[str, Any]], aggregate: Aggregate) -> Any:
-    """Evaluate an aggregate over already-filtered rows."""
+    """Evaluate an aggregate over already-filtered rows.
+
+    Follows SQL's NULL rules exactly (the memory engine must agree with
+    SQLite): NULL values are skipped, ``COUNT`` of none is 0, and SUM, AVG,
+    MIN and MAX over an empty or all-NULL column are NULL (``None``).
+
+    >>> compute_aggregate([{"v": None}, {"v": 2}], Aggregate("COUNT", "v"))
+    1
+    >>> compute_aggregate([{"v": None}], Aggregate("SUM", "v")) is None
+    True
+    >>> compute_aggregate([{"v": 2}, {"v": 2}], Aggregate("SUM", "v", distinct=True))
+    2
+    """
     function = aggregate.function.upper()
-    if function == "COUNT":
-        if aggregate.column == "*":
-            return len(rows)
-        return sum(1 for row in rows if _qualified_get(row, aggregate.column) is not None)
+    if function == "EXISTS":
+        return bool(rows)
+    if function == "COUNT" and aggregate.column == "*":
+        return len(rows)
     values = [
         value
         for row in rows
         if (value := _qualified_get(row, aggregate.column)) is not None
     ]
+    if aggregate.distinct:
+        try:
+            values = list(dict.fromkeys(values))
+        except TypeError:  # unhashable values: quadratic fallback
+            values = [v for i, v in enumerate(values) if v not in values[:i]]
+    if function == "COUNT":
+        return len(values)
     if not values:
         return None
     if function == "SUM":

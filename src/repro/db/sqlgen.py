@@ -9,9 +9,10 @@ joined table and joins foreign keys on ``jid`` instead of the primary key.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.db.query import Query, order_outside_selection
+from repro.db.query import Aggregate, Query, order_outside_selection
 from repro.db.schema import TableSchema
 
 
@@ -29,7 +30,9 @@ def schema_to_sql(schema: TableSchema) -> str:
     return f'CREATE TABLE IF NOT EXISTS "{schema.name}" ({body})'
 
 
-def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
+def query_to_sql(
+    query: Query, qualify: bool = False, _select: Optional[str] = None
+) -> Tuple[str, List[Any]]:
     """Render a query to a SELECT statement and its bound parameters.
 
     The bounded-query pushdown renders as a jid subselect -- the LIMIT sits
@@ -55,8 +58,31 @@ def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
     >>> sub = Query("Paper").select("jid").distinct_rows().ordered_by("title").limited(5)
     >>> print(query_to_sql(sub)[0])
     SELECT "jid" FROM "Paper" GROUP BY "jid" ORDER BY (MIN("title") IS NULL) ASC, MIN("title") ASC, "jid" ASC LIMIT 5
+
+    Aggregate pushdowns render the same way on both backends: scalar
+    aggregates (``COUNT(DISTINCT jid)``, ``EXISTS``) become one statement,
+    and grouped aggregate selections alias each aggregate with its
+    ``result_key`` so result rows are keyed identically everywhere:
+
+    >>> print(query_to_sql(Query("Paper").with_aggregate("COUNT", "jid", distinct=True))[0])
+    SELECT COUNT(DISTINCT "jid") FROM "Paper"
+    >>> print(query_to_sql(Query("Paper").with_aggregate("EXISTS"))[0])
+    SELECT EXISTS(SELECT 1 FROM "Paper")
+    >>> grouped = (Query("Paper").select_aggregates(Aggregate("SUM", "score"))
+    ...            .grouped_by("jvars"))
+    >>> print(query_to_sql(grouped)[0])
+    SELECT "jvars" AS "jvars", SUM("score") AS "SUM(score)" FROM "Paper" GROUP BY "jvars"
     """
     params: List[Any] = []
+
+    if query.aggregate is not None and query.aggregate.function.upper() == "EXISTS":
+        # EXISTS wraps the whole (aggregate-free) query: the database
+        # answers the membership probe without returning any row.  DISTINCT
+        # and ORDER BY cannot change whether any row exists, so they are
+        # dropped from the subselect (LIMIT/OFFSET can, and stay).
+        inner = replace(query, aggregate=None, distinct=False, order_by=())
+        inner_sql, inner_params = query_to_sql(inner, qualify=qualify, _select="1")
+        return f"SELECT EXISTS({inner_sql})", inner_params
 
     # A distinct query ordered by non-selected columns evaluates in grouped
     # form (see order_outside_selection): DISTINCT becomes GROUP BY over
@@ -64,10 +90,17 @@ def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
     grouped_order = order_outside_selection(query)
     names: Optional[Sequence[str]] = None
 
-    if query.aggregate is not None:
-        column = query.aggregate.column
-        target = column if column == "*" else _quote_name(column)
-        select_clause = f"{query.aggregate.function.upper()}({target})"
+    if _select is not None:
+        select_clause = _select
+    elif query.aggregates:
+        parts = [f'{_quote_name(name)} AS "{name}"' for name in query.group_by]
+        parts.extend(
+            f'{_render_aggregate(aggregate)} AS "{aggregate.result_key()}"'
+            for aggregate in query.aggregates
+        )
+        select_clause = ", ".join(parts)
+    elif query.aggregate is not None:
+        select_clause = _render_aggregate(query.aggregate)
     elif query.columns:
         names = query.qualified_columns() if qualify else query.columns
         select_clause = ", ".join(_quote_name(name) for name in names)
@@ -116,6 +149,11 @@ def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
                 terms.append(f"({target} IS NULL) {direction}")
                 terms.append(f"{target} {direction}")
             else:
+                # Plain ORDER BY gets the same IS-NULL sort flag: SQLite
+                # sorts NULL first ascending while the memory engine sorts
+                # None last, so without the flag the two backends disagree
+                # on row order whenever the order column is nullable.
+                terms.append(f"({_quote_name(order.column)} IS NULL) {direction}")
                 terms.append(f"{_quote_name(order.column)} {direction}")
         if grouped_order:
             # Deterministic tie-break so equal aggregate keys cannot make
@@ -132,6 +170,15 @@ def query_to_sql(query: Query, qualify: bool = False) -> Tuple[str, List[Any]]:
         statement += f" LIMIT -1 OFFSET {int(query.offset)}"
 
     return statement, params
+
+
+def _render_aggregate(aggregate: Aggregate) -> str:
+    """``COUNT(*)`` / ``SUM("score")`` / ``COUNT(DISTINCT "jid")``."""
+    column = aggregate.column
+    target = column if column == "*" else _quote_name(column)
+    if aggregate.distinct:
+        target = f"DISTINCT {target}"
+    return f"{aggregate.function.upper()}({target})"
 
 
 def _quote_name(name: str) -> str:

@@ -357,6 +357,13 @@ class SqliteBackend(Backend):
         with self._reading() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             raw_rows = cursor.fetchall()
+        if query.aggregates:
+            # Grouped aggregate selections: the SELECT list carries explicit
+            # aliases (group columns as spelled, aggregates by result_key),
+            # so the row dicts already match the memory backend's keys.
+            return [
+                self._decode_aggregate_row(query, dict(row)) for row in raw_rows
+            ]
         if query.is_join():
             columns = self._join_column_names(query)
             rows = [dict(zip(columns, tuple(row))) for row in raw_rows]
@@ -366,23 +373,23 @@ class SqliteBackend(Backend):
         return rows
 
     def aggregate(self, query: Query) -> Any:
-        if query.aggregate is None:
-            raise ValueError("aggregate() requires a query with an aggregate")
+        self._check_aggregate(query)
         if query.group_by:
-            rows = self.execute(Query(table=query.table, where=query.where, joins=query.joins))
-            grouped: Dict[tuple, List[Dict[str, Any]]] = {}
-            for row in rows:
-                key = tuple(row.get(column) for column in query.group_by)
-                grouped.setdefault(key, []).append(row)
-            return {
-                key: compute_aggregate(group, query.aggregate)
-                for key, group in grouped.items()
-            }
+            # Push the grouping down as one GROUP BY statement (it used to
+            # fetch every matching row and group in Python).
+            return self._grouped_aggregate_dict(query)
         statement, params = query_to_sql(query, qualify=query.is_join())
+        self._statement_rendered(statement)
         with self._reading() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             row = cursor.fetchone()
-        return row[0] if row is not None else None
+        value = row[0] if row is not None else None
+        function = query.aggregate.function.upper()
+        if function == "EXISTS":
+            return bool(value)
+        if function in ("MIN", "MAX"):
+            value = self._decode_aggregated_value(query, query.aggregate, value)
+        return value
 
     def _statement_rendered(self, statement: str) -> None:
         """Hook observing the exact SELECT text about to execute.
@@ -429,17 +436,62 @@ class SqliteBackend(Backend):
         return encoded
 
     @staticmethod
+    def _decode_value(column: Column, value: Any) -> Any:
+        if value is None:
+            return None
+        if column.type is ColumnType.BOOLEAN:
+            return bool(value)
+        if column.type is ColumnType.DATETIME and isinstance(value, str):
+            return datetime.datetime.fromisoformat(value)
+        return value
+
+    @staticmethod
     def _decode_row(schema: TableSchema, row: Dict[str, Any]) -> Dict[str, Any]:
         decoded = {}
         for name, value in row.items():
             if schema.has_column(name) and value is not None:
-                column = schema.column(name)
-                if column.type is ColumnType.BOOLEAN:
-                    value = bool(value)
-                elif column.type is ColumnType.DATETIME and isinstance(value, str):
-                    value = datetime.datetime.fromisoformat(value)
+                value = SqliteBackend._decode_value(schema.column(name), value)
             decoded[name] = value
         return decoded
+
+    def _source_column(self, query: Query, name: str) -> Optional[Column]:
+        """Resolve a (possibly qualified) column against the query's tables."""
+        if "." in name:
+            table, bare = name.rsplit(".", 1)
+            tables = [table]
+        else:
+            bare = name
+            tables = [query.table] + [join.table for join in query.joins]
+        for table in tables:
+            schema = self._schemas.get(table)
+            if schema is not None and schema.has_column(bare):
+                return schema.column(bare)
+        return None
+
+    def _decode_aggregated_value(self, query: Query, aggregate, value: Any) -> Any:
+        """Decode a MIN/MAX result through its source column's type.
+
+        MIN/MAX return one of the stored values, so BOOLEAN/DATETIME
+        columns decode exactly like a plain row read -- keeping value
+        parity with the memory backend, which stores live Python objects.
+        """
+        if aggregate.column == "*":
+            return value
+        column = self._source_column(query, aggregate.column)
+        if column is None:
+            return value
+        return self._decode_value(column, value)
+
+    def _decode_aggregate_row(self, query: Query, row: Dict[str, Any]) -> Dict[str, Any]:
+        for name in query.group_by:
+            column = self._source_column(query, name)
+            if column is not None:
+                row[name] = self._decode_value(column, row.get(name))
+        for aggregate in query.aggregates:
+            if aggregate.function.upper() in ("MIN", "MAX"):
+                key = aggregate.result_key()
+                row[key] = self._decode_aggregated_value(query, aggregate, row.get(key))
+        return row
 
     def _join_column_names(self, query: Query) -> List[str]:
         """Qualified output column names for a join query, in SELECT order."""

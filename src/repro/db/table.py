@@ -105,29 +105,75 @@ class Table:
     def rows(self) -> List[Dict[str, Any]]:
         return [dict(row) for row in self._rows.values()]
 
+    def candidate_rows(
+        self, where: Optional[Expression], copy: bool = True
+    ) -> List[Dict[str, Any]]:
+        """The rows an index narrows ``where`` down to.
+
+        A conservative superset of the matching rows: callers still
+        evaluate ``where`` per row.  Equality, ``IN (...)`` lists (the
+        resolved form of a jid-subselect pushdown) and ``IS NULL`` probes on
+        an indexed column read the hash index instead of scanning the heap,
+        which is what keeps the memory backend's bounded and grouped query
+        paths O(matches) instead of O(table).
+
+        ``copy=False`` returns the live row dicts -- only for callers that
+        read under the backend lock and never return them (the aggregate
+        paths), where per-row copies would dominate the statement cost.
+        """
+        rows = self._candidate_rows(where)
+        if not copy:
+            return rows
+        return [dict(row) for row in rows]
+
     # -- indexes ------------------------------------------------------------------------
 
     def _candidate_rows(self, where: Optional[Expression]) -> List[Dict[str, Any]]:
         """Use an index to narrow the scan when the filter allows it."""
         if where is not None:
-            point = self._point_lookup(where)
-            if point is not None:
-                column, value = point
-                pks = self._indexes.get(column, {}).get(value, set())
+            hit = self._index_lookup(where)
+            if hit is not None:
+                column, values = hit
+                index = self._indexes.get(column, {})
+                pks: set = set()
+                for value in values:
+                    pks |= index.get(value, set())
                 return [self._rows[pk] for pk in sorted(pks) if pk in self._rows]
         return list(self._rows.values())
 
-    def _point_lookup(self, where: Expression) -> Optional[Tuple[str, Any]]:
-        """Detect a top-level ``indexed_column = literal`` pattern."""
-        from repro.db.expr import Comparison, ColumnRef, Literal, AndExpr
+    def _index_lookup(self, where: Expression) -> Optional[Tuple[str, Tuple[Any, ...]]]:
+        """Detect a top-level indexed ``= literal`` / ``IN`` / ``IS NULL``.
+
+        Returns ``(column, candidate key values)``.  An ``IN`` list drops
+        NULL entries -- a NULL never compares equal, so no matching row can
+        live in the NULL bucket -- while ``IS NULL`` reads exactly that
+        bucket.  Only AND-conjunctions are descended: an OR branch could
+        match rows outside any single index bucket.
+        """
+        from repro.db.expr import AndExpr, ColumnRef, Comparison, InList, IsNull, Literal
 
         if isinstance(where, Comparison) and where.op == "=":
             if isinstance(where.left, ColumnRef) and isinstance(where.right, Literal):
                 name = where.left.name.rsplit(".", 1)[-1]
                 if name in self._indexes:
-                    return name, where.right.value
+                    return name, (where.right.value,)
+        if isinstance(where, InList) and isinstance(where.operand, ColumnRef):
+            name = where.operand.name.rsplit(".", 1)[-1]
+            if name in self._indexes:
+                values = tuple(value for value in where.values if value is not None)
+                try:
+                    for value in values:
+                        hash(value)
+                except TypeError:  # unhashable: cannot probe a hash index
+                    return None
+                return name, values
+        if isinstance(where, IsNull) and not where.negated:
+            if isinstance(where.operand, ColumnRef):
+                name = where.operand.name.rsplit(".", 1)[-1]
+                if name in self._indexes:
+                    return name, (None,)
         if isinstance(where, AndExpr):
-            return self._point_lookup(where.left) or self._point_lookup(where.right)
+            return self._index_lookup(where.left) or self._index_lookup(where.right)
         return None
 
     def _index_add(self, row: Dict[str, Any]) -> None:

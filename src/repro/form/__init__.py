@@ -23,6 +23,13 @@ rows visible to a known viewer (Section 3.2).
 """
 
 from repro.cache import CacheConfig
+from repro.form.aggregates import (
+    ColumnStats,
+    finalise_stats,
+    merge_counts,
+    merge_stats,
+    visible_value,
+)
 from repro.form.fields import (
     BooleanField,
     CharField,
@@ -50,6 +57,11 @@ from repro.form.migrations import add_metadata_columns, migrate_legacy_rows
 
 __all__ = [
     "CacheConfig",
+    "ColumnStats",
+    "merge_counts",
+    "merge_stats",
+    "finalise_stats",
+    "visible_value",
     "Field",
     "CharField",
     "TextField",

@@ -20,10 +20,20 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 
 from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
-from repro.core.facets import Facet
+from repro.core.facets import Facet, collect_labels, facet_map
 from repro.core.labels import Label
 from repro.db.expr import Expression, eq, eq_or_null
-from repro.db.query import Query, limit_by_key, plan_bounded
+from repro.db.query import Aggregate, Query, limit_by_key, plan_aggregate, plan_bounded
+from repro.form.aggregates import (
+    FACET_AGGREGATE_FUNCTIONS,
+    ColumnStats,
+    check_aggregate_field,
+    finalise_stats,
+    merge_counts,
+    merge_stats,
+    stats_of_values,
+    visible_value,
+)
 from repro.form.context import FORM, current_form, current_viewer
 from repro.form.fields import ForeignKey
 from repro.form.marshal import (
@@ -36,6 +46,18 @@ from repro.form.marshal import (
 
 class DoesNotExist(Exception):
     """Raised by :meth:`Manager.get_or_raise` when no record matches."""
+
+
+#: Which per-partition SQL aggregates each user-facing function needs.  AVG
+#: cannot merge from per-partition averages, so it ships (SUM, COUNT) and
+#: divides after the faceted merge.
+_STATS_SPECS: Dict[str, Tuple[str, ...]] = {
+    "COUNT": ("COUNT",),
+    "SUM": ("SUM",),
+    "AVG": ("SUM", "COUNT"),
+    "MIN": ("MIN",),
+    "MAX": ("MAX",),
+}
 
 
 class QuerySet:
@@ -153,21 +175,107 @@ class QuerySet:
         return result[0] if result else None
 
     def count(self) -> Any:
-        """The number of matching records (faceted outside a viewer context)."""
-        result = self.fetch()
-        if isinstance(result, Facet):
-            from repro.core.facets import facet_map
+        """The number of matching facet rows, per world.
 
-            return facet_map(len, result)
-        return len(result)
+        Compiles to one grouped statement -- ``SELECT jvars..., COUNT(*)
+        ... GROUP BY jvars...`` -- instead of fetching the matching rows
+        and reducing in Python.  Outside a viewer context the per-partition
+        counts merge into a ``Facet`` of per-world counts (identical to
+        what ``facet_map(len, fetch())`` would produce); inside one, only
+        the partitions visible to the viewer are summed.
+
+        Falls back to the fetching path when the query set is bounded
+        (``limited``), or for a known viewer on a model with its own
+        policies -- there Early Pruning evaluates this model's policies
+        against the already-fetched secret facet, which a no-row-fetch plan
+        cannot do without one policy query per record.
+        """
+        pushdown = self._aggregate_groups(("COUNT",))
+        if pushdown is None:
+            result = self.fetch()
+            if isinstance(result, Facet):
+                return facet_map(len, result)
+            return len(result)
+        form, groups, specs = pushdown
+        key = specs[0].result_key()
+        counts = [
+            (branches, int(row.get(key) or 0)) for branches, row in groups
+        ]
+        viewer = current_viewer()
+        if viewer is not None:
+            resolve = self._label_resolver(form, viewer)
+            return visible_value(counts, resolve, lambda a, b: a + b, 0)
+        merged = merge_counts(counts)
+        self._register_result_policies(form, merged)
+        return merged
 
     def exists(self) -> Any:
+        """Whether any record matches, per world (one grouped statement).
+
+        Shares :meth:`count`'s jvars-partition plan rather than a bare
+        ``SELECT EXISTS``: a row's existence in the database does not mean
+        every world sees it, so existence is per label assignment.  (The
+        relational layer's ``EXISTS`` pushdown serves the baseline ORM,
+        where rows are world-independent.)
+        """
         count = self.count()
         if isinstance(count, Facet):
-            from repro.core.facets import facet_map
-
-            return facet_map(bool, count)
+            result = facet_map(bool, count)
+            form = current_form()
+            self._register_result_policies(form, result)
+            return result
         return bool(count)
+
+    def aggregate(self, field_name: str, function: str) -> Any:
+        """Aggregate a field over the matching rows, per world.
+
+        ``function`` is one of COUNT, SUM, AVG, MIN or MAX, with SQL's NULL
+        rules (NULL field values are skipped; SUM/AVG/MIN/MAX of no values
+        is ``None``, COUNT is 0).  Like :meth:`count`, this compiles to one
+        grouped jvars-partition statement and merges per world: outside a
+        viewer context the result is faceted exactly where the aggregate
+        genuinely differs between worlds; inside one it is the plain
+        aggregate over the facet rows the viewer would have seen.
+        """
+        function = function.upper()
+        if function not in FACET_AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unknown aggregate function {function!r}")
+        meta = self.model._meta
+        column = self._aggregate_column(meta, field_name, function)
+        pushdown = self._aggregate_groups(_STATS_SPECS[function], column)
+        if pushdown is None:
+            return self._aggregate_from_instances(column, function)
+        form, groups, specs = pushdown
+        stats = [
+            (branches, self._stats_from_row(row, specs))
+            for branches, row in groups
+        ]
+        viewer = current_viewer()
+        if viewer is not None:
+            resolve = self._label_resolver(form, viewer)
+            merged = visible_value(
+                stats, resolve, ColumnStats.combine, ColumnStats()
+            )
+            return merged.finalise(function)
+        merged = finalise_stats(merge_stats(stats), function)
+        self._register_result_policies(form, merged)
+        return merged
+
+    def sum(self, field_name: str) -> Any:
+        """``SUM(field)`` per world (NULLs skipped; ``None`` if no values)."""
+        return self.aggregate(field_name, "SUM")
+
+    def avg(self, field_name: str) -> Any:
+        """``AVG(field)`` per world (NULLs skipped; ``None`` if no values)."""
+        return self.aggregate(field_name, "AVG")
+
+    def min(self, field_name: str) -> Any:
+        """``MIN(field)`` per world (``None`` if no values)."""
+        return self.aggregate(field_name, "MIN")
+
+    def max(self, field_name: str) -> Any:
+        """``MAX(field)`` per world (``None`` if no values)."""
+        return self.aggregate(field_name, "MAX")
 
     def delete(self) -> int:
         """Delete every facet row of every matching record.
@@ -245,12 +353,22 @@ class QuerySet:
         """
         return limit_by_key(entries, lambda entry: entry[0], self.limit)
 
-    def _build_query(self, meta) -> Tuple[Query, List[str]]:
+    def _filtered_query(self, meta) -> Tuple[Query, List[str]]:
+        """The filter/join part of the query (no ordering, no bound).
+
+        Shared by the row-fetching plan (which adds ORDER BY and the
+        bounded jid subselect) and the aggregate plan (which adds the
+        jvars GROUP BY instead).
+        """
         query = Query(table=meta.table_name)
         joined: List[str] = []
         has_join = any("__" in lookup for lookup in self.filters)
         for lookup, value in self.filters.items():
             query = self._apply_filter(meta, query, joined, lookup, value, has_join)
+        return query, joined
+
+    def _build_query(self, meta) -> Tuple[Query, List[str]]:
+        query, joined = self._filtered_query(meta)
         for field, ascending in self.order_fields:
             column = self._column_for(meta, field)
             if joined and "." not in column:
@@ -267,6 +385,167 @@ class QuerySet:
         if self.limit is not None or self.offset:
             query = plan_bounded(query, "jid", self.limit, self.offset)
         return query, joined
+
+    # -- aggregate pushdown -------------------------------------------------------------
+
+    def _aggregate_groups(self, functions: Tuple[str, ...], column: Optional[str] = None):
+        """Fetch the jvars-partitioned aggregates behind count()/aggregate().
+
+        Compiles the filter/join part of this query set to one grouped
+        statement -- ``SELECT jvars..., AGG... GROUP BY jvars...`` (every
+        joined table's jvars column joins the grouping, exactly as its
+        branches would have joined each row's branch set) -- and returns
+        ``(form, groups, specs)`` where ``groups`` pairs each partition's
+        parsed branches with its aggregate row.
+
+        Returns ``None`` when the pushdown does not apply: bounded query
+        sets (the bound counts records, which a grouped plan cannot see),
+        and pruned queries on models with their own policies (Early Pruning
+        evaluates those policies against the fetched secret facet; a
+        no-fetch plan would instead pay one policy query per record).
+
+        Results are cached in the faceted query cache under the aggregate
+        plan's own key; ``tables_read()`` registers the base and joined
+        tables, so any write to them invalidates the cached partitions.
+        """
+        if self.limit is not None or self.offset:
+            return None
+        meta = self.model._meta
+        if current_viewer() is not None and meta.policy_groups:
+            return None
+        form = current_form()
+        query, joined = self._filtered_query(meta)
+        if column is not None and joined and "." not in column:
+            column = f"{meta.table_name}.{column}"
+        specs = tuple(
+            Aggregate(function) if column is None else Aggregate(function, column)
+            for function in functions
+        )
+        group_columns = [f"{meta.table_name}.jvars" if joined else "jvars"]
+        group_columns.extend(f"{table}.jvars" for table in joined)
+        agg_query = plan_aggregate(query, group_columns, specs)
+        cache = form.caches.queries if form.caches.query_cache_enabled else None
+        key = None
+        groups = None
+        if cache is not None:
+            key = cache.key_for(meta.table_name, agg_query)
+            groups = cache.get(key)
+        if groups is None:
+            rows = form.database.execute(agg_query)
+            groups = []
+            for row in rows:
+                branches: List[JvarBranch] = []
+                for group_column in group_columns:
+                    branches.extend(parse_jvars(row.get(group_column)))
+                groups.append((tuple(dict.fromkeys(branches)), dict(row)))
+            if cache is not None:
+                cache.put(key, list(agg_query.tables_read()), groups)
+        return form, groups, specs
+
+    @staticmethod
+    def _stats_from_row(row: Dict[str, Any], specs: Sequence[Aggregate]) -> ColumnStats:
+        """One partition's :class:`ColumnStats` from its aggregate row."""
+        values = {spec.function.upper(): row.get(spec.result_key()) for spec in specs}
+        return ColumnStats(
+            count=int(values.get("COUNT") or 0),
+            total=values.get("SUM"),
+            minimum=values.get("MIN"),
+            maximum=values.get("MAX"),
+        )
+
+    def _aggregate_from_instances(self, column: str, function: str) -> Any:
+        """Python-side aggregate fallback (bounded or pruned-policied sets).
+
+        Fetches through the normal (pruned or faceted) path and reduces the
+        instances' field values with the same SQL NULL rules the pushdown
+        uses, so both paths agree on every edge case.
+        """
+        result = self.fetch()
+
+        def reduce(items: List[Any]) -> Any:
+            values = [getattr(item, column, None) for item in items]
+            return stats_of_values(values).finalise(function)
+
+        if isinstance(result, Facet):
+            return facet_map(reduce, result)
+        return reduce(result)
+
+    def _label_resolver(self, form: FORM, viewer: Any, resolve_label=None):
+        """A memoised ``label name -> polarity`` resolver for one viewer.
+
+        The one label-resolution pipeline shared by Early Pruning
+        (``_pruned``, which passes its hint-based ``resolve_label``) and
+        the aggregate pushdown's visibility filter: per-call memo, then the
+        cross-request label cache, then full policy resolution.  Outcomes
+        observed inside an in-flight resolution cycle are never written to
+        the cross-request cache -- the re-entrancy guard reports the label
+        being resolved as optimistically visible, which is only valid
+        within that cycle -- and the pre-resolution generation/epoch
+        snapshots make the put a no-op when a write raced the resolution.
+        """
+        label_cache = form.caches.labels if form.caches.label_cache_enabled else None
+        viewer_key = viewer_cache_key(viewer) if label_cache is not None else None
+        if resolve_label is None:
+            def resolve_label(name: str) -> bool:
+                return _resolve_label(form, name, viewer)
+        memo: Dict[str, bool] = {}
+
+        def resolve(label_name: str) -> bool:
+            if label_name in memo:
+                return memo[label_name]
+            cached = None
+            if label_cache is not None and viewer_key is not None:
+                cached = label_cache.get(label_name, viewer_key)
+            if cached is None:
+                if label_cache is not None:
+                    generation = label_cache.generation
+                    epoch = policy_epoch()
+                cached = resolve_label(label_name)
+                if (
+                    label_cache is not None
+                    and viewer_key is not None
+                    and not _resolving_labels(form)
+                ):
+                    label_cache.put(
+                        label_name, viewer_key, cached,
+                        generation=generation, epoch=epoch,
+                    )
+            memo[label_name] = cached
+            return cached
+
+        return resolve
+
+    def _register_result_policies(self, form: FORM, value: Any) -> None:
+        """Attach policies for this model's labels surfacing in a result.
+
+        A merged aggregate only mentions the labels that genuinely
+        discriminate between worlds; those must carry their policies before
+        the value reaches ``runtime.concretize``, or the solver would treat
+        them as unrestricted.  Labels that collapsed out of the result need
+        no registration -- nothing can ever ask for them through this
+        value.  (Joined models' labels resolve through the model registry
+        at concretisation, matching the row-fetching path.)
+        """
+        if not isinstance(value, Facet):
+            return
+        meta = self.model._meta
+        groups_by_key = {group.key: group for group in meta.policy_groups}
+        prefix = f"{meta.table_name}."
+        for label in collect_labels(value):
+            name = label.name
+            if not name.startswith(prefix) or name in form.registered_labels:
+                continue
+            parts = name.split(".")
+            if len(parts) != 3:
+                continue
+            group = groups_by_key.get(parts[2])
+            if group is None:
+                continue
+            try:
+                jid = int(parts[1])
+            except ValueError:
+                continue
+            _register_label_policy(form, self.model, jid, group, name)
 
     def _apply_filter(
         self, meta, query: Query, joined: List[str], lookup: str, value: Any, has_join: bool = False
@@ -320,6 +599,16 @@ class QuerySet:
         return field.column_name if field is not None else field_name
 
     @staticmethod
+    def _aggregate_column(meta, field_name: str, function: str) -> str:
+        """Resolve and validate the column behind an aggregated field
+        (shared gate: :func:`repro.form.aggregates.check_aggregate_field`)."""
+        if field_name in ("jid", "pk", "id"):
+            return "jid"
+        return check_aggregate_field(
+            field_name, meta.fields.get(field_name), meta.table_name, function
+        )
+
+    @staticmethod
     def _base_values(meta, row: Dict[str, Any], joined_tables: List[str]) -> Dict[str, Any]:
         """Extract the base table's columns from a (possibly joined) row."""
         if not joined_tables:
@@ -347,12 +636,7 @@ class QuerySet:
                 name = label_name_for(meta.table_name, jid, group.key)
                 if name in form.registered_labels:
                     continue
-                form.registered_labels.add(name)
-                label = Label(hint=name, name=name)
-                form.runtime.policy_env.declare(label)
-                form.runtime.policy_env.restrict(
-                    label, _policy_closure(self.model, jid, group, form)
-                )
+                _register_label_policy(form, self.model, jid, group, name)
 
     def _pruned(
         self,
@@ -377,47 +661,16 @@ class QuerySet:
                 secret_instances.setdefault(jid, instance)
 
         groups_by_key = {group.key: group for group in meta.policy_groups}
-        label_cache = form.caches.labels if form.caches.label_cache_enabled else None
-        viewer_key = viewer_cache_key(viewer) if label_cache is not None else None
-        cache: Dict[str, bool] = {}
+        resolve = self._label_resolver(
+            form,
+            viewer,
+            resolve_label=lambda name: self._resolve_with_hint(
+                form, name, viewer, prefix, groups_by_key, secret_instances
+            ),
+        )
         result: List[Any] = []
-        for jid, branches, instance in entries:
-            visible = True
-            for label_name, polarity in branches:
-                actual = cache.get(label_name)
-                if actual is None:
-                    # The cross-request memo short-circuits the policy
-                    # re-evaluation; entries are per-viewer and dropped on
-                    # any database write or policy-epoch bump.
-                    if label_cache is not None and viewer_key is not None:
-                        actual = label_cache.get(label_name, viewer_key)
-                    if actual is None:
-                        if label_cache is not None:
-                            generation = label_cache.generation
-                            epoch = policy_epoch()
-                        actual = self._resolve_with_hint(
-                            form, label_name, viewer, prefix, groups_by_key, secret_instances
-                        )
-                        # Never memoise outcomes observed inside an in-flight
-                        # resolution: the re-entrancy guard reports the label
-                        # being resolved as optimistically visible, which is
-                        # only valid within that resolution cycle.  The
-                        # pre-resolution generation/epoch snapshots make the
-                        # put a no-op when a write raced the resolution.
-                        if (
-                            label_cache is not None
-                            and viewer_key is not None
-                            and not _resolving_labels(form)
-                        ):
-                            label_cache.put(
-                                label_name, viewer_key, actual,
-                                generation=generation, epoch=epoch,
-                            )
-                    cache[label_name] = actual
-                if actual != polarity:
-                    visible = False
-                    break
-            if visible:
+        for _jid, branches, instance in entries:
+            if all(resolve(name) == polarity for name, polarity in branches):
                 result.append(instance)
         return result
 
@@ -589,6 +842,12 @@ class Manager:
     def count(self) -> Any:
         return QuerySet(self.model).count()
 
+    def exists(self) -> Any:
+        return QuerySet(self.model).exists()
+
+    def aggregate(self, field_name: str, function: str) -> Any:
+        return QuerySet(self.model).aggregate(field_name, function)
+
 
 def _resolving_labels(form: FORM) -> set:
     """This thread's set of labels currently being resolved on ``form``.
@@ -640,6 +899,20 @@ def _secret_instance(model: Type, jid: int, form: FORM) -> Any:
     if best is None:
         best = rows[0]
     return _instance_from_row(model, best)
+
+
+def _register_label_policy(form: FORM, model: Type, jid: int, group, name: str) -> None:
+    """Declare one record's policy-group label and attach its closure.
+
+    The single registration step shared by the row-fetching path
+    (``_register_policies``) and the aggregate path
+    (``_register_result_policies``); callers check
+    ``form.registered_labels`` before calling.
+    """
+    form.registered_labels.add(name)
+    label = Label(hint=name, name=name)
+    form.runtime.policy_env.declare(label)
+    form.runtime.policy_env.restrict(label, _policy_closure(model, jid, group, form))
 
 
 def _policy_closure(model: Type, jid: int, group, form: FORM):

@@ -1,0 +1,114 @@
+"""Baseline ORM aggregates: one-statement COUNT/EXISTS/SUM over ``id``.
+
+The baseline's rows are world-independent, so its ``count()`` compiles to
+``COUNT(DISTINCT id)`` (records, not join-duplicated rows) and ``exists()``
+to a wrapped ``SELECT EXISTS`` -- mirroring the FORM's jid discipline
+without any jvars partitioning.
+"""
+
+import pytest
+
+from repro.baseline.fields import ForeignKey
+from repro.baseline.model import BaselineDB, Model, use_baseline_db
+from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.form.fields import CharField, IntegerField
+
+
+class BAuthor(Model):
+    name = CharField(max_length=32)
+
+
+class BBook(Model):
+    title = CharField(max_length=32)
+    pages = IntegerField()
+    author = ForeignKey("BAuthor")
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def baseline_db(request):
+    database = Database(MemoryBackend() if request.param == "memory" else SqliteBackend())
+    db = BaselineDB(database)
+    db.register_all([BAuthor, BBook])
+    with use_baseline_db(db):
+        yield db
+    database.close()
+
+
+def _seed():
+    ada = BAuthor.objects.create(name="ada")
+    bob = BAuthor.objects.create(name="bob")
+    BBook.objects.create(title="b0", pages=None, author=ada)
+    BBook.objects.create(title="b1", pages=100, author=ada)
+    BBook.objects.create(title="b2", pages=300, author=ada)
+    BBook.objects.create(title="b3", pages=50, author=bob)
+    return ada, bob
+
+
+def test_count_exists_and_column_aggregates(baseline_db):
+    _seed()
+    queryset = BBook.objects.filter(author__name="ada")
+    assert queryset.count() == 3
+    assert queryset.exists() is True
+    assert queryset.sum("pages") == 400
+    assert queryset.avg("pages") == 200.0
+    assert queryset.min("pages") == 100
+    assert queryset.max("pages") == 300
+    assert queryset.aggregate("pages", "COUNT") == 2  # NULL pages skipped
+    assert BBook.objects.filter(author__name="zoe").exists() is False
+    assert BBook.objects.filter(author__name="zoe").count() == 0
+    assert BBook.objects.filter(author__name="zoe").sum("pages") is None
+
+
+def test_empty_table_aggregates(baseline_db):
+    assert BBook.objects.all().count() == 0
+    assert BBook.objects.all().exists() is False
+    assert BBook.objects.all().sum("pages") is None
+
+
+def test_bounded_queryset_aggregates_id_and_pk():
+    """Regression: the bounded fallback reduced ``getattr(instance, "id")``
+    which is always ``None`` -- instances expose the primary key as ``pk``."""
+    database = Database(MemoryBackend())
+    db = BaselineDB(database)
+    db.register_all([BAuthor, BBook])
+    with use_baseline_db(db):
+        _seed()
+        bounded = BBook.objects.all().limited(2)
+        assert bounded.aggregate("id", "COUNT") == 2
+        assert bounded.aggregate("pk", "MAX") == 2
+        assert bounded.count() == 2
+        # Unbounded id aggregates agree with the SQL path.
+        assert BBook.objects.all().aggregate("id", "COUNT") == 4
+    database.close()
+
+
+def test_unknown_field_rejected(baseline_db):
+    with pytest.raises(ValueError, match="unknown field"):
+        BBook.objects.all().aggregate("missing", "SUM")
+
+
+def test_sum_avg_require_numeric_field(baseline_db):
+    with pytest.raises(ValueError, match="numeric"):
+        BBook.objects.all().sum("title")
+    _seed()
+    assert BBook.objects.all().min("title") == "b0"
+
+
+def test_single_statement_shapes():
+    backend = RecordingSqliteBackend()
+    database = Database(backend)
+    db = BaselineDB(database)
+    db.register_all([BAuthor, BBook])
+    with use_baseline_db(db):
+        _seed()
+        backend.statements.clear()
+        queryset = BBook.objects.filter(author__name="ada")
+        assert queryset.count() == 3
+        assert queryset.exists() is True
+        assert queryset.sum("pages") == 400
+    assert len(backend.statements) == 3
+    count_sql, exists_sql, sum_sql = backend.statements
+    assert 'COUNT(DISTINCT "BBook"."id")' in count_sql
+    assert exists_sql.startswith("SELECT EXISTS(SELECT 1 FROM ")
+    assert 'SUM("BBook"."pages")' in sum_sql
+    database.close()

@@ -22,6 +22,7 @@ DOCTESTED_MODULES = [
     "repro.db.expr",
     "repro.db.query",
     "repro.db.sqlgen",
+    "repro.form.aggregates",
 ]
 
 
