@@ -23,8 +23,10 @@ from repro.db.query import (
     limit_by_key,
     plan_bounded,
     plan_count_distinct,
+    plan_delete,
     plan_exists,
     plan_scalar_aggregate,
+    plan_update,
 )
 from repro.db.schema import Column, ColumnType, TableSchema
 from repro.form.fields import Field
@@ -220,10 +222,14 @@ class Model(metaclass=BaselineMeta):
         return self
 
     def delete(self) -> None:
+        """Remove this row; clears ``pk`` so a later ``save`` re-creates it
+        (Django behaviour -- a stale pk would resurrect the record through
+        the UPDATE path instead)."""
         if self.pk is None:
             return
         db = current_baseline_db().database
         db.delete(type(self)._meta.table_name, eq("id", self.pk))
+        self.pk = None
 
 
 class BaselineQuerySet:
@@ -366,17 +372,53 @@ class BaselineQuerySet:
         """``MAX(field)`` in one statement (``None`` when no values)."""
         return self.aggregate(field_name, "MAX")
 
-    def delete(self) -> int:
+    def update(self, **values: Any) -> int:
+        """Set columns on every matching record in one UPDATE statement.
+
+        Django semantics: no instances are fetched or saved, and the number
+        of affected rows is returned.  Joined filters and bounds compile to
+        the id-subselect pushdown (``UPDATE t SET ... WHERE id IN (SELECT
+        DISTINCT id ...)``); plain single-table filters apply directly.
+        """
+        if not values:
+            return 0
+        from repro.form.writes import resolve_update_fields
+
         db = current_baseline_db().database
         meta = self.model._meta
-        deleted = 0
-        for instance in self.fetch():
-            deleted += db.delete(meta.table_name, eq("id", instance.pk))
-        return deleted
+        column_values: Dict[str, Any] = {}
+        # Same kwarg-to-field resolution as the FORM's update(); only the
+        # instance marshalling differs (pk here, jid there).
+        for _name, field, value in resolve_update_fields(meta, values):
+            column_values[field.column_name] = (
+                value.pk if isinstance(value, Model) else field.to_db(value)
+            )
+        query, joined = self._raw_query(meta)
+        key = "id" if (joined or self.limit is not None or self.offset) else None
+        return db.execute_update(plan_update(query, column_values, key_column=key))
+
+    def delete(self) -> int:
+        """Delete every matching record in one DELETE statement.
+
+        Replaces the fetch-then-delete-per-row loop: joined or bounded
+        query sets push their filters through the id subselect, plain ones
+        delete directly on their WHERE clause.  Returns the number of rows
+        removed.
+        """
+        db = current_baseline_db().database
+        meta = self.model._meta
+        query, joined = self._raw_query(meta)
+        key = "id" if (joined or self.limit is not None or self.offset) else None
+        return db.execute_delete(plan_delete(query, key_column=key))
 
     # -- internals ---------------------------------------------------------------------------
 
-    def _build_query(self, meta: BaselineOptions) -> Tuple[Query, List[str]]:
+    def _raw_query(self, meta: BaselineOptions) -> Tuple[Query, List[str]]:
+        """Filters, joins, ordering and the raw bound -- no plan applied.
+
+        Shared input of the read planner (:meth:`_build_query`) and the
+        write planners (``plan_update``/``plan_delete``).
+        """
         query = Query(table=meta.table_name)
         joined: List[str] = []
         has_join = any("__" in lookup for lookup in self.filters)
@@ -389,14 +431,17 @@ class BaselineQuerySet:
                 # column of the same name, which SQLite rejects as ambiguous.
                 column = f"{meta.table_name}.{column}"
             query = query.ordered_by(column, ascending)
-        if joined:
+        if self.limit is not None or self.offset:
+            query = query.limited(self.limit, self.offset)
+        return query, joined
+
+    def _build_query(self, meta: BaselineOptions) -> Tuple[Query, List[str]]:
+        query, joined = self._raw_query(meta)
+        if joined and (query.limit is not None or query.offset):
             # A row LIMIT under a join would count join-duplicated rows, so a
             # bounded joined query compiles to the id-subselect pushdown (the
             # same plan the FORM uses with jid), bounding *records* in SQL.
-            if self.limit is not None or self.offset:
-                query = plan_bounded(query, "id", self.limit, self.offset)
-        elif self.limit is not None or self.offset:
-            query = query.limited(self.limit, self.offset)
+            query = plan_bounded(query, "id", query.limit, query.offset)
         return query, joined
 
     def _apply_filter(

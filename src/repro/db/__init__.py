@@ -35,21 +35,26 @@ from repro.db.expr import (
 )
 from repro.db.query import (
     Aggregate,
+    DeletePlan,
     Join,
     Order,
     Query,
+    UpdatePlan,
     plan_aggregate,
     plan_bounded,
     plan_count_distinct,
+    plan_delete,
     plan_exists,
+    plan_keys,
     plan_scalar_aggregate,
+    plan_update,
 )
 from repro.db.table import Table
 from repro.db.engine import Database
 from repro.db.backend import Backend
 from repro.db.memory_backend import MemoryBackend
 from repro.db.sqlite_backend import RecordingSqliteBackend, SqliteBackend
-from repro.db.sqlgen import query_to_sql, schema_to_sql
+from repro.db.sqlgen import delete_to_sql, query_to_sql, schema_to_sql, update_to_sql
 
 __all__ = [
     "Column",
@@ -73,11 +78,16 @@ __all__ = [
     "ExistsSubquery",
     "in_subquery",
     "exists_subquery",
+    "UpdatePlan",
+    "DeletePlan",
     "plan_aggregate",
     "plan_bounded",
     "plan_count_distinct",
+    "plan_delete",
     "plan_exists",
+    "plan_keys",
     "plan_scalar_aggregate",
+    "plan_update",
     "Table",
     "Database",
     "Backend",
@@ -86,4 +96,6 @@ __all__ = [
     "RecordingSqliteBackend",
     "query_to_sql",
     "schema_to_sql",
+    "update_to_sql",
+    "delete_to_sql",
 ]

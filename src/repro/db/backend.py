@@ -18,7 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cache.bus import InvalidationBus
 from repro.db.expr import Expression
-from repro.db.query import Query
+from repro.db.query import DeletePlan, Query, UpdatePlan
 from repro.db.schema import TableSchema
 
 
@@ -107,6 +107,36 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def delete(self, table: str, where: Optional[Expression]) -> int:
         """Delete matching rows; returns the number of rows removed."""
+
+    def execute_update(self, plan: UpdatePlan) -> int:
+        """Run a set-oriented :class:`~repro.db.query.UpdatePlan` in one write.
+
+        The plan's WHERE may nest a record-key subselect (see
+        ``plan_update``): the SQL backend renders it inline so the whole
+        write is one statement; the memory backend materialises it and
+        mutates under a single lock hold.  Returns the number of rows
+        changed; publishes one invalidation event when any row changed.
+
+        >>> from repro.db import Database
+        >>> from repro.db.query import Query, plan_update
+        >>> from repro.db.schema import ColumnType
+        >>> from repro.db.expr import eq
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", jid=ColumnType.INTEGER, ok=ColumnType.BOOLEAN)
+        ...     _ = db.insert_many("Paper", [{"jid": 1, "ok": False}, {"jid": 1, "ok": False}])
+        ...     plan = plan_update(db.query("Paper").filter(eq("ok", False)), {"ok": True}, "jid")
+        ...     db.backend.execute_update(plan)
+        2
+        """
+        return self.update(plan.table, plan.where, plan.values)
+
+    def execute_delete(self, plan: DeletePlan) -> int:
+        """Run a set-oriented :class:`~repro.db.query.DeletePlan` in one write.
+
+        Single-statement counterpart of :meth:`execute_update` for DELETE;
+        returns the number of rows removed.
+        """
+        return self.delete(plan.table, plan.where)
 
     def replace_rows(
         self, table: str, where: Optional[Expression], rows: Sequence[Dict[str, Any]]

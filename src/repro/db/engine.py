@@ -13,7 +13,7 @@ from repro.cache.bus import InvalidationBus
 from repro.db.backend import Backend
 from repro.db.expr import Expression, filters_to_expr
 from repro.db.memory_backend import MemoryBackend
-from repro.db.query import Query
+from repro.db.query import DeletePlan, Query, UpdatePlan
 from repro.db.schema import Column, ColumnType, TableSchema
 
 
@@ -124,6 +124,32 @@ class Database:
     ) -> List[int]:
         """Atomically swap the rows matching ``where`` for ``rows``."""
         return self.backend.replace_rows(table, where, rows)
+
+    def execute_update(self, plan: UpdatePlan) -> int:
+        """Run a set-oriented :class:`~repro.db.query.UpdatePlan` (one write).
+
+        >>> from repro.db.query import plan_update
+        >>> from repro.db.expr import eq
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", jid=ColumnType.INTEGER, ok=ColumnType.BOOLEAN)
+        ...     _ = db.insert_many("Paper", [{"jid": 1, "ok": False}, {"jid": 2, "ok": True}])
+        ...     db.execute_update(plan_update(db.query("Paper").filter(eq("ok", False)), {"ok": True}, "jid"))
+        1
+        """
+        return self.backend.execute_update(plan)
+
+    def execute_delete(self, plan: DeletePlan) -> int:
+        """Run a set-oriented :class:`~repro.db.query.DeletePlan` (one write).
+
+        >>> from repro.db.query import plan_delete
+        >>> from repro.db.expr import eq
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", jid=ColumnType.INTEGER)
+        ...     _ = db.insert_many("Paper", [{"jid": 1}, {"jid": 1}, {"jid": 2}])
+        ...     db.execute_delete(plan_delete(db.query("Paper").filter(eq("jid", 1)), "jid"))
+        2
+        """
+        return self.backend.execute_delete(plan)
 
     def query(self, table: str) -> Query:
         """Start a fluent query against ``table``.

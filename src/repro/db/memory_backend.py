@@ -107,6 +107,29 @@ class MemoryBackend(Backend):
             self._publish_write(table)
         return count
 
+    def execute_update(self, plan) -> int:
+        """One logical write for an :class:`~repro.db.query.UpdatePlan`.
+
+        The plan's record-key subselect materialises and the matching rows
+        mutate under a single hold of the backend lock (``update`` resolves
+        subqueries in :meth:`_resolve_expression` before scanning), so a
+        concurrent reader observes the table before or after the whole
+        set-oriented write -- mirroring the one statement SQLite executes.
+        The resolved ``key IN (...)`` list is narrowed by the table's hash
+        index (see :meth:`Table.candidate_rows`), keeping the mutation
+        O(matches) instead of O(table).
+        """
+        return self.update(plan.table, plan.where, plan.values)
+
+    def execute_delete(self, plan) -> int:
+        """One logical write for a :class:`~repro.db.query.DeletePlan`.
+
+        Same contract as :meth:`execute_update`: subselect resolution,
+        index narrowing and row removal share one lock hold and publish a
+        single invalidation event.
+        """
+        return self.delete(plan.table, plan.where)
+
     def replace_rows(self, table: str, where: Optional[Expression], rows) -> List[int]:
         """Swap matching rows for ``rows`` under one lock hold, atomically.
 
@@ -142,12 +165,14 @@ class MemoryBackend(Backend):
         columns = query.qualified_columns() if query.is_join() else query.columns
         with self._lock:
             where = self._resolved_where(query)
-            source = self._source_rows(query, where)
-            if query.distinct and query.limit is not None and not query.order_by:
-                # Unordered distinct-limit (the bounded pushdown subquery):
-                # stream filter -> project -> dedupe with early exit, so the
-                # scan stops as soon as limit+offset distinct rows are found
-                # instead of materialising the full match set.
+            if query.distinct and not query.order_by:
+                # Unordered distinct (the record-key subquery of the bounded
+                # and write pushdowns): stream filter -> project -> dedupe,
+                # with an early exit at limit+offset distinct rows when
+                # bounded.  Projection builds fresh dicts, so the scan reads
+                # the live rows without per-row copies; only an unprojected
+                # distinct must copy (its rows escape the lock verbatim).
+                source = self._source_rows(query, where, copy=not columns)
                 matching = (
                     row for row in source if where is None or where.evaluate(row)
                 )
@@ -155,8 +180,12 @@ class MemoryBackend(Backend):
                     self._pick_columns(row, columns) if columns else row
                     for row in matching
                 )
-                rows = dedupe_rows(projected, stop_after=query.limit + query.offset)
-                return rows[query.offset:]
+                stop_after = (
+                    query.limit + query.offset if query.limit is not None else None
+                )
+                rows = dedupe_rows(projected, stop_after=stop_after)
+                return rows[query.offset:] if query.offset else rows
+            source = self._source_rows(query, where)
             rows = source
             if where is not None:
                 rows = [row for row in rows if where.evaluate(row)]

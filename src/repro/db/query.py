@@ -329,6 +329,172 @@ def plan_bounded(
     return outer.in_subquery(key_column, subquery)
 
 
+@dataclass(frozen=True)
+class UpdatePlan:
+    """A set-oriented ``UPDATE table SET values WHERE where`` description.
+
+    The write analogue of a read :class:`Query`: declarative, backend-agnostic
+    and executed in one statement by :meth:`Backend.execute_update`.  ``where``
+    may carry an :class:`~repro.db.expr.InSubquery` (the record-key pushdown
+    built by :func:`plan_update`); SQL backends render it inline, the memory
+    engine materialises it under its lock.
+
+    >>> from repro.db.expr import eq
+    >>> plan = UpdatePlan("Paper", {"accepted": True}, eq("author", "ada"))
+    >>> plan.tables_read()
+    ('Paper',)
+    """
+
+    table: str
+    values: Dict[str, Any]
+    where: Optional[Expression] = None
+
+    def tables_read(self) -> Tuple[str, ...]:
+        """Every table this write *reads*: the target plus subselect tables."""
+        return _write_tables_read(self.table, self.where)
+
+
+@dataclass(frozen=True)
+class DeletePlan:
+    """A set-oriented ``DELETE FROM table WHERE where`` description.
+
+    >>> from repro.db.expr import eq
+    >>> DeletePlan("Paper", eq("accepted", False)).table
+    'Paper'
+    """
+
+    table: str
+    where: Optional[Expression] = None
+
+    def tables_read(self) -> Tuple[str, ...]:
+        """Every table this write *reads*: the target plus subselect tables."""
+        return _write_tables_read(self.table, self.where)
+
+
+def _write_tables_read(table: str, where: Optional[Expression]) -> Tuple[str, ...]:
+    tables = [table]
+    if where is not None:
+        for subquery in where.subqueries():
+            tables.extend(subquery.tables_read())
+    return tuple(dict.fromkeys(tables))
+
+
+def plan_keys(query: "Query", key_column: str) -> "Query":
+    """Project a read query to its DISTINCT record keys.
+
+    Keeps the query's filters and joins, selects only ``key_column``
+    (qualified under joins) and deduplicates.  A *bounded* query keeps its
+    ordering and LIMIT/OFFSET -- the same subquery shape
+    :func:`plan_bounded` nests -- so the keys are exactly the records the
+    bound selects; an unbounded query drops the ordering (row order cannot
+    change a key set).
+
+    This is both the subselect nested by :func:`plan_update` /
+    :func:`plan_delete` and the one-statement "collect matching jids"
+    projection the FORM's slow write path runs instead of unmarshalling
+    full instances.
+
+    >>> from repro.db.expr import eq
+    >>> from repro.db.sqlgen import query_to_sql
+    >>> q = Query("Paper").filter(eq("accepted", True)).ordered_by("title")
+    >>> query_to_sql(plan_keys(q, "jid"))[0]
+    'SELECT DISTINCT "jid" FROM "Paper" WHERE accepted = ?'
+    >>> query_to_sql(plan_keys(q.limited(5), "jid"))[0]
+    'SELECT "jid" FROM "Paper" WHERE accepted = ? GROUP BY "jid" ORDER BY (MIN("title") IS NULL) ASC, MIN("title") ASC, "jid" ASC LIMIT 5'
+    """
+    if "." not in key_column and query.is_join():
+        key_column = f"{query.table}.{key_column}"
+    bounded = query.limit is not None or bool(query.offset)
+    return replace(
+        query,
+        columns=(key_column,),
+        distinct=True,
+        order_by=query.order_by if bounded else (),
+        aggregate=None,
+        aggregates=(),
+        group_by=(),
+    )
+
+
+def _plan_write_where(query: "Query", key_column: Optional[str]) -> Optional[Expression]:
+    """The WHERE clause of a set-oriented write compiled from a read query.
+
+    With a ``key_column`` the filters are pushed through the same
+    ``key IN (SELECT DISTINCT key ...)`` machinery as :func:`plan_bounded`:
+    the write then affects *whole records* -- every row sharing a matched
+    key -- which is what faceted tables need (a filter may match only one
+    facet row of a record, but the write must cover all of them), and the
+    only way a joined or bounded filter can reach a single-table
+    UPDATE/DELETE at all.  Without one, the filters apply row-by-row
+    (the baseline ORM's single-row-per-record case).
+    """
+    from repro.db.expr import ColumnRef, InSubquery
+
+    bounded = query.limit is not None or bool(query.offset)
+    if key_column is None:
+        if query.is_join() or bounded:
+            raise ValueError(
+                "joined or bounded write plans need a key column to push "
+                "their filters through a subselect"
+            )
+        return query.where
+    if query.where is None and not query.is_join() and not bounded:
+        # Every row of every record matches: the subselect would be a no-op.
+        return None
+    subquery = plan_keys(query, key_column)
+    return InSubquery(ColumnRef(key_column.rsplit(".", 1)[-1]), subquery)
+
+
+def plan_update(
+    query: "Query", values: Dict[str, Any], key_column: Optional[str] = None
+) -> UpdatePlan:
+    """Compile a filtered read query to a single-statement UPDATE plan.
+
+    ``key_column`` is the record identity (``jid`` for the FORM, ``id`` for
+    the baseline ORM): when given, the write targets every row of every
+    record with *any* matching row, via the key subselect; joins, ordering
+    and LIMIT/OFFSET on ``query`` are honoured inside the subselect exactly
+    as in :func:`plan_bounded`.
+
+    >>> from repro.db.expr import eq
+    >>> from repro.db.sqlgen import update_to_sql
+    >>> plan = plan_update(
+    ...     Query("Paper").filter(eq("accepted", True)), {"decided": True}, "jid")
+    >>> statement, params = update_to_sql(plan)
+    >>> print(statement)
+    UPDATE "Paper" SET "decided" = ? WHERE jid IN (SELECT DISTINCT "jid" FROM "Paper" WHERE accepted = ?)
+    >>> params
+    [True, True]
+    >>> plan_update(Query("Paper"), {})
+    Traceback (most recent call last):
+        ...
+    ValueError: plan_update needs at least one column assignment
+    """
+    if not values:
+        # An empty SET list is invalid SQL; reject it here so both backends
+        # agree instead of SQLite raising where the memory engine "succeeds".
+        raise ValueError("plan_update needs at least one column assignment")
+    return UpdatePlan(query.table, dict(values), _plan_write_where(query, key_column))
+
+
+def plan_delete(query: "Query", key_column: Optional[str] = None) -> DeletePlan:
+    """Compile a filtered read query to a single-statement DELETE plan.
+
+    Mirrors :func:`plan_update`: with a ``key_column`` the delete removes
+    every row of every matching record in one statement -- the set-oriented
+    replacement for the fetch-then-delete-per-record loop.
+
+    >>> from repro.db.expr import eq
+    >>> from repro.db.sqlgen import delete_to_sql
+    >>> plan = plan_delete(Query("Paper").filter(eq("withdrawn", True)), "jid")
+    >>> print(delete_to_sql(plan)[0])
+    DELETE FROM "Paper" WHERE jid IN (SELECT DISTINCT "jid" FROM "Paper" WHERE withdrawn = ?)
+    >>> plan_delete(Query("Paper")).where is None   # unfiltered: no subselect
+    True
+    """
+    return DeletePlan(query.table, _plan_write_where(query, key_column))
+
+
 def plan_scalar_aggregate(
     query: "Query", function: str, column: str = "*", distinct: bool = False
 ) -> "Query":
@@ -457,7 +623,11 @@ def apply_limit(
 
 def row_key(row: Dict[str, Any]) -> Any:
     """A hashable identity for one result row (used by SELECT DISTINCT)."""
-    key = tuple(sorted(row.items(), key=lambda item: item[0]))
+    # Single-column rows are the hot shape (the record-key subselects of the
+    # bounded and write pushdowns dedupe millions of {key: value} dicts);
+    # sorting a one-item view is pure overhead.
+    items = row.items()
+    key = tuple(items) if len(row) < 2 else tuple(sorted(items, key=lambda item: item[0]))
     try:
         hash(key)
     except TypeError:  # unhashable values: fall back to their repr

@@ -105,12 +105,15 @@ class TableSchema:
         if primary[0].type is not ColumnType.INTEGER:
             raise SchemaError(f"primary key of {self.name!r} must be INTEGER")
         self._by_name: Dict[str, Column] = {column.name: column for column in self.columns}
+        self._primary_key: Column = primary[0]
 
     # -- queries ---------------------------------------------------------------
 
     @property
     def primary_key(self) -> Column:
-        return next(column for column in self.columns if column.primary_key)
+        # Cached at construction: per-row index maintenance on the write
+        # paths reads this once per row, which a column scan would dominate.
+        return self._primary_key
 
     def column_names(self) -> List[str]:
         return [column.name for column in self.columns]

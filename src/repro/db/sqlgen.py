@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.db.query import Aggregate, Query, order_outside_selection
+from repro.db.query import (
+    Aggregate,
+    DeletePlan,
+    Query,
+    UpdatePlan,
+    order_outside_selection,
+)
 from repro.db.schema import TableSchema
 
 
@@ -169,6 +175,50 @@ def query_to_sql(
         # SQLite requires a LIMIT clause before OFFSET; -1 means unbounded.
         statement += f" LIMIT -1 OFFSET {int(query.offset)}"
 
+    return statement, params
+
+
+def update_to_sql(plan: UpdatePlan) -> Tuple[str, List[Any]]:
+    """Render an :class:`~repro.db.query.UpdatePlan` to one UPDATE statement.
+
+    The WHERE clause may nest a record-key subselect (see
+    :func:`~repro.db.query.plan_update`), rendered inline exactly like a
+    read query's pushdown -- the whole write stays one statement:
+
+    >>> from repro.db.expr import eq
+    >>> from repro.db.query import Query, plan_update
+    >>> plan = plan_update(
+    ...     Query("Paper").filter(eq("accepted", True)).limited(3),
+    ...     {"decided": True}, "jid")
+    >>> print(update_to_sql(plan)[0])
+    UPDATE "Paper" SET "decided" = ? WHERE jid IN (SELECT DISTINCT "jid" FROM "Paper" WHERE accepted = ? LIMIT 3)
+    """
+    assignments = ", ".join(f'"{name}" = ?' for name in plan.values)
+    params: List[Any] = list(plan.values.values())
+    statement = f'UPDATE "{plan.table}" SET {assignments}'
+    if plan.where is not None:
+        where_sql, where_params = plan.where.to_sql()
+        statement += f" WHERE {where_sql}"
+        params.extend(where_params)
+    return statement, params
+
+
+def delete_to_sql(plan: DeletePlan) -> Tuple[str, List[Any]]:
+    """Render a :class:`~repro.db.query.DeletePlan` to one DELETE statement.
+
+    >>> from repro.db.expr import eq
+    >>> from repro.db.query import DeletePlan
+    >>> delete_to_sql(DeletePlan("Paper", eq("withdrawn", True)))
+    ('DELETE FROM "Paper" WHERE withdrawn = ?', [True])
+    >>> delete_to_sql(DeletePlan("Paper"))
+    ('DELETE FROM "Paper"', [])
+    """
+    statement = f'DELETE FROM "{plan.table}"'
+    params: List[Any] = []
+    if plan.where is not None:
+        where_sql, where_params = plan.where.to_sql()
+        statement += f" WHERE {where_sql}"
+        params.extend(where_params)
     return statement, params
 
 

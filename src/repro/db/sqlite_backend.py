@@ -28,9 +28,9 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.db.backend import Backend
 from repro.db.expr import Expression
-from repro.db.query import Query, compute_aggregate
+from repro.db.query import DeletePlan, Query, UpdatePlan, compute_aggregate
 from repro.db.schema import Column, ColumnType, SchemaError, TableSchema
-from repro.db.sqlgen import query_to_sql, schema_to_sql
+from repro.db.sqlgen import delete_to_sql, query_to_sql, schema_to_sql, update_to_sql
 
 
 class _ConnectionPool:
@@ -292,17 +292,16 @@ class SqliteBackend(Backend):
 
     def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
         schema = self.schema(table)
-        assignments = ", ".join(f'"{name}" = ?' for name in values)
-        params: List[Any] = [
-            self._encode(schema.column(name), value) for name, value in values.items()
-        ]
-        statement = f'UPDATE "{table}" SET {assignments}'
-        if where is not None:
-            where_sql, where_params = where.to_sql()
-            statement += f" WHERE {where_sql}"
-            params.extend(self._encode_params(where_params))
+        encoded = {
+            name: self._encode(schema.column(name), value)
+            for name, value in values.items()
+        }
+        # One statement, rendered by sqlgen: a subselect-bearing WHERE (the
+        # record-key write pushdown) executes inline, exactly like a read.
+        statement, params = update_to_sql(UpdatePlan(table, encoded, where))
+        self._statement_rendered(statement)
         with self._writing() as connection:
-            cursor = connection.execute(statement, params)
+            cursor = connection.execute(statement, self._encode_params(params))
             connection.commit()
             count = cursor.rowcount
         if count:
@@ -310,14 +309,10 @@ class SqliteBackend(Backend):
         return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
-        statement = f'DELETE FROM "{table}"'
-        params: List[Any] = []
-        if where is not None:
-            where_sql, where_params = where.to_sql()
-            statement += f" WHERE {where_sql}"
-            params.extend(self._encode_params(where_params))
+        statement, params = delete_to_sql(DeletePlan(table, where))
+        self._statement_rendered(statement)
         with self._writing() as connection:
-            cursor = connection.execute(statement, params)
+            cursor = connection.execute(statement, self._encode_params(params))
             connection.commit()
             count = cursor.rowcount
         if count:
@@ -331,12 +326,8 @@ class SqliteBackend(Backend):
         never the emptied middle state, and the invalidation bus fires once.
         """
         schema = self.schema(table)
-        delete_statement = f'DELETE FROM "{table}"'
-        delete_params: List[Any] = []
-        if where is not None:
-            where_sql, where_params = where.to_sql()
-            delete_statement += f" WHERE {where_sql}"
-            delete_params.extend(self._encode_params(where_params))
+        delete_statement, raw_params = delete_to_sql(DeletePlan(table, where))
+        delete_params = self._encode_params(raw_params)
         prepared = [self._prepare_row(schema, values) for values in rows]
         pks: List[int] = []
         with self._writing() as connection:
@@ -392,10 +383,12 @@ class SqliteBackend(Backend):
         return value
 
     def _statement_rendered(self, statement: str) -> None:
-        """Hook observing the exact SELECT text about to execute.
+        """Hook observing the exact SELECT/UPDATE/DELETE text about to execute.
 
         No-op here; :class:`RecordingSqliteBackend` captures it, so the
         recorded SQL is the statement actually sent, rendered once.
+        (``replace_rows``' internal delete+inserts are a compound write and
+        are not reported as single statements.)
         """
 
     def clear(self) -> None:
@@ -506,12 +499,14 @@ class SqliteBackend(Backend):
 
 
 class RecordingSqliteBackend(SqliteBackend):
-    """A :class:`SqliteBackend` that records the SQL of every SELECT it runs.
+    """A :class:`SqliteBackend` that records every single-statement SQL it runs.
 
     Observability helper shared by tests and benchmarks to assert exactly
-    which statements a query plan issues (e.g. that a bounded fetch is one
-    jid-subselect statement).  ``statements`` holds the rendered SQL text in
-    execution order; clear it between measured sections.
+    which statements a query or write plan issues (e.g. that a bounded fetch
+    -- or a set-oriented ``execute_update``/``execute_delete`` -- is one
+    subselect-bearing statement).  ``statements`` holds the rendered
+    SELECT/UPDATE/DELETE text in execution order; clear it between measured
+    sections.  Compound writes (``replace_rows``, inserts) are not recorded.
     """
 
     def __init__(self, path: str = ":memory:", timeout: float = 30.0) -> None:

@@ -51,26 +51,31 @@ class Table:
     def update(self, where: Optional[Expression], values: Dict[str, Any]) -> int:
         """Update matching rows in place; returns the number updated."""
         count = 0
-        for row in self._candidate_rows(where):
-            if where is None or where.evaluate(row):
+        rows, exact = self._narrowed_rows(where)
+        coerced = [
+            (name, self.schema.column(name), value) for name, value in values.items()
+        ]
+        for row in rows:
+            if exact or where is None or where.evaluate(row):
                 self._index_remove(row)
-                for name, value in values.items():
-                    row[name] = self.schema.column(name).coerce(value)
+                for name, column, value in coerced:
+                    row[name] = column.coerce(value)
                 self._index_add(row)
                 count += 1
         return count
 
     def delete(self, where: Optional[Expression]) -> int:
         """Delete matching rows; returns the number deleted."""
-        doomed = [
-            row
-            for row in self._candidate_rows(where)
-            if where is None or where.evaluate(row)
-        ]
+        rows, exact = self._narrowed_rows(where)
+        doomed = (
+            rows
+            if exact
+            else [row for row in rows if where is None or where.evaluate(row)]
+        )
+        pk_name = self.schema.primary_key.name
         for row in doomed:
-            pk = row[self.schema.primary_key.name]
             self._index_remove(row)
-            del self._rows[pk]
+            del self._rows[row[pk_name]]
         return len(doomed)
 
     def remove(self, pk: int) -> bool:
@@ -130,25 +135,46 @@ class Table:
 
     def _candidate_rows(self, where: Optional[Expression]) -> List[Dict[str, Any]]:
         """Use an index to narrow the scan when the filter allows it."""
-        if where is not None:
-            hit = self._index_lookup(where)
-            if hit is not None:
-                column, values = hit
-                index = self._indexes.get(column, {})
-                pks: set = set()
-                for value in values:
-                    pks |= index.get(value, set())
-                return [self._rows[pk] for pk in sorted(pks) if pk in self._rows]
-        return list(self._rows.values())
+        rows, _exact = self._narrowed_rows(where)
+        return rows
 
-    def _index_lookup(self, where: Expression) -> Optional[Tuple[str, Tuple[Any, ...]]]:
+    def _narrowed_rows(
+        self, where: Optional[Expression]
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Index-narrowed candidate rows plus an exactness flag.
+
+        ``exact`` means the candidates are precisely the rows matching
+        ``where`` -- the whole filter is one indexed probe whose bucket
+        membership *is* the predicate -- so callers may skip per-row
+        evaluation.  This is the narrowing behind set-oriented writes: the
+        resolved ``jid IN (...)`` of a write plan mutates exactly its index
+        buckets, O(matches) with no per-row predicate work.
+        """
+        if where is None:
+            return list(self._rows.values()), True
+        hit = self._index_lookup(where)
+        if hit is None:
+            return list(self._rows.values()), False
+        column, values, exact = hit
+        index = self._indexes.get(column, {})
+        pks: set = set()
+        for value in values:
+            pks |= index.get(value, set())
+        return [self._rows[pk] for pk in sorted(pks) if pk in self._rows], exact
+
+    def _index_lookup(
+        self, where: Expression
+    ) -> Optional[Tuple[str, Tuple[Any, ...], bool]]:
         """Detect a top-level indexed ``= literal`` / ``IN`` / ``IS NULL``.
 
-        Returns ``(column, candidate key values)``.  An ``IN`` list drops
-        NULL entries -- a NULL never compares equal, so no matching row can
-        live in the NULL bucket -- while ``IS NULL`` reads exactly that
-        bucket.  Only AND-conjunctions are descended: an OR branch could
-        match rows outside any single index bucket.
+        Returns ``(column, candidate key values, exact)``.  An ``IN`` list
+        drops NULL entries -- a NULL never compares equal, so no matching
+        row can live in the NULL bucket -- while ``IS NULL`` reads exactly
+        that bucket; both probes are *exact* (bucket membership equals the
+        predicate), as is ``= literal`` for a non-NULL literal.  Only
+        AND-conjunctions are descended: an OR branch could match rows
+        outside any single index bucket, and a descended probe is merely a
+        superset (``exact=False``).
         """
         from repro.db.expr import AndExpr, ColumnRef, Comparison, InList, IsNull, Literal
 
@@ -156,7 +182,9 @@ class Table:
             if isinstance(where.left, ColumnRef) and isinstance(where.right, Literal):
                 name = where.left.name.rsplit(".", 1)[-1]
                 if name in self._indexes:
-                    return name, (where.right.value,)
+                    # "= NULL" is UNKNOWN, never a match: the NULL bucket is
+                    # a superset that per-row evaluation must reject.
+                    return name, (where.right.value,), where.right.value is not None
         if isinstance(where, InList) and isinstance(where.operand, ColumnRef):
             name = where.operand.name.rsplit(".", 1)[-1]
             if name in self._indexes:
@@ -166,14 +194,17 @@ class Table:
                         hash(value)
                 except TypeError:  # unhashable: cannot probe a hash index
                     return None
-                return name, values
+                return name, values, True
         if isinstance(where, IsNull) and not where.negated:
             if isinstance(where.operand, ColumnRef):
                 name = where.operand.name.rsplit(".", 1)[-1]
                 if name in self._indexes:
-                    return name, (None,)
+                    return name, (None,), True
         if isinstance(where, AndExpr):
-            return self._index_lookup(where.left) or self._index_lookup(where.right)
+            hit = self._index_lookup(where.left) or self._index_lookup(where.right)
+            if hit is not None:
+                column, values, _exact = hit
+                return column, values, False
         return None
 
     def _index_add(self, row: Dict[str, Any]) -> None:

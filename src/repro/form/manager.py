@@ -22,8 +22,18 @@ from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
 from repro.core.facets import Facet, collect_labels, facet_map
 from repro.core.labels import Label
-from repro.db.expr import Expression, eq, eq_or_null
-from repro.db.query import Aggregate, Query, limit_by_key, plan_aggregate, plan_bounded
+from repro.db.expr import InList, col, eq_or_null
+from repro.db.query import (
+    Aggregate,
+    Query,
+    limit_by_key,
+    plan_aggregate,
+    plan_bounded,
+    plan_delete,
+    plan_keys,
+    plan_update,
+)
+from repro.form import writes
 from repro.form.aggregates import (
     FACET_AGGREGATE_FUNCTIONS,
     ColumnStats,
@@ -277,22 +287,125 @@ class QuerySet:
         """``MAX(field)`` per world (``None`` if no values)."""
         return self.aggregate(field_name, "MAX")
 
-    def delete(self) -> int:
-        """Delete every facet row of every matching record.
+    def update(self, **values: Any) -> int:
+        """Set fields on every matching record, set-oriented.
 
+        A record matches when *any* of its facet rows satisfies the filters
+        (the same record-level matching as :meth:`delete` and the faceted
+        read path); the write then covers **all** of the record's facet
+        rows, so the faceted encoding stays consistent.  Matching is
+        viewer-independent: writes are not pruned by ``viewer_context``.
+
+        Decision procedure (see ``repro.form.writes``):
+
+        * assigning concrete values to columns outside every policy group,
+          with an empty path condition, compiles to **one** SQL statement --
+          ``UPDATE t SET ... WHERE jid IN (SELECT DISTINCT jid ...)`` -- on
+          both backends: no fetch, no unmarshal, bounds (``limited``) and
+          join filters included in the subselect;
+        * policied fields, faceted values, or a non-empty path condition
+          fall back to the *batched* facet rewrite: one projected jid
+          query, one row fetch, per-jid facet-row recomputation reusing
+          ``JModel.save``'s expansion and pc-guard algebra, and one atomic
+          ``replace_rows`` batch.
+
+        Returns the number of facet rows the write affected (records span
+        several rows; use ``count()`` for record counts).  Either path
+        publishes write-through invalidation on the cache bus via the
+        backend's write event.
+        """
+        if not values:
+            return 0
+        form = current_form()
+        meta = self.model._meta
+        resolved = writes.resolve_update_fields(meta, values)
+        column_values = writes.fast_path_values(meta, resolved)
+        pc = form.runtime.current_pc()
+        if column_values is not None and not pc:
+            query, _joined = self._ordered_query(meta)
+            plan = plan_update(query, column_values, key_column="jid")
+            with form._save_lock:
+                return form.database.execute_update(plan)
+        # Batched facet rewrite: one jid projection, one fetch, one replace.
+        with form._save_lock:
+            jids = self._matching_jids(form)
+            if not jids:
+                return 0
+            existing = self._rows_for_jids(form, meta, jids)
+            replacement = writes.bulk_update_rows(
+                self.model, form, jids, existing, resolved
+            )
+            form.database.replace_rows(
+                meta.table_name, InList(col("jid"), tuple(jids)), replacement
+            )
+            return len(existing)
+
+    def delete(self) -> int:
+        """Delete every facet row of every matching record, set-oriented.
+
+        Outside any path condition this compiles to **one** SQL statement
+        on both backends -- ``DELETE FROM t WHERE jid IN (SELECT DISTINCT
+        jid ...)`` -- with the query set's filters, joins, ordering and
+        bound pushed into the subselect: no fetch, no unmarshal, no
+        per-record statement.  Under a non-empty path condition the delete
+        is *guarded*: matching jids are collected with one projected
+        ``SELECT DISTINCT jid`` query (no instance unmarshalling), their
+        rows fetched once, and the complement-assignment survivors swapped
+        in with one atomic ``replace_rows`` batch -- viewers outside the
+        branch keep seeing the records.
+
+        Returns the number of facet rows removed (guarded: rewritten).
         Runs under the FORM save lock so deletions cannot interleave with a
         concurrent update's delete+reinsert and be silently undone.
         """
         form = current_form()
-        table = self.model._meta.table_name
+        meta = self.model._meta
+        pc = form.runtime.current_pc()
+        if not pc:
+            query, _joined = self._ordered_query(meta)
+            plan = plan_delete(query, key_column="jid")
+            with form._save_lock:
+                return form.database.execute_delete(plan)
         with form._save_lock:
-            entries = self._fetch_entries(form)
-            deleted = 0
-            for jid in {jid for jid, _branches, _instance in entries}:
-                deleted += form.database.delete(table, eq("jid", jid))
-            return deleted
+            jids = self._matching_jids(form)
+            if not jids:
+                return 0
+            existing = self._rows_for_jids(form, meta, jids)
+            pc_branches = writes.pc_branch_list(pc)
+            rows_by_jid = writes.group_rows_by_jid(existing)
+            survivors: List[Dict[str, Any]] = []
+            for jid in jids:
+                rows = rows_by_jid.get(jid, [])
+                survivors.extend(writes.guarded_survivors(jid, rows, pc_branches))
+            form.database.replace_rows(
+                meta.table_name, InList(col("jid"), tuple(jids)), survivors
+            )
+            return len(existing)
 
     # -- internals -----------------------------------------------------------------------
+
+    def _matching_jids(self, form: FORM) -> List[int]:
+        """The DISTINCT jids matching this query set, in one projected query.
+
+        ``plan_keys`` keeps the filters and joins (and, for bounded sets,
+        the ordering and bound), selecting only the jid column -- the slow
+        write path's replacement for unmarshalling full instances just to
+        read their jids.
+        """
+        meta = self.model._meta
+        query, _joined = self._ordered_query(meta)
+        subquery = plan_keys(query, "jid")
+        from repro.db.expr import subquery_values
+
+        return [int(value) for value in
+                subquery_values(form.database.execute(subquery), subquery)]
+
+    @staticmethod
+    def _rows_for_jids(form: FORM, meta, jids: List[int]) -> List[Dict[str, Any]]:
+        """All facet rows of the given records, in one ``jid IN (...)`` fetch."""
+        return form.database.execute(
+            Query(table=meta.table_name).filter(InList(col("jid"), tuple(jids)))
+        )
 
     def _fetch_entries(self, form: FORM) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
         """Run the relational query and unmarshal rows into
@@ -367,7 +480,15 @@ class QuerySet:
             query = self._apply_filter(meta, query, joined, lookup, value, has_join)
         return query, joined
 
-    def _build_query(self, meta) -> Tuple[Query, List[str]]:
+    def _ordered_query(self, meta) -> Tuple[Query, List[str]]:
+        """Filters, joins, ordering and the raw record bound -- un-planned.
+
+        The common input of the read planner (:meth:`_build_query`, which
+        wraps the bound in the jid subselect) and the write planners
+        (``plan_update``/``plan_delete``, which push the whole thing into
+        their own jid subselect).  ``limit``/``offset`` ride on the query
+        verbatim; no plan is applied here.
+        """
         query, joined = self._filtered_query(meta)
         for field, ascending in self.order_fields:
             column = self._column_for(meta, field)
@@ -378,12 +499,18 @@ class QuerySet:
                 # arbitrarily by the in-memory engine.
                 column = f"{meta.table_name}.{column}"
             query = query.ordered_by(column, ascending)
+        if self.limit is not None or self.offset:
+            query = query.limited(self.limit, self.offset)
+        return query, joined
+
+    def _build_query(self, meta) -> Tuple[Query, List[str]]:
+        query, joined = self._ordered_query(meta)
         # Bounded queries compile to the jid-subselect pushdown: the LIMIT
         # counts DISTINCT jids inside a subquery, so the database prunes to
         # the first n records instead of this side scanning the full match
         # set and truncating (the ROADMAP LIMIT-pushdown item).
-        if self.limit is not None or self.offset:
-            query = plan_bounded(query, "jid", self.limit, self.offset)
+        if query.limit is not None or query.offset:
+            query = plan_bounded(query, "jid", query.limit, query.offset)
         return query, joined
 
     # -- aggregate pushdown -------------------------------------------------------------
@@ -813,6 +940,66 @@ class Manager:
             instance.save(form)
         return pending
 
+    def bulk_update(self, instances: Sequence[Any]) -> List[Any]:
+        """Rewrite many saved records' facet rows in one batched write.
+
+        The set-oriented form of heterogeneous per-instance edits: each
+        instance's facet-row set is expanded exactly as :meth:`JModel.save`
+        would (public facets recomputed), and the whole batch is flushed
+        through a single atomic ``replace_rows`` -- one backend write, one
+        invalidation event -- instead of one rewrite per record.  When the
+        same record appears twice, the *last* instance wins (matching
+        sequential saves).  Every instance must already have a jid; saves
+        under a non-empty path condition fall back to per-instance
+        ``save`` for the guarded-update semantics.
+        """
+        form = current_form()
+        meta = self.model._meta
+        table = meta.table_name
+        pending = list(instances)
+        by_jid: Dict[int, Any] = {}
+        for instance in pending:
+            if instance.jid is None:
+                raise ValueError(
+                    "bulk_update requires saved instances (use bulk_save "
+                    "to mix creates and updates)"
+                )
+            by_jid[instance.jid] = instance
+        if not by_jid:
+            return pending
+        if form.runtime.current_pc():
+            for instance in by_jid.values():
+                instance.save(form)
+            return pending
+        with form._save_lock:
+            rows: List[Dict[str, Any]] = []
+            for jid, instance in by_jid.items():
+                form.note_jid(table, jid)
+                rows.extend(writes.expanded_rows(instance, form))
+            form.database.replace_rows(
+                table, InList(col("jid"), tuple(by_jid)), rows
+            )
+        return pending
+
+    def bulk_save(self, instances: Sequence[Any]) -> List[Any]:
+        """Persist a heterogeneous batch: creates and updates, both batched.
+
+        Unsaved instances flush through :meth:`bulk_create` (one
+        ``insert_many``), already-saved ones through :meth:`bulk_update`
+        (one ``replace_rows``) -- at most two backend writes for the whole
+        batch instead of one per record.  Order within the input is
+        irrelevant to the result; path-condition saves keep full ``save``
+        semantics via the two methods' own fallbacks.
+        """
+        pending = list(instances)
+        # Split before creating: bulk_create assigns jids, and a freshly
+        # created instance must not be rewritten again by the update half.
+        created = [i for i in pending if i.jid is None]
+        updated = [i for i in pending if i.jid is not None]
+        self.bulk_create(created)
+        self.bulk_update(updated)
+        return pending
+
     # -- querying ----------------------------------------------------------------------
 
     def all(self) -> QuerySet:
@@ -889,16 +1076,7 @@ def _secret_instance(model: Type, jid: int, form: FORM) -> Any:
     rows = form.database.find(meta.table_name, jid=jid)
     if not rows:
         return None
-    best = None
-    best_score = -1
-    for row in rows:
-        branches = parse_jvars(row.get("jvars"))
-        score = sum(1 for _name, polarity in branches if polarity)
-        if all(polarity for _name, polarity in branches) and score >= best_score:
-            best, best_score = row, score
-    if best is None:
-        best = rows[0]
-    return _instance_from_row(model, best)
+    return _instance_from_row(model, writes.secret_row(rows))
 
 
 def _register_label_policy(form: FORM, model: Type, jid: int, group, name: str) -> None:

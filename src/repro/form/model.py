@@ -19,11 +19,16 @@ from repro.form.fields import Field, ForeignKey
 from repro.form.marshal import (
     JvarBranch,
     expand_value_facets,
-    format_jvars,
     label_name_for,
-    parse_jvars,
 )
 from repro.form.policies import POLICY_ATTRIBUTE, PUBLIC_METHOD_PREFIX
+from repro.form.writes import (
+    facet_db_row,
+    freeze_values as _freeze_values,
+    guarded_replacement,
+    guarded_survivors,
+    pc_branch_list,
+)
 
 
 class PolicyGroup:
@@ -274,36 +279,12 @@ class JModel(metaclass=ModelMeta):
 
             # Guarded update: new rows apply where the path condition holds;
             # the previously stored rows remain for every assignment
-            # falsifying it.
+            # falsifying it (the pc-guard algebra in repro.form.writes,
+            # shared with the batched QuerySet.update fallback).
             existing = form.database.find(table, jid=self.jid)
-            pc_branches = [
-                (branch.label.name, branch.positive) for branch in pc.branches()
-            ]
-            replacement = []
-            seen = set()
-            for branches, values in rows:
-                combined = tuple(sorted(set(branches) | set(pc_branches)))
-                if _branches_contradictory(combined):
-                    continue
-                key = (combined, _freeze_values(values))
-                if key not in seen:
-                    seen.add(key)
-                    replacement.append(self._db_row(values, combined))
-            for old_row in existing:
-                old_branches = parse_jvars(old_row.get("jvars"))
-                old_values = {
-                    name: old_row.get(name)
-                    for name in old_row
-                    if name not in ("id", "jid", "jvars")
-                }
-                for negated in _complement_assignments(pc_branches):
-                    combined = tuple(sorted(set(old_branches) | set(negated)))
-                    if _branches_contradictory(combined):
-                        continue
-                    key = (combined, _freeze_values(old_values))
-                    if key not in seen:
-                        seen.add(key)
-                        replacement.append(self._db_row(old_values, combined))
+            replacement = guarded_replacement(
+                self.jid, rows, existing, pc_branch_list(pc)
+            )
             form.database.replace_rows(table, eq("jid", self.jid), replacement)
             return self
 
@@ -312,12 +293,32 @@ class JModel(metaclass=ModelMeta):
 
         Takes the FORM save lock so a delete cannot interleave with a
         concurrent update's read-modify-write and be undone by its reinsert.
+
+        ``jid`` is cleared afterwards, so a later :meth:`save` re-creates
+        the record as a fresh one instead of silently resurrecting the old
+        jid through the update path.  Under a non-empty path condition the
+        delete is *guarded*: rows survive for every assignment falsifying
+        the pc (viewers outside the branch keep seeing the record), and
+        ``jid`` stays set because the record still exists in those worlds.
         """
         if self.jid is None:
             return
         form = form or current_form()
+        table = type(self)._meta.table_name
+        pc = form.runtime.current_pc()
         with form._save_lock:
-            form.database.delete(type(self)._meta.table_name, eq("jid", self.jid))
+            if not pc:
+                form.database.delete(table, eq("jid", self.jid))
+                self.jid = None
+                return
+            existing = form.database.find(table, jid=self.jid)
+            survivors = guarded_survivors(self.jid, existing, pc_branch_list(pc))
+            form.database.replace_rows(table, eq("jid", self.jid), survivors)
+            if not survivors:
+                # Every stored row was already confined to the pc branch, so
+                # no complement assignment survives: the record is gone in
+                # every world and a stale jid must not resurrect it.
+                self.jid = None
 
     # -- row expansion ----------------------------------------------------------------------------
 
@@ -362,39 +363,12 @@ class JModel(metaclass=ModelMeta):
     ) -> Dict[str, Any]:
         """The concrete database row for one facet row of this instance.
 
-        Shared by :meth:`save` and ``Manager.bulk_create`` so both write
-        paths marshal identically.
+        Delegates to :func:`repro.form.writes.facet_db_row` -- the single
+        marshal shared by :meth:`save`, ``Manager.bulk_create`` and the
+        batched set-oriented write paths, so every writer stores
+        identically.
         """
-        row = dict(values)
-        row["jid"] = self.jid
-        row["jvars"] = format_jvars(branches)
-        return {
-            name: (value if not isinstance(value, Facet) else None)
-            for name, value in row.items()
-        }
-
-
-def _branches_contradictory(branches: Sequence[JvarBranch]) -> bool:
-    polarity: Dict[str, bool] = {}
-    for name, value in branches:
-        if name in polarity and polarity[name] != value:
-            return True
-        polarity[name] = value
-    return False
-
-
-def _complement_assignments(
-    pc_branches: Sequence[JvarBranch],
-) -> List[Tuple[JvarBranch, ...]]:
-    """All assignments of the pc labels that falsify the path condition."""
-    names = [name for name, _ in pc_branches]
-    satisfied = tuple(pc_branches)
-    result = []
-    for assignment in itertools.product([True, False], repeat=len(names)):
-        candidate = tuple(zip(names, assignment))
-        if candidate != satisfied:
-            result.append(candidate)
-    return result
+        return facet_db_row(self.jid, values, branches)
 
 
 def _merge_rows(
@@ -420,7 +394,3 @@ def _merge_rows(
         kept = tuple(sorted((n, p) for n, p in branches if n in significant))
         merged.setdefault((kept, _freeze_values(values)), (kept, values))
     return list(merged.values())
-
-
-def _freeze_values(values: Dict[str, Any]) -> Tuple:
-    return tuple(sorted((name, repr(value)) for name, value in values.items()))

@@ -23,6 +23,7 @@ DOCTESTED_MODULES = [
     "repro.db.query",
     "repro.db.sqlgen",
     "repro.form.aggregates",
+    "repro.form.writes",
 ]
 
 
