@@ -46,7 +46,8 @@ from repro.core.facets import facet_map  # noqa: E402
 from repro.db import (  # noqa: E402
     Database,
     MemoryBackend,
-    RecordingSqliteBackend,
+    SqliteBackend,
+    StatementLog,
 )
 from repro.form import (  # noqa: E402
     CharField,
@@ -136,25 +137,26 @@ def run(rows: int, smoke: bool) -> int:
 
     for backend_name, backend in (
         ("memory", MemoryBackend()),
-        ("sqlite", RecordingSqliteBackend()),
+        ("sqlite", SqliteBackend()),
     ):
         database = Database(backend)
+        log = StatementLog(backend) if backend_name == "sqlite" else None
         form = _build_form(database, rows)
         with use_form(form):
-            if backend_name == "sqlite":
-                backend.statements.clear()
+            if log is not None:
+                log.clear()
             pushdown_time, pushdown_count = _timed(lambda: _pushdown_count(viewer))
-            if backend_name == "sqlite":
-                per_call = len(backend.statements) / REPEATS
+            if log is not None:
+                per_call = len(log.statements) / REPEATS
                 if per_call != 1:
                     failures.append(
                         f"sqlite: expected 1 statement per count(), got {per_call}"
                     )
                 grouped = 'SELECT "jvars" AS "jvars", COUNT(*) AS "COUNT(*)"'
-                if not all(s.startswith(grouped) for s in backend.statements):
+                if not all(s.startswith(grouped) for s in log.statements):
                     failures.append(
                         f"sqlite: count() did not use the grouped jvars plan: "
-                        f"{backend.statements[:1]}"
+                        f"{log.statements[:1]}"
                     )
             scan_time, scan_count = _timed(lambda: _fetch_and_count(viewer))
 

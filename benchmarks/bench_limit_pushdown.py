@@ -42,7 +42,8 @@ from repro.cache import CacheConfig  # noqa: E402
 from repro.db import (  # noqa: E402
     Database,
     MemoryBackend,
-    RecordingSqliteBackend,
+    SqliteBackend,
+    StatementLog,
 )
 from repro.db.query import limit_by_key  # noqa: E402
 from repro.form import (  # noqa: E402
@@ -126,18 +127,19 @@ def run(rows: int, smoke: bool) -> int:
 
     for backend_name, backend in (
         ("memory", MemoryBackend()),
-        ("sqlite", RecordingSqliteBackend()),
+        ("sqlite", SqliteBackend()),
     ):
         database = Database(backend)
+        log = StatementLog(backend) if backend_name == "sqlite" else None
         form = _build_form(database, rows)
         with use_form(form):
-            if backend_name == "sqlite":
-                backend.statements.clear()
+            if log is not None:
+                log.clear()
             pushdown_time, pushdown_titles = _timed(lambda: _pushdown_titles(viewer))
-            if backend_name == "sqlite":
+            if log is not None:
                 selects = [
                     statement
-                    for statement in backend.statements
+                    for statement in log.statements
                     if statement.startswith("SELECT * ")
                 ]
                 per_fetch = len(selects) / REPEATS

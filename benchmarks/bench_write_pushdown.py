@@ -46,7 +46,8 @@ from repro.cache import CacheConfig  # noqa: E402
 from repro.db import (  # noqa: E402
     Database,
     MemoryBackend,
-    RecordingSqliteBackend,
+    SqliteBackend,
+    StatementLog,
 )
 from repro.form import (  # noqa: E402
     CharField,
@@ -144,35 +145,35 @@ def run(rows: int, smoke: bool) -> int:
 
     for backend_name, backend_factory in (
         ("memory", MemoryBackend),
-        ("sqlite", RecordingSqliteBackend),
+        ("sqlite", SqliteBackend),
     ):
         fast_form, fast_db = _build_form(backend_factory, rows)
         loop_form, loop_db = _build_form(backend_factory, rows)
 
         # -- bulk update: one statement vs. fetch+save loop --------------------
+        log = StatementLog(fast_db) if backend_name == "sqlite" else None
         with use_form(fast_form):
-            backend = fast_db.backend
-            if backend_name == "sqlite":
-                backend.statements.clear()
+            if log is not None:
+                log.clear()
             fast_update_time, changed = _timed(
                 lambda: BenchRecord.objects.filter(owner="alice").update(
                     category="archived"
                 )
             )
-            if backend_name == "sqlite":
-                if len(backend.statements) != 1:
+            if log is not None:
+                if len(log.statements) != 1:
                     failures.append(
-                        f"sqlite: fast update issued {len(backend.statements)} "
-                        f"statements, expected 1: {backend.statements[:3]}"
+                        f"sqlite: fast update issued {len(log.statements)} "
+                        f"statements, expected 1: {log.statements[:3]}"
                     )
                 elif not (
-                    backend.statements[0].startswith('UPDATE "BenchRecord" SET')
+                    log.statements[0].startswith('UPDATE "BenchRecord" SET')
                     and 'jid IN (SELECT DISTINCT "jid" FROM "BenchRecord"'
-                    in backend.statements[0]
+                    in log.statements[0]
                 ):
                     failures.append(
                         f"sqlite: update did not use the jid subselect: "
-                        f"{backend.statements[0]}"
+                        f"{log.statements[0]}"
                     )
         if changed != rows * 2:
             failures.append(
@@ -189,19 +190,18 @@ def run(rows: int, smoke: bool) -> int:
 
         # -- bulk delete: one statement vs. per-record deletes -----------------
         with use_form(fast_form):
-            backend = fast_db.backend
-            if backend_name == "sqlite":
-                backend.statements.clear()
+            if log is not None:
+                log.clear()
             fast_delete_time, deleted = _timed(
                 lambda: BenchRecord.objects.filter(owner="alice").delete()
             )
-            if backend_name == "sqlite":
+            if log is not None:
                 deletes = [
-                    s for s in backend.statements if s.startswith("DELETE")
+                    s for s in log.statements if s.startswith("DELETE")
                 ]
-                if len(deletes) != 1 or len(backend.statements) != 1:
+                if len(deletes) != 1 or len(log.statements) != 1:
                     failures.append(
-                        f"sqlite: fast delete issued {len(backend.statements)} "
+                        f"sqlite: fast delete issued {len(log.statements)} "
                         f"statements, expected 1"
                     )
                 elif 'jid IN (SELECT DISTINCT "jid" FROM "BenchRecord"' not in deletes[0]:

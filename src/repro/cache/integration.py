@@ -34,6 +34,12 @@ class FormCaches:
             self.config.fragment_cache_size, self.config.fragment_cache_ttl
         )
         self._bus: Optional[InvalidationBus] = None
+        # Export the three layers' CacheStats through the observability
+        # registry (weakly referenced: a FORM going away takes its caches'
+        # metrics with it).
+        from repro import obs
+
+        obs.register_caches(self)
 
     # -- enablement ------------------------------------------------------------------
 

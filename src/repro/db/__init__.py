@@ -53,7 +53,8 @@ from repro.db.table import Table
 from repro.db.engine import Database
 from repro.db.backend import Backend
 from repro.db.memory_backend import MemoryBackend
-from repro.db.sqlite_backend import RecordingSqliteBackend, SqliteBackend
+from repro.db.observe import StatementEvent, StatementLog
+from repro.db.sqlite_backend import SqliteBackend
 from repro.db.sqlgen import delete_to_sql, query_to_sql, schema_to_sql, update_to_sql
 
 __all__ = [
@@ -93,7 +94,8 @@ __all__ = [
     "Backend",
     "MemoryBackend",
     "SqliteBackend",
-    "RecordingSqliteBackend",
+    "StatementEvent",
+    "StatementLog",
     "query_to_sql",
     "schema_to_sql",
     "update_to_sql",

@@ -14,10 +14,12 @@ False
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.cache.bus import InvalidationBus
 from repro.db.expr import Expression
+from repro.db.observe import StatementEvent
 from repro.db.query import DeletePlan, Query, UpdatePlan
 from repro.db.schema import TableSchema
 
@@ -63,6 +65,45 @@ class Backend(abc.ABC):
 
     def _publish_schema_change(self, table: Optional[str] = None) -> None:
         self.invalidation.schema_changed(table)
+
+    # -- statement observation -----------------------------------------------------
+
+    def add_statement_observer(self, observer: Callable[[StatementEvent], None]) -> None:
+        """Register a callable receiving a :class:`StatementEvent` per statement.
+
+        Both backends report SELECT/UPDATE/DELETE statements (the memory
+        engine renders the SQL it would have sent) plus summary events for
+        compound writes, with per-statement timing and row counts.  Use
+        :class:`~repro.db.observe.StatementLog` for the common capture case.
+        """
+        observers = getattr(self, "_statement_observers", None)
+        if observers is None:
+            observers = []
+            self._statement_observers = observers
+        observers.append(observer)
+
+    def remove_statement_observer(self, observer: Callable[[StatementEvent], None]) -> None:
+        observers = getattr(self, "_statement_observers", None)
+        if observers and observer in observers:
+            observers.remove(observer)
+
+    def _observing(self) -> bool:
+        """Whether any statement event would have a consumer right now.
+
+        The guard hot paths check before rendering SQL or reading the
+        clock: true when an observer is registered or this thread has a
+        trace in flight.  With neither, instrumentation costs one call.
+        """
+        return bool(getattr(self, "_statement_observers", None)) or obs.active()
+
+    def _notify_statement(
+        self, kind: str, sql: str, params: Sequence[Any], rows: int, duration: float
+    ) -> None:
+        """Fan one executed statement out to observers and the active trace."""
+        event = StatementEvent(kind, sql, tuple(params), rows, duration)
+        for observer in getattr(self, "_statement_observers", None) or ():
+            observer(event)
+        obs.record_statement(event)
 
     # -- schema management -------------------------------------------------------
 

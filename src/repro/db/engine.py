@@ -55,6 +55,22 @@ class Database:
         """The backend's write-event bus (write-through cache invalidation)."""
         return self.backend.invalidation
 
+    def observe_statements(self) -> "StatementLog":
+        """A :class:`~repro.db.observe.StatementLog` attached to the backend.
+
+        Detach with ``log.detach()`` or use as a context manager:
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", title=ColumnType.TEXT)
+        ...     with db.observe_statements() as log:
+        ...         _ = db.find("Paper", title="facets")
+        ...     log.statements
+        ['SELECT * FROM "Paper" WHERE title = ?']
+        """
+        from repro.db.observe import StatementLog
+
+        return StatementLog(self.backend)
+
     # -- schema helpers ----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:

@@ -10,12 +10,16 @@ touch the backend re-entrantly.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.db.backend import Backend
 from repro.db.expr import Expression, resolve_subqueries, subquery_values
+from repro.db.observe import insert_summary, replace_summary
 from repro.db.query import (
+    DeletePlan,
     Query,
+    UpdatePlan,
     apply_limit,
     apply_order,
     compute_aggregate,
@@ -24,6 +28,7 @@ from repro.db.query import (
     row_key,
 )
 from repro.db.schema import SchemaError, TableSchema
+from repro.db.sqlgen import delete_to_sql, query_to_sql, update_to_sql
 from repro.db.table import Table
 
 
@@ -67,8 +72,15 @@ class MemoryBackend(Backend):
     # -- data manipulation -------------------------------------------------------------
 
     def insert(self, table: str, values: Dict[str, Any]) -> int:
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._lock:
             pk = self._table(table).insert(values)
+        if observing:
+            self._notify_statement(
+                "INSERT", insert_summary(table, 1), (), 1,
+                time.perf_counter() - started,
+            )
         self._publish_write(table)
         return pk
 
@@ -79,6 +91,8 @@ class MemoryBackend(Backend):
         SQLite backend's transaction rollback), so a record expanded into
         several facet rows is either fully present or fully absent.
         """
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._lock:
             target = self._table(table)
             pks: List[int] = []
@@ -89,20 +103,44 @@ class MemoryBackend(Backend):
                 for pk in pks:
                     target.remove(pk)
                 raise
+        if observing:
+            self._notify_statement(
+                "INSERT", insert_summary(table, len(pks)), (), len(pks),
+                time.perf_counter() - started,
+            )
         if pks:
             self._publish_write(table)
         return pks
 
     def update(self, table: str, where: Optional[Expression], values: Dict[str, Any]) -> int:
+        observing = self._observing()
+        if observing:
+            # Render the statement this write *would* be as SQL (subselects
+            # inline, exactly as the SQLite backend sends it) before the
+            # memory engine materialises them.
+            statement, params = update_to_sql(UpdatePlan(table, values, where))
+            started = time.perf_counter()
         with self._lock:
             count = self._table(table).update(self._resolve_expression(where), values)
+        if observing:
+            self._notify_statement(
+                "UPDATE", statement, params, count, time.perf_counter() - started
+            )
         if count:
             self._publish_write(table)
         return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
+        observing = self._observing()
+        if observing:
+            statement, params = delete_to_sql(DeletePlan(table, where))
+            started = time.perf_counter()
         with self._lock:
             count = self._table(table).delete(self._resolve_expression(where))
+        if observing:
+            self._notify_statement(
+                "DELETE", statement, params, count, time.perf_counter() - started
+            )
         if count:
             self._publish_write(table)
         return count
@@ -138,6 +176,8 @@ class MemoryBackend(Backend):
         failure the swap is rolled back (inserted rows removed, deleted rows
         restored), matching the SQLite backend's transaction semantics.
         """
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._lock:
             target = self._table(table)
             where = self._resolve_expression(where)
@@ -153,6 +193,11 @@ class MemoryBackend(Backend):
                 for old_row in replaced:
                     target.insert(old_row)
                 raise
+        if observing:
+            self._notify_statement(
+                "REPLACE", replace_summary(table, len(replaced), len(pks)), (),
+                len(replaced) + len(pks), time.perf_counter() - started,
+            )
         if replaced or pks:
             self._publish_write(table)
         return pks
@@ -160,6 +205,35 @@ class MemoryBackend(Backend):
     # -- queries --------------------------------------------------------------------------
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
+        if not self._observing():
+            return self._execute_query(query)
+        # Render the SQL this read *would* be (subselects inline) before the
+        # engine materialises them, so both backends report identical text.
+        statement, params = query_to_sql(query, qualify=query.is_join())
+        started = time.perf_counter()
+        rows = self._execute_query(query)
+        self._notify_statement(
+            "SELECT", statement, params, len(rows), time.perf_counter() - started
+        )
+        return rows
+
+    def aggregate(self, query: Query) -> Any:
+        self._check_aggregate(query)
+        if query.group_by:
+            # Reported by execute() on the rewritten grouped selection --
+            # exactly one SELECT event, like the SQLite backend's pushdown.
+            return self._grouped_aggregate_dict(query)
+        if not self._observing():
+            return self._aggregate_query(query)
+        statement, params = query_to_sql(query, qualify=query.is_join())
+        started = time.perf_counter()
+        value = self._aggregate_query(query)
+        self._notify_statement(
+            "SELECT", statement, params, 1, time.perf_counter() - started
+        )
+        return value
+
+    def _execute_query(self, query: Query) -> List[Dict[str, Any]]:
         if query.aggregates:
             return self._aggregate_rows(query)
         columns = query.qualified_columns() if query.is_join() else query.columns
@@ -212,8 +286,7 @@ class MemoryBackend(Backend):
                 rows = [self._pick_columns(row, columns) for row in rows]
         return rows
 
-    def aggregate(self, query: Query) -> Any:
-        self._check_aggregate(query)
+    def _aggregate_query(self, query: Query) -> Any:
         if query.aggregate.function.upper() == "EXISTS":
             # Early exit: stop scanning once enough matches are seen, like
             # the database behind SELECT EXISTS(...).  LIMIT/OFFSET stay
@@ -326,8 +399,12 @@ class MemoryBackend(Backend):
         """
         if where is None or not where.subqueries():
             return where
+        # _execute_query, not execute: the subquery is part of the *one*
+        # statement being observed (SQLite renders it inline), so it must
+        # not report a second event of its own.
         return resolve_subqueries(
-            where, lambda subquery: subquery_values(self.execute(subquery), subquery)
+            where,
+            lambda subquery: subquery_values(self._execute_query(subquery), subquery),
         )
 
     def _grouped_distinct(

@@ -1,0 +1,102 @@
+"""The backend statement-observer hook and its capture helper.
+
+Every :class:`~repro.db.backend.Backend` notifies registered observers of
+each single-statement operation it executes -- the rendered SQL text, the
+statement kind, the row count and the measured wall-clock duration.  Both
+backends report through this one channel (the memory engine renders the SQL
+it *would* have sent via :mod:`repro.db.sqlgen`), which is what lets tests
+and benchmarks assert statement shapes backend-independently.
+
+:class:`StatementLog` is the capture helper that replaced the old
+test-only ``RecordingSqliteBackend`` subclass::
+
+    backend = SqliteBackend()
+    with StatementLog(backend) as log:
+        ...
+    assert [s for s in log.statements if s.startswith("SELECT * ")]
+
+Compound writes (``insert``/``insert_many``/``replace_rows``) execute more
+than one statement inside one transaction; they are reported as a single
+summary event (kind ``INSERT``/``REPLACE``) so write batching stays visible
+without pretending to be one SQL statement.
+
+>>> replace_summary("Paper", 4, 6)
+'REPLACE INTO "Paper" (4 -> 6 rows)'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StatementEvent:
+    """One executed statement: kind, rendered SQL, rows touched, duration."""
+
+    #: SELECT / UPDATE / DELETE for real single statements; INSERT / REPLACE
+    #: for compound-write summaries.
+    kind: str
+    sql: str
+    params: Tuple[Any, ...] = ()
+    rows: int = 0
+    #: seconds of wall-clock time the backend spent executing (perf_counter).
+    duration: float = 0.0
+
+
+class StatementLog:
+    """An attachable observer collecting :class:`StatementEvent` objects.
+
+    Construct with a backend (or a :class:`~repro.db.engine.Database`) to
+    attach immediately; use as a context manager to detach on exit, or call
+    :meth:`detach` explicitly.  ``clear()`` empties the log between measured
+    sections.
+    """
+
+    def __init__(self, target: Optional[Any] = None) -> None:
+        self.events: List[StatementEvent] = []
+        self._backend: Optional[Any] = None
+        if target is not None:
+            self.attach(target)
+
+    @property
+    def statements(self) -> List[str]:
+        """The rendered statement texts, in execution order."""
+        return [event.sql for event in self.events]
+
+    def attach(self, target: Any) -> "StatementLog":
+        backend = getattr(target, "backend", target)
+        backend.add_statement_observer(self._record)
+        self._backend = backend
+        return self
+
+    def detach(self) -> None:
+        if self._backend is not None:
+            self._backend.remove_statement_observer(self._record)
+            self._backend = None
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def _record(self, event: StatementEvent) -> None:
+        self.events.append(event)
+
+    def __enter__(self) -> "StatementLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.detach()
+        return False
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def insert_summary(table: str, count: int) -> str:
+    """The summary text both backends report for a batched insert."""
+    return f'INSERT INTO "{table}" ({count} rows)'
+
+
+def replace_summary(table: str, deleted: int, inserted: int) -> str:
+    """The summary text both backends report for an atomic row swap."""
+    return f'REPLACE INTO "{table}" ({deleted} -> {inserted} rows)'

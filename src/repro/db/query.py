@@ -256,6 +256,47 @@ class Query:
         seen: Dict[str, None] = dict.fromkeys(tables)
         return tuple(seen)
 
+    def explain(self) -> Dict[str, Any]:
+        """The plan shape and rendered SQL of this query, without executing.
+
+        The SQL is exactly what a backend reports through the statement
+        observer when the query runs (a grouped scalar aggregate renders as
+        the grouped selection both backends actually execute).  Plan shapes:
+        ``grouped-aggregate``, ``scalar-aggregate``, ``key-subselect`` (a
+        record-key pushdown subselect in the WHERE) or ``scan``.
+
+        >>> from repro.db.expr import eq
+        >>> plan = plan_bounded(Query("Paper").filter(eq("ok", True)), "jid", 2).explain()
+        >>> plan["plan"]
+        'key-subselect'
+        >>> plan["sql"]
+        'SELECT * FROM "Paper" WHERE (ok = ? AND jid IN (SELECT DISTINCT "jid" FROM "Paper" WHERE ok = ? LIMIT 2))'
+        >>> Query("Paper").with_aggregate("COUNT").grouped_by("jvars").explain()["plan"]
+        'grouped-aggregate'
+        """
+        from repro.db.sqlgen import query_to_sql
+
+        query = self
+        if self.aggregate is not None and self.group_by:
+            # Mirror Backend._grouped_aggregate_dict: the grouped dict API
+            # executes as a grouped aggregate *selection*.
+            query = replace(self, aggregate=None, aggregates=(self.aggregate,))
+        if query.aggregates:
+            plan = "grouped-aggregate"
+        elif query.aggregate is not None:
+            plan = "scalar-aggregate"
+        elif query.where is not None and query.where.subqueries():
+            plan = "key-subselect"
+        else:
+            plan = "scan"
+        sql, params = query_to_sql(query, qualify=query.is_join())
+        return {
+            "plan": plan,
+            "sql": sql,
+            "params": list(params),
+            "tables": list(self.tables_read()),
+        }
+
 
 def order_outside_selection(query: "Query") -> bool:
     """Whether a distinct query orders by columns outside its select list.
@@ -353,6 +394,24 @@ class UpdatePlan:
         """Every table this write *reads*: the target plus subselect tables."""
         return _write_tables_read(self.table, self.where)
 
+    def explain(self) -> Dict[str, Any]:
+        """Plan shape and rendered SQL of this write, without executing.
+
+        >>> from repro.db.expr import eq
+        >>> UpdatePlan("Paper", {"ok": True}, eq("ok", False)).explain()["sql"]
+        'UPDATE "Paper" SET "ok" = ? WHERE ok = ?'
+        """
+        from repro.db.sqlgen import update_to_sql
+
+        sql, params = update_to_sql(self)
+        pushdown = self.where is not None and bool(self.where.subqueries())
+        return {
+            "plan": "update-pushdown" if pushdown else "update",
+            "sql": sql,
+            "params": list(params),
+            "tables": list(self.tables_read()),
+        }
+
 
 @dataclass(frozen=True)
 class DeletePlan:
@@ -369,6 +428,23 @@ class DeletePlan:
     def tables_read(self) -> Tuple[str, ...]:
         """Every table this write *reads*: the target plus subselect tables."""
         return _write_tables_read(self.table, self.where)
+
+    def explain(self) -> Dict[str, Any]:
+        """Plan shape and rendered SQL of this write, without executing.
+
+        >>> DeletePlan("Paper").explain()["plan"]
+        'delete'
+        """
+        from repro.db.sqlgen import delete_to_sql
+
+        sql, params = delete_to_sql(self)
+        pushdown = self.where is not None and bool(self.where.subqueries())
+        return {
+            "plan": "delete-pushdown" if pushdown else "delete",
+            "sql": sql,
+            "params": list(params),
+            "tables": list(self.tables_read()),
+        }
 
 
 def _write_tables_read(table: str, where: Optional[Expression]) -> Tuple[str, ...]:

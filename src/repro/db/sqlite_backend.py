@@ -24,10 +24,12 @@ import contextlib
 import datetime
 import sqlite3
 import threading
+import time
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.db.backend import Backend
 from repro.db.expr import Expression
+from repro.db.observe import insert_summary, replace_summary
 from repro.db.query import DeletePlan, Query, UpdatePlan, compute_aggregate
 from repro.db.schema import Column, ColumnType, SchemaError, TableSchema
 from repro.db.sqlgen import delete_to_sql, query_to_sql, schema_to_sql, update_to_sql
@@ -235,9 +237,16 @@ class SqliteBackend(Backend):
     def insert(self, table: str, values: Dict[str, Any]) -> int:
         schema = self.schema(table)
         row = self._prepare_row(schema, values)
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._writing() as connection:
             pk = self._insert_one(connection, schema, table, row)
             connection.commit()
+        if observing:
+            self._notify_statement(
+                "INSERT", insert_summary(table, 1), (), 1,
+                time.perf_counter() - started,
+            )
         self._publish_write(table)
         return pk
 
@@ -259,6 +268,8 @@ class SqliteBackend(Backend):
         # assigned range is contiguous from MAX(rowid).
         batchable = len(column_sets) == 1 and not any(pk_name in row for row in prepared)
         pks: List[int] = []
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         # The batch is one transaction (_writing rolls back on any failure),
         # so a half-inserted batch can neither linger uncommitted on the
         # connection nor be committed later by an unrelated write without an
@@ -287,6 +298,11 @@ class SqliteBackend(Backend):
                 for row in prepared:
                     pks.append(self._insert_one(connection, schema, table, row))
                 connection.commit()
+        if observing:
+            self._notify_statement(
+                "INSERT", insert_summary(table, len(prepared)), (), len(prepared),
+                time.perf_counter() - started,
+            )
         self._publish_write(table)
         return pks
 
@@ -299,22 +315,32 @@ class SqliteBackend(Backend):
         # One statement, rendered by sqlgen: a subselect-bearing WHERE (the
         # record-key write pushdown) executes inline, exactly like a read.
         statement, params = update_to_sql(UpdatePlan(table, encoded, where))
-        self._statement_rendered(statement)
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._writing() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             connection.commit()
             count = cursor.rowcount
+        if observing:
+            self._notify_statement(
+                "UPDATE", statement, params, count, time.perf_counter() - started
+            )
         if count:
             self._publish_write(table)
         return count
 
     def delete(self, table: str, where: Optional[Expression]) -> int:
         statement, params = delete_to_sql(DeletePlan(table, where))
-        self._statement_rendered(statement)
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._writing() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             connection.commit()
             count = cursor.rowcount
+        if observing:
+            self._notify_statement(
+                "DELETE", statement, params, count, time.perf_counter() - started
+            )
         if count:
             self._publish_write(table)
         return count
@@ -330,12 +356,19 @@ class SqliteBackend(Backend):
         delete_params = self._encode_params(raw_params)
         prepared = [self._prepare_row(schema, values) for values in rows]
         pks: List[int] = []
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._writing() as connection:
             cursor = connection.execute(delete_statement, delete_params)
             deleted = cursor.rowcount
             for row in prepared:
                 pks.append(self._insert_one(connection, schema, table, row))
             connection.commit()
+        if observing:
+            self._notify_statement(
+                "REPLACE", replace_summary(table, deleted, len(pks)), (),
+                deleted + len(pks), time.perf_counter() - started,
+            )
         if deleted or pks:
             self._publish_write(table)
         return pks
@@ -344,10 +377,16 @@ class SqliteBackend(Backend):
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         statement, params = query_to_sql(query, qualify=query.is_join())
-        self._statement_rendered(statement)
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._reading() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             raw_rows = cursor.fetchall()
+        if observing:
+            self._notify_statement(
+                "SELECT", statement, params, len(raw_rows),
+                time.perf_counter() - started,
+            )
         if query.aggregates:
             # Grouped aggregate selections: the SELECT list carries explicit
             # aliases (group columns as spelled, aggregates by result_key),
@@ -370,10 +409,16 @@ class SqliteBackend(Backend):
             # fetch every matching row and group in Python).
             return self._grouped_aggregate_dict(query)
         statement, params = query_to_sql(query, qualify=query.is_join())
-        self._statement_rendered(statement)
+        observing = self._observing()
+        started = time.perf_counter() if observing else 0.0
         with self._reading() as connection:
             cursor = connection.execute(statement, self._encode_params(params))
             row = cursor.fetchone()
+        if observing:
+            self._notify_statement(
+                "SELECT", statement, params, 1 if row is not None else 0,
+                time.perf_counter() - started,
+            )
         value = row[0] if row is not None else None
         function = query.aggregate.function.upper()
         if function == "EXISTS":
@@ -381,15 +426,6 @@ class SqliteBackend(Backend):
         if function in ("MIN", "MAX"):
             value = self._decode_aggregated_value(query, query.aggregate, value)
         return value
-
-    def _statement_rendered(self, statement: str) -> None:
-        """Hook observing the exact SELECT/UPDATE/DELETE text about to execute.
-
-        No-op here; :class:`RecordingSqliteBackend` captures it, so the
-        recorded SQL is the statement actually sent, rendered once.
-        (``replace_rows``' internal delete+inserts are a compound write and
-        are not reported as single statements.)
-        """
 
     def clear(self) -> None:
         with self._writing() as connection:
@@ -496,22 +532,3 @@ class SqliteBackend(Backend):
             for column in self.schema(table).columns:
                 names.append(f"{table}.{column.name}")
         return names
-
-
-class RecordingSqliteBackend(SqliteBackend):
-    """A :class:`SqliteBackend` that records every single-statement SQL it runs.
-
-    Observability helper shared by tests and benchmarks to assert exactly
-    which statements a query or write plan issues (e.g. that a bounded fetch
-    -- or a set-oriented ``execute_update``/``execute_delete`` -- is one
-    subselect-bearing statement).  ``statements`` holds the rendered
-    SELECT/UPDATE/DELETE text in execution order; clear it between measured
-    sections.  Compound writes (``replace_rows``, inserts) are not recorded.
-    """
-
-    def __init__(self, path: str = ":memory:", timeout: float = 30.0) -> None:
-        super().__init__(path, timeout=timeout)
-        self.statements: List[str] = []
-
-    def _statement_rendered(self, statement: str) -> None:
-        self.statements.append(statement)

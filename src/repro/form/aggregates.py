@@ -206,6 +206,10 @@ def merge_counts(groups: Iterable[AggregateGroup]) -> Any:
     >>> merge_counts([((("k", True),), 1)])
     <k ? 1 : 0>
     """
+    from repro import obs
+
+    groups = list(groups)
+    obs.add("worlds.merged", len(groups))
     return merge_groups(groups, lambda a, b: a + b, 0)
 
 
@@ -219,6 +223,10 @@ def merge_stats(groups: Iterable[AggregateGroup]) -> Any:
     >>> facet_map(lambda stats: stats.finalise("SUM"), merged)
     <k ? 10 : 4>
     """
+    from repro import obs
+
+    groups = list(groups)
+    obs.add("worlds.merged", len(groups))
     return merge_groups(groups, ColumnStats.combine, ColumnStats())
 
 

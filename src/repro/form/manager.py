@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
+from repro import obs
 from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
 from repro.core.facets import Facet, collect_labels, facet_map
@@ -46,6 +47,7 @@ from repro.form.aggregates import (
 )
 from repro.form.context import FORM, current_form, current_viewer
 from repro.form.fields import ForeignKey
+from repro.form.policies import evaluate_policy
 from repro.form.marshal import (
     JvarBranch,
     build_faceted_collection,
@@ -121,14 +123,16 @@ class QuerySet:
         faceted collection otherwise.
         """
         form = current_form()
-        entries = self._fetch_entries(form)
-        self._register_policies(form, entries)
-        viewer = current_viewer()
-        if viewer is not None:
-            return self._pruned(form, entries, viewer)
-        return build_faceted_collection(
-            [(branches, instance) for _jid, branches, instance in entries]
-        )
+        with obs.span("form.fetch", model=self.model._meta.table_name):
+            entries = self._fetch_entries(form)
+            self._register_policies(form, entries)
+            viewer = current_viewer()
+            if viewer is not None:
+                return self._pruned(form, entries, viewer)
+            obs.add("worlds.merged", len(entries))
+            return build_faceted_collection(
+                [(branches, instance) for _jid, branches, instance in entries]
+            )
 
     def __iter__(self) -> Iterator[Any]:
         result = self.fetch()
@@ -322,12 +326,16 @@ class QuerySet:
         column_values = writes.fast_path_values(meta, resolved)
         pc = form.runtime.current_pc()
         if column_values is not None and not pc:
+            obs.add("writes.fast_path")
+            obs.add("plan.update_pushdown")
             query, _joined = self._ordered_query(meta)
             plan = plan_update(query, column_values, key_column="jid")
-            with form._save_lock:
+            with form._save_lock, obs.span("form.update.fast", model=meta.table_name):
                 return form.database.execute_update(plan)
-        # Batched facet rewrite: one jid projection, one fetch, one replace.
-        with form._save_lock:
+        # Batched facet rewrite: one jid projection, one chunked fetch, one
+        # (chunked) replace.
+        obs.add("writes.fallback")
+        with form._save_lock, obs.span("form.update.rewrite", model=meta.table_name):
             jids = self._matching_jids(form)
             if not jids:
                 return 0
@@ -335,9 +343,7 @@ class QuerySet:
             replacement = writes.bulk_update_rows(
                 self.model, form, jids, existing, resolved
             )
-            form.database.replace_rows(
-                meta.table_name, InList(col("jid"), tuple(jids)), replacement
-            )
+            _replace_rows_chunked(form, meta.table_name, jids, replacement)
             return len(existing)
 
     def delete(self) -> int:
@@ -362,11 +368,14 @@ class QuerySet:
         meta = self.model._meta
         pc = form.runtime.current_pc()
         if not pc:
+            obs.add("writes.fast_path")
+            obs.add("plan.delete_pushdown")
             query, _joined = self._ordered_query(meta)
             plan = plan_delete(query, key_column="jid")
-            with form._save_lock:
+            with form._save_lock, obs.span("form.delete.fast", model=meta.table_name):
                 return form.database.execute_delete(plan)
-        with form._save_lock:
+        obs.add("writes.fallback")
+        with form._save_lock, obs.span("form.delete.guarded", model=meta.table_name):
             jids = self._matching_jids(form)
             if not jids:
                 return 0
@@ -377,10 +386,94 @@ class QuerySet:
             for jid in jids:
                 rows = rows_by_jid.get(jid, [])
                 survivors.extend(writes.guarded_survivors(jid, rows, pc_branches))
-            form.database.replace_rows(
-                meta.table_name, InList(col("jid"), tuple(jids)), survivors
-            )
+            _replace_rows_chunked(form, meta.table_name, jids, survivors)
             return len(existing)
+
+    def explain(self, operation: str = "fetch", **values: Any) -> Dict[str, Any]:
+        """The plan and SQL this query set would run, without executing it.
+
+        ``operation`` selects which entry point to explain:
+
+        * ``"fetch"`` -- the row-fetching statement behind :meth:`fetch`
+          (``mode`` reports ``"pruned"`` inside a viewer context,
+          ``"faceted"`` outside);
+        * ``"count"`` / ``"aggregate"`` -- the grouped jvars-partition
+          statement (pass ``field`` and ``function`` keywords for
+          ``aggregate``); when the pushdown does not apply the report names
+          the fetching fallback instead;
+        * ``"update"`` -- pass the assignment as keywords, exactly as
+          :meth:`update` takes them; ``path`` reports ``"fast"`` (one
+          pushed-down statement, whose SQL is returned) or ``"fallback"``
+          (the batched facet rewrite, whose jid-projection SQL is returned);
+        * ``"delete"`` -- like update, keyed on the current path condition.
+
+        For every pushdown path the returned ``sql`` string is exactly the
+        statement a statement observer (:class:`repro.db.StatementLog`)
+        captures when the operation runs.
+        """
+        form = current_form()
+        meta = self.model._meta
+        if operation == "fetch":
+            query, _joined = self._build_query(meta)
+            report = query.explain()
+            report["operation"] = "fetch"
+            report["mode"] = "pruned" if current_viewer() is not None else "faceted"
+            return report
+        if operation in ("count", "aggregate"):
+            if operation == "count":
+                functions: Tuple[str, ...] = ("COUNT",)
+                column = None
+            else:
+                function = str(values.get("function", "COUNT")).upper()
+                field_name = values.get("field")
+                functions = _STATS_SPECS.get(function, (function,))
+                column = (
+                    self._aggregate_column(meta, field_name, function)
+                    if field_name is not None
+                    else None
+                )
+            bounded = self.limit is not None or self.offset
+            pruned_policied = current_viewer() is not None and bool(meta.policy_groups)
+            if bounded or pruned_policied:
+                report = self.explain("fetch")
+                report["operation"] = operation
+                report["plan"] = "fetch-fallback"
+                report["reason"] = (
+                    "bounded query set" if bounded
+                    else "pruned query on a policied model"
+                )
+                return report
+            agg_query, _group_columns, _specs = self._aggregate_plan(functions, column)
+            report = agg_query.explain()
+            report["operation"] = operation
+            return report
+        if operation == "update":
+            resolved = writes.resolve_update_fields(meta, values)
+            column_values = writes.fast_path_values(meta, resolved)
+            pc = form.runtime.current_pc()
+            query, _joined = self._ordered_query(meta)
+            if column_values is not None and not pc:
+                report = plan_update(query, column_values, key_column="jid").explain()
+                report["path"] = "fast"
+            else:
+                report = plan_keys(query, "jid").explain()
+                report["plan"] = "batched-facet-rewrite"
+                report["path"] = "fallback"
+            report["operation"] = "update"
+            return report
+        if operation == "delete":
+            pc = form.runtime.current_pc()
+            query, _joined = self._ordered_query(meta)
+            if not pc:
+                report = plan_delete(query, key_column="jid").explain()
+                report["path"] = "fast"
+            else:
+                report = plan_keys(query, "jid").explain()
+                report["plan"] = "batched-facet-rewrite"
+                report["path"] = "fallback"
+            report["operation"] = "delete"
+            return report
+        raise ValueError(f"unknown explain operation {operation!r}")
 
     # -- internals -----------------------------------------------------------------------
 
@@ -395,6 +488,7 @@ class QuerySet:
         meta = self.model._meta
         query, _joined = self._ordered_query(meta)
         subquery = plan_keys(query, "jid")
+        obs.add("plan.keys")
         from repro.db.expr import subquery_values
 
         return [int(value) for value in
@@ -402,10 +496,19 @@ class QuerySet:
 
     @staticmethod
     def _rows_for_jids(form: FORM, meta, jids: List[int]) -> List[Dict[str, Any]]:
-        """All facet rows of the given records, in one ``jid IN (...)`` fetch."""
-        return form.database.execute(
-            Query(table=meta.table_name).filter(InList(col("jid"), tuple(jids)))
-        )
+        """All facet rows of the given records, via ``jid IN (...)`` fetches.
+
+        Chunked at :data:`repro.form.writes.MAX_BOUND_VARIABLES` jids per
+        statement so a match set larger than SQLite's bound-variable limit
+        (SQLITE_MAX_VARIABLE_NUMBER, 32766 by default) still compiles; the
+        common case stays a single fetch.
+        """
+        rows: List[Dict[str, Any]] = []
+        for chunk in writes.chunked(jids):
+            rows.extend(form.database.execute(
+                Query(table=meta.table_name).filter(InList(col("jid"), tuple(chunk)))
+            ))
+        return rows
 
     def _fetch_entries(self, form: FORM) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
         """Run the relational query and unmarshal rows into
@@ -447,10 +550,12 @@ class QuerySet:
                 # to a table referenced only inside the subquery still
                 # invalidates the entry.
                 cache.put(key, list(query.tables_read()), raw_entries)
-        return [
+        entries = [
             (jid, branches, _instance_from_row(self.model, values))
             for jid, branches, values in self._limit_entries(raw_entries)
         ]
+        obs.add("facet.rows.unmarshalled", len(entries))
+        return entries
 
     def _limit_entries(
         self, entries: List[Tuple[int, Tuple[JvarBranch, ...], Any]]
@@ -511,9 +616,31 @@ class QuerySet:
         # set and truncating (the ROADMAP LIMIT-pushdown item).
         if query.limit is not None or query.offset:
             query = plan_bounded(query, "jid", query.limit, query.offset)
+            obs.add("plan.bounded")
         return query, joined
 
     # -- aggregate pushdown -------------------------------------------------------------
+
+    def _aggregate_plan(
+        self, functions: Tuple[str, ...], column: Optional[str] = None
+    ) -> Tuple[Query, List[str], Tuple[Aggregate, ...]]:
+        """Compile this query set's grouped jvars-partition statement.
+
+        The plan-construction half of :meth:`_aggregate_groups`, shared with
+        :meth:`explain` so the reported SQL is the executed SQL by
+        construction.  Returns ``(query, group_columns, specs)``.
+        """
+        meta = self.model._meta
+        query, joined = self._filtered_query(meta)
+        if column is not None and joined and "." not in column:
+            column = f"{meta.table_name}.{column}"
+        specs = tuple(
+            Aggregate(function) if column is None else Aggregate(function, column)
+            for function in functions
+        )
+        group_columns = [f"{meta.table_name}.jvars" if joined else "jvars"]
+        group_columns.extend(f"{table}.jvars" for table in joined)
+        return plan_aggregate(query, group_columns, specs), group_columns, specs
 
     def _aggregate_groups(self, functions: Tuple[str, ...], column: Optional[str] = None):
         """Fetch the jvars-partitioned aggregates behind count()/aggregate().
@@ -541,16 +668,8 @@ class QuerySet:
         if current_viewer() is not None and meta.policy_groups:
             return None
         form = current_form()
-        query, joined = self._filtered_query(meta)
-        if column is not None and joined and "." not in column:
-            column = f"{meta.table_name}.{column}"
-        specs = tuple(
-            Aggregate(function) if column is None else Aggregate(function, column)
-            for function in functions
-        )
-        group_columns = [f"{meta.table_name}.jvars" if joined else "jvars"]
-        group_columns.extend(f"{table}.jvars" for table in joined)
-        agg_query = plan_aggregate(query, group_columns, specs)
+        agg_query, group_columns, specs = self._aggregate_plan(functions, column)
+        obs.add("plan.aggregate_pushdown")
         cache = form.caches.queries if form.caches.query_cache_enabled else None
         key = None
         groups = None
@@ -628,6 +747,7 @@ class QuerySet:
                     generation = label_cache.generation
                     epoch = policy_epoch()
                 cached = resolve_label(label_name)
+                obs.add("labels.resolved")
                 if (
                     label_cache is not None
                     and viewer_key is not None
@@ -828,7 +948,7 @@ class QuerySet:
             return True
         resolving.add(key)
         try:
-            outcome = hint_group.method(hint_instance, viewer)
+            outcome = evaluate_policy(hint_group.method, hint_instance, viewer)
             if isinstance(outcome, Facet):
                 outcome = form.runtime.concretize(outcome, viewer)
             return bool(outcome)
@@ -976,9 +1096,7 @@ class Manager:
             for jid, instance in by_jid.items():
                 form.note_jid(table, jid)
                 rows.extend(writes.expanded_rows(instance, form))
-            form.database.replace_rows(
-                table, InList(col("jid"), tuple(by_jid)), rows
-            )
+            _replace_rows_chunked(form, table, list(by_jid), rows)
         return pending
 
     def bulk_save(self, instances: Sequence[Any]) -> List[Any]:
@@ -1034,6 +1152,30 @@ class Manager:
 
     def aggregate(self, field_name: str, function: str) -> Any:
         return QuerySet(self.model).aggregate(field_name, function)
+
+
+def _replace_rows_chunked(
+    form: FORM, table: str, jids: Sequence[int], rows: List[Dict[str, Any]]
+) -> None:
+    """Atomically swap the facet rows of the given records, chunking the
+    ``jid IN (...)`` predicate at :data:`repro.form.writes.MAX_BOUND_VARIABLES`.
+
+    The common case (fewer jids than SQLite's bound-variable limit) stays a
+    single ``replace_rows`` batch.  Past the limit the swap proceeds one jid
+    chunk at a time -- each chunk replacing exactly its own records' rows --
+    which is safe because every caller holds ``form._save_lock`` for the
+    whole loop, so no concurrent write can interleave between chunks.
+    """
+    jids = list(jids)
+    if len(jids) <= writes.MAX_BOUND_VARIABLES:
+        form.database.replace_rows(table, InList(col("jid"), tuple(jids)), rows)
+        return
+    by_jid = writes.group_rows_by_jid(rows)
+    for chunk in writes.chunked(jids):
+        chunk_rows = [row for jid in chunk for row in by_jid.get(jid, [])]
+        form.database.replace_rows(
+            table, InList(col("jid"), tuple(chunk)), chunk_rows
+        )
 
 
 def _resolving_labels(form: FORM) -> set:
@@ -1100,7 +1242,7 @@ def _policy_closure(model: Type, jid: int, group, form: FORM):
         row = _secret_instance(model, jid, form)
         if row is None:
             return False
-        return group.method(row, viewer)
+        return evaluate_policy(group.method, row, viewer)
 
     return policy
 
@@ -1148,11 +1290,12 @@ def _resolve_label_inner(form: FORM, label_name: str, viewer: Any) -> bool:
                 row = _secret_instance(model, int(jid_text), form)
                 if row is None:
                     return False
-                outcome = group.method(row, viewer)
+                outcome = evaluate_policy(group.method, row, viewer)
                 if isinstance(outcome, Facet):
                     outcome = form.runtime.concretize(outcome, viewer)
                 return bool(outcome)
     label = Label(hint=label_name, name=label_name)
+    obs.add("policy.evaluations")
     outcome = form.runtime.policy_env.evaluate(label, viewer)
     if isinstance(outcome, Facet):
         outcome = form.runtime.concretize(outcome, viewer)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro import obs
 from repro.core.facets import Facet
 from repro.db.expr import eq
 from repro.db.schema import Column, ColumnType, TableSchema
@@ -338,6 +339,7 @@ class JModel(metaclass=ModelMeta):
             group_labels.append((label_name_for(meta.table_name, self.jid, group.key), group))
 
         if not group_labels:
+            obs.add("facet.rows.expanded", len(base_rows))
             return base_rows
 
         expanded: List[Tuple[Tuple[JvarBranch, ...], Dict[str, Any]]] = []
@@ -356,7 +358,9 @@ class JModel(metaclass=ModelMeta):
                                 field.to_db(public) if not isinstance(public, Facet) else public
                             )
                 expanded.append((tuple(row_branches), row_values))
-        return _merge_rows(expanded)
+        result = _merge_rows(expanded)
+        obs.add("facet.rows.expanded", len(result))
+        return result
 
     def _db_row(
         self, values: Dict[str, Any], branches: Sequence[JvarBranch]

@@ -53,6 +53,20 @@ def policy_fields(fn: Callable) -> Tuple[str, ...]:
     return tuple(getattr(target, POLICY_ATTRIBUTE, ()))
 
 
+def evaluate_policy(method: Callable, row: Any, viewer: Any) -> Any:
+    """Invoke one policy method, counting it as a policy evaluation.
+
+    The single choke point every FORM policy invocation goes through
+    (Early Pruning hints, lazy policy closures, direct label resolution),
+    so the ``policy.evaluations`` observability counter measures exactly
+    the paper's per-record policy-check cost.
+    """
+    from repro import obs
+
+    obs.add("policy.evaluations")
+    return method(row, viewer)
+
+
 def public_method_field(name: str) -> str:
     """The field a ``jacqueline_get_public_<field>`` method computes, or ``""``."""
     if name.startswith(PUBLIC_METHOD_PREFIX):

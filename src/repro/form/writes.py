@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.facets import UNASSIGNED, Facet, facet_map
 from repro.form.marshal import (
     JvarBranch,
@@ -44,6 +45,29 @@ from repro.form.marshal import (
 
 #: Column names that belong to the FORM, not the application row.
 METADATA_COLUMNS = ("id", "jid", "jvars")
+
+#: The most bound variables one statement may carry.  SQLite's default
+#: SQLITE_MAX_VARIABLE_NUMBER is 32766; the batched rewrite paths chunk
+#: their ``jid IN (?, ...)`` lists below it so a rewrite touching more
+#: records than that cannot fail with "too many SQL variables".
+MAX_BOUND_VARIABLES = 30_000
+
+
+def chunked(items: Sequence[Any], size: Optional[int] = None) -> List[Sequence[Any]]:
+    """Split a sequence into chunks of at most ``size`` items.
+
+    ``size`` defaults to :data:`MAX_BOUND_VARIABLES`, read at call time so
+    tests can lower the module attribute and exercise the chunked paths
+    without materialising 32k records.
+
+    >>> chunked([1, 2, 3, 4, 5], size=2)
+    [[1, 2], [3, 4], [5]]
+    """
+    if size is None:
+        size = MAX_BOUND_VARIABLES
+    if len(items) <= size:
+        return [items]
+    return [items[start:start + size] for start in range(0, len(items), size)]
 
 
 # -- update() argument resolution -------------------------------------------------------
@@ -248,6 +272,7 @@ def guarded_replacement(
     behind ``JModel.save`` under a non-empty pc, shared verbatim with the
     batched ``QuerySet.update`` fallback.
     """
+    obs.add("pc.guard.rewrites")
     replacement: List[Dict[str, Any]] = []
     seen = set()
     for branches, values in new_rows:

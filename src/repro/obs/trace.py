@@ -1,0 +1,278 @@
+"""Span-tree tracing: per-request scoping with a near-zero disabled path.
+
+A :class:`Trace` is one tree of :class:`Span` nodes (monotonic timings from
+``time.perf_counter``) plus a flat counter map accumulated by
+:func:`repro.obs.metrics.add`.  The active trace and span live in a
+thread-local stack, so concurrent request threads never observe each
+other's spans -- the same isolation contract as the FORM's viewer and form
+stacks.
+
+Tracing is off by default.  While disabled, :func:`span` and :func:`event`
+return one shared stateless no-op object and :func:`trace` yields ``None``,
+so the instrumentation threaded through the query and write paths costs a
+single flag check per call site:
+
+>>> disable()
+>>> span("form.fetch") is span("anything.else")   # shared no-op singleton
+True
+>>> with tracing():
+...     with trace("GET /papers") as tr:
+...         with span("form.fetch"):
+...             event("plan.bounded", limit=2)
+>>> [child.name for child in tr.root.children]
+['form.fetch']
+>>> [leaf.name for leaf in tr.root.children[0].children]
+['plan.bounded']
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+import uuid
+from typing import Any, Dict, Iterator, List, Optional
+
+_enabled = False
+_local = threading.local()
+
+
+def enable() -> None:
+    """Turn tracing on process-wide (spans/counters start recording)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off process-wide (instrumentation becomes no-ops)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether tracing is currently on."""
+    return _enabled
+
+
+def active() -> bool:
+    """Whether tracing is on *and* this thread has a trace in flight.
+
+    The one check hot paths (the backends' statement hook) perform before
+    paying for any event construction.
+    """
+    return _enabled and getattr(_local, "trace", None) is not None
+
+
+@contextlib.contextmanager
+def tracing(on: bool = True) -> Iterator[None]:
+    """Scoped enable/disable (tests and benchmarks; restores the old state)."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+class Span:
+    """One timed node of a trace tree."""
+
+    __slots__ = ("name", "attributes", "started", "duration", "children", "counters")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = attributes or {}
+        self.started = time.perf_counter()
+        self.duration: Optional[float] = None
+        self.children: List["Span"] = []
+        self.counters: Dict[str, float] = {}
+
+    def finish(self) -> None:
+        if self.duration is None:
+            self.duration = time.perf_counter() - self.started
+
+    def annotate(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def bump(self, name: str, value: float) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name, "duration": self.duration}
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def tree_lines(self, indent: int = 0) -> List[str]:
+        """A human-readable per-phase breakdown (``--trace`` benchmark mode)."""
+        duration = f"{self.duration * 1e3:8.3f} ms" if self.duration is not None else "   (open)"
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(self.counters.items())
+        )
+        line = f"{'  ' * indent}{duration}  {self.name}"
+        if extras:
+            line = f"{line}  [{extras}]"
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1))
+        return lines
+
+
+class Trace:
+    """One request-scoped span tree plus its accumulated counters."""
+
+    __slots__ = ("trace_id", "root", "counters")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.trace_id = uuid.uuid4().hex[:16]
+        self.root = Span(name, attributes)
+        self.counters: Dict[str, float] = {}
+
+    @property
+    def name(self) -> str:
+        return self.root.name
+
+    @property
+    def duration(self) -> Optional[float]:
+        return self.root.duration
+
+    def annotate(self, **attributes: Any) -> "Trace":
+        self.root.annotate(**attributes)
+        return self
+
+    def bump(self, name: str, value: float) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.root.name,
+            "duration": self.root.duration,
+            "counters": dict(self.counters),
+            "spans": self.root.to_dict(),
+        }
+
+    def tree_lines(self) -> List[str]:
+        return self.root.tree_lines()
+
+
+class _Noop:
+    """The shared do-nothing span/trace context (stateless, re-entrant)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_Noop":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def annotate(self, **attributes: Any) -> "_Noop":
+        return self
+
+    def bump(self, name: str, value: float) -> None:
+        pass
+
+
+NOOP = _Noop()
+
+
+class _SpanContext:
+    """Context manager pushing one span onto the thread's span stack."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        _span_stack().append(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self._span.finish()
+        stack = _span_stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        return False
+
+
+def _span_stack() -> List[Span]:
+    stack = getattr(_local, "spans", None)
+    if stack is None:
+        stack = []
+        _local.spans = stack
+    return stack
+
+
+def current_trace() -> Optional[Trace]:
+    """This thread's in-flight trace, or ``None``."""
+    return getattr(_local, "trace", None)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this thread's trace, or its root."""
+    trace = current_trace()
+    if trace is None:
+        return None
+    stack = _span_stack()
+    return stack[-1] if stack else trace.root
+
+
+@contextlib.contextmanager
+def trace(name: str, **attributes: Any) -> Iterator[Optional[Trace]]:
+    """Run the enclosed block as one trace (yields ``None`` when disabled).
+
+    The finished trace is stored in the process-wide registry, retrievable
+    by id (the ``/debug/trace/<id>`` endpoint).  Nested calls stack: the
+    inner trace temporarily replaces the outer one for this thread.
+    """
+    if not _enabled:
+        yield None
+        return
+    started = Trace(name, attributes or None)
+    previous = getattr(_local, "trace", None)
+    previous_spans = getattr(_local, "spans", None)
+    _local.trace = started
+    _local.spans = []
+    try:
+        yield started
+    finally:
+        started.root.finish()
+        _local.trace = previous
+        _local.spans = previous_spans if previous_spans is not None else []
+        from repro.obs.registry import get_registry  # late: registry is tiny
+
+        get_registry().store_trace(started)
+
+
+def span(name: str, **attributes: Any) -> Any:
+    """A timed child span of the current trace (no-op when disabled)."""
+    if not _enabled:
+        return NOOP
+    trace_ = getattr(_local, "trace", None)
+    if trace_ is None:
+        return NOOP
+    node = Span(name, attributes or None)
+    parent = current_span()
+    if parent is not None:
+        parent.children.append(node)
+    return _SpanContext(node)
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Record an instantaneous event as a zero-duration child span."""
+    if not _enabled:
+        return
+    parent = current_span()
+    if parent is None:
+        return
+    node = Span(name, attributes or None)
+    node.duration = 0.0
+    parent.children.append(node)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.cache.epoch import policy_epoch
 from repro.cache.fragment import FragmentCache
 from repro.cache.label_cache import viewer_cache_key
@@ -65,7 +66,23 @@ class Application:
     # -- request handling -----------------------------------------------------------
 
     def handle(self, request: Request) -> Response:
-        """Dispatch one request to its view and normalise the result."""
+        """Dispatch one request to its view and normalise the result.
+
+        Each request runs as one observability trace (when tracing is
+        enabled): the span tree covers view execution, concretisation and
+        template rendering, every backend statement appears as a ``db.sql``
+        leaf, and the response carries an ``X-Trace-Id`` header pointing at
+        the stored trace (``/debug/trace/<id>``).
+        """
+        with obs.trace(f"{request.method} {request.path}", app=self.name) as trace_:
+            obs.add("web.requests")
+            response = self._handle(request)
+            if trace_ is not None:
+                trace_.annotate(status=response.status)
+                response.headers.setdefault("X-Trace-Id", trace_.trace_id)
+            return response
+
+    def _handle(self, request: Request) -> Response:
         request.session = self.sessions.get_or_create(request.session_id)
         request.session_id = request.session.session_id
         request.user = self.auth.user_for(request.session)
@@ -78,7 +95,8 @@ class Application:
         response: Optional[Response] = None
         try:
             with self._request_context(request):
-                result = route.view(request)
+                with obs.span("web.view", route=route.name):
+                    result = route.view(request)
                 response = self._to_response(request, route, result)
         except HttpError as error:
             response = Response(body=error.message, status=error.status)
@@ -126,11 +144,13 @@ class Application:
             return Response(body=str(result))
         context = dict(context)
         context.setdefault("user", request.user)
-        context = self._prepare_context(request, context)
+        with obs.span("web.concretize"):
+            context = self._prepare_context(request, context)
         source = self.templates.get(template_name, template_name)
         if not source:
             raise HttpError(500, f"view {route.name!r} returned no template")
-        body = render_template(source, context)
+        with obs.span("web.render", template=template_name):
+            body = render_template(source, context)
         return Response(body=body, context=context)
 
 

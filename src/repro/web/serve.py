@@ -140,6 +140,8 @@ def _demo_parts(name: str):
 
 
 def _build_demo(name: str, database: Optional[Database], seed_size: int) -> Application:
+    from repro.web.obs import add_observability_routes
+
     setup, seed, build = _demo_parts(name)
     form = setup(database)
     # Seed only a fresh database: a reopened SQLite file keeps its data
@@ -147,7 +149,7 @@ def _build_demo(name: str, database: Optional[Database], seed_size: int) -> Appl
     if _is_empty(form):
         seed(form, seed_size)
     set_default_form(form)
-    return build(form)
+    return add_observability_routes(build(form))
 
 
 def demo_app(
@@ -172,7 +174,14 @@ def main(argv: Optional[list] = None) -> None:
                         help="back the FORM with a WAL-mode SQLite file")
     parser.add_argument("--seed", type=int, default=16, metavar="N",
                         help="number of seeded records (papers/patients/courses)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable repro.obs tracing (per-request span trees "
+                             "on /debug/trace/<id>, counters on /metrics)")
     args = parser.parse_args(argv)
+    if args.trace:
+        from repro import obs
+
+        obs.enable()
     serve(demo_app(args.app, args.sqlite, args.seed), args.host, args.port)
 
 

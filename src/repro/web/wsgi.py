@@ -107,6 +107,9 @@ class WsgiAdapter:
     def __call__(
         self, environ: Dict[str, Any], start_response: StartResponse
     ) -> Iterable[bytes]:
+        from repro import obs  # late: keep the adapter importable standalone
+
+        obs.add("web.wsgi.requests")
         request = self.build_request(environ)
         response = self.app.handle(request)
         return self._respond(request, response, start_response)

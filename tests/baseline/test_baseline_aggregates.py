@@ -10,7 +10,7 @@ import pytest
 
 from repro.baseline.fields import ForeignKey
 from repro.baseline.model import BaselineDB, Model, use_baseline_db
-from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.db import Database, MemoryBackend, SqliteBackend, StatementLog
 from repro.form.fields import CharField, IntegerField
 
 
@@ -95,19 +95,20 @@ def test_sum_avg_require_numeric_field(baseline_db):
 
 
 def test_single_statement_shapes():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     database = Database(backend)
     db = BaselineDB(database)
     db.register_all([BAuthor, BBook])
     with use_baseline_db(db):
         _seed()
-        backend.statements.clear()
+        log.clear()
         queryset = BBook.objects.filter(author__name="ada")
         assert queryset.count() == 3
         assert queryset.exists() is True
         assert queryset.sum("pages") == 400
-    assert len(backend.statements) == 3
-    count_sql, exists_sql, sum_sql = backend.statements
+    assert len(log.statements) == 3
+    count_sql, exists_sql, sum_sql = log.statements
     assert 'COUNT(DISTINCT "BBook"."id")' in count_sql
     assert exists_sql.startswith("SELECT EXISTS(SELECT 1 FROM ")
     assert 'SUM("BBook"."pages")' in sum_sql

@@ -9,7 +9,7 @@ import pytest
 
 from repro.baseline.fields import ForeignKey
 from repro.baseline.model import BaselineDB, DoesNotExist, Model, use_baseline_db
-from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.db import Database, MemoryBackend, SqliteBackend, StatementLog
 from repro.form.fields import CharField, IntegerField
 
 
@@ -27,7 +27,6 @@ def _make_db(kind):
     backend = {
         "memory": MemoryBackend,
         "sqlite": SqliteBackend,
-        "recording": RecordingSqliteBackend,
     }[kind]()
     db = BaselineDB(Database(backend))
     db.register_all([Team, Player])
@@ -101,14 +100,15 @@ def test_model_delete_clears_pk(baseline_db):
 
 
 def test_writes_are_single_statements_on_sqlite():
-    db, backend = _make_db("recording")
+    db, backend = _make_db("sqlite")
+    log = StatementLog(backend)
     with use_baseline_db(db):
         _seed()
-        backend.statements.clear()
+        log.clear()
         Player.objects.filter(team__name="red").update(goals=5)
         Player.objects.filter(goals=5).delete()
-        assert len(backend.statements) == 2
-        update_sql, delete_sql = backend.statements
+        assert len(log.statements) == 2
+        update_sql, delete_sql = log.statements
         assert update_sql.startswith('UPDATE "Player" SET "goals" = ?')
         assert 'id IN (SELECT DISTINCT "Player"."id" FROM "Player" JOIN "Team"' in update_sql
         assert delete_sql == 'DELETE FROM "Player" WHERE goals = ?'

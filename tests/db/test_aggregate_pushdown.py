@@ -15,8 +15,8 @@ from repro.db import (
     Aggregate,
     Database,
     MemoryBackend,
-    RecordingSqliteBackend,
     SqliteBackend,
+    StatementLog,
 )
 from repro.db.expr import InList, col, eq, exists_subquery, in_subquery
 from repro.db.query import (
@@ -320,13 +320,14 @@ def test_grouped_dict_aggregate_still_works(database):
 
 
 def test_exists_is_single_statement_on_sqlite():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     database = Database(backend)
     _seed_scores(database)
-    backend.statements.clear()
+    log.clear()
     assert database.exists("Score", eq("points", 7)) is True
     assert database.count_distinct("Score", "jid") == 3
-    assert backend.statements == [
+    assert log.statements == [
         'SELECT EXISTS(SELECT 1 FROM "Score" WHERE points = ?)',
         'SELECT COUNT(DISTINCT "jid") FROM "Score"',
     ]

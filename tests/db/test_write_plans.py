@@ -8,7 +8,7 @@ memory engine must mutate exactly the rows SQLite's one statement touches.
 
 import pytest
 
-from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.db import Database, MemoryBackend, SqliteBackend, StatementLog
 from repro.db.expr import eq
 from repro.db.query import DeletePlan, Query, UpdatePlan, plan_delete, plan_keys, plan_update
 from repro.db.schema import ColumnType
@@ -149,18 +149,19 @@ def test_backend_parity_on_update():
 
 
 def test_sqlite_write_plans_execute_one_statement():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     db = Database(backend)
     _seed(db)
-    backend.statements.clear()
+    log.clear()
     db.execute_update(
         plan_update(db.query("Doc").filter(eq("owner", "ada")), {"owner": "eve"}, "jid")
     )
     db.execute_delete(
         plan_delete(db.query("Doc").filter(eq("owner", "bob")), "jid")
     )
-    assert len(backend.statements) == 2
-    update_sql, delete_sql = backend.statements
+    assert len(log.statements) == 2
+    update_sql, delete_sql = log.statements
     assert update_sql.startswith('UPDATE "Doc" SET') and "jid IN (SELECT" in update_sql
     assert delete_sql.startswith('DELETE FROM "Doc"') and "jid IN (SELECT" in delete_sql
     db.close()

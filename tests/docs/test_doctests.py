@@ -20,10 +20,13 @@ DOCTESTED_MODULES = [
     "repro.db.backend",
     "repro.db.engine",
     "repro.db.expr",
+    "repro.db.observe",
     "repro.db.query",
     "repro.db.sqlgen",
     "repro.form.aggregates",
     "repro.form.writes",
+    "repro.obs.metrics",
+    "repro.obs.trace",
 ]
 
 

@@ -11,7 +11,7 @@ import pytest
 from repro.cache import CacheConfig
 from repro.core.facets import Facet, collect_labels, facet_map, project_assignment
 from repro.core.labels import Label
-from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.db import Database, MemoryBackend, SqliteBackend, StatementLog
 from repro.form import (
     CharField,
     FORM,
@@ -272,37 +272,39 @@ def test_bounded_queryset_count_counts_records(agg_form):
 
 
 def test_count_and_exists_issue_one_grouped_statement():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     form = FORM(Database(backend), cache_config=CacheConfig.disabled())
     form.register_all(MODELS)
     with use_form(form):
         author = AggAuthor.objects.create(name="ada")
         for index in range(3):
             AggBook.objects.create(name=f"b{index}", pages=index, author=author)
-        backend.statements.clear()
+        log.clear()
         assert AggBook.objects.all().count() == 3
         with viewer_context(Viewer("ada")):
             assert AggBook.objects.all().count() == 3
             assert AggBook.objects.all().exists() is True
             assert AggBook.objects.all().sum("pages") == 3
     grouped = 'SELECT "jvars" AS "jvars"'
-    assert len(backend.statements) == 4
-    assert all(statement.startswith(grouped) for statement in backend.statements)
-    assert all('GROUP BY "jvars"' in statement for statement in backend.statements)
+    assert len(log.statements) == 4
+    assert all(statement.startswith(grouped) for statement in log.statements)
+    assert all('GROUP BY "jvars"' in statement for statement in log.statements)
     backend.close()
 
 
 def test_joined_count_groups_by_every_jvars_column():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     form = FORM(Database(backend), cache_config=CacheConfig.disabled())
     form.register_all(MODELS)
     with use_form(form):
         ada = AggAuthor.objects.create(name="ada")
         AggBook.objects.create(name="b0", pages=10, author=ada)
-        backend.statements.clear()
+        log.clear()
         assert AggBook.objects.filter(author__name="ada").count() == 1
-    assert len(backend.statements) == 1
-    statement = backend.statements[0]
+    assert len(log.statements) == 1
+    statement = log.statements[0]
     assert 'GROUP BY "AggBook"."jvars", "AggAuthor"."jvars"' in statement
     assert 'COUNT(*) AS "COUNT(*)"' in statement
     backend.close()
@@ -327,7 +329,8 @@ def test_cached_aggregate_plan_invalidated_by_writes(agg_form):
 
 
 def test_cached_aggregate_plan_is_served_from_cache():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     form = FORM(Database(backend))  # caches on
     form.register_all(MODELS)
     with use_form(form):
@@ -335,9 +338,9 @@ def test_cached_aggregate_plan_is_served_from_cache():
         AggBook.objects.create(name="b0", pages=10, author=author)
         queryset = AggBook.objects.all()
         assert queryset.count() == 1
-        backend.statements.clear()
+        log.clear()
         assert queryset.count() == 1
-        assert backend.statements == []  # warm: no SQL at all
+        assert log.statements == []  # warm: no SQL at all
     backend.close()
 
 

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.facets import Facet
 from repro.core.labels import Label
-from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.db import Database, MemoryBackend, SqliteBackend, StatementLog
 from repro.form import (
     FORM,
     CharField,
@@ -97,19 +97,19 @@ def test_update_matching_a_single_facet_row_updates_the_whole_record(paper_form)
 
 
 def test_fast_path_is_one_statement_on_sqlite():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
     form = FORM(Database(backend))
     form.register_all([Author, Paper])
-    with use_form(form):
+    with use_form(form), StatementLog(backend) as log:
         author, _papers = _seed()
-        backend.statements.clear()
+        log.clear()
         Paper.objects.filter(author=author).update(status="accepted")
-        assert len(backend.statements) == 1
-        assert backend.statements[0].startswith('UPDATE "Paper" SET "status" = ?')
-        assert 'jid IN (SELECT DISTINCT "jid" FROM "Paper"' in backend.statements[0]
-        backend.statements.clear()
+        assert len(log.statements) == 1
+        assert log.statements[0].startswith('UPDATE "Paper" SET "status" = ?')
+        assert 'jid IN (SELECT DISTINCT "jid" FROM "Paper"' in log.statements[0]
+        log.clear()
         Paper.objects.filter(status="accepted").delete()
-        assert backend.statements == [
+        assert log.statements == [
             'DELETE FROM "Paper" WHERE jid IN '
             '(SELECT DISTINCT "jid" FROM "Paper" WHERE status = ?)'
         ]
@@ -203,20 +203,22 @@ def test_policied_update_does_not_leak_to_other_viewers(paper_form):
 
 
 def test_policied_update_is_batched_not_per_record():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
     form = FORM(Database(backend))
     form.register_all([Author, Paper])
-    with use_form(form):
+    with use_form(form), StatementLog(backend) as log:
         author, _papers = _seed(5)
         events = []
         form.database.invalidation.subscribe(lambda table: events.append(table))
-        backend.statements.clear()
+        log.clear()
         Paper.objects.filter(author=author).update(title="X")
         # One projected jid query + one row fetch; the rewrite itself is a
-        # replace_rows batch (not recorded as single statements).
-        selects = [s for s in backend.statements if s.startswith("SELECT")]
+        # replace_rows batch (one REPLACE summary event, not per-row
+        # statements).
+        selects = [s for s in log.statements if s.startswith("SELECT")]
         assert len(selects) == 2
         assert selects[0].startswith('SELECT DISTINCT "jid"')
+        assert [e.kind for e in log.events if e.kind == "REPLACE"] == ["REPLACE"]
         assert events == ["Paper"]  # one invalidation event for the batch
 
 

@@ -8,7 +8,7 @@ truncate path returned, on both backends.
 
 import pytest
 
-from repro.db import Database, MemoryBackend, RecordingSqliteBackend, SqliteBackend
+from repro.db import Database, MemoryBackend, SqliteBackend, StatementLog
 from repro.form import (
     CharField,
     FORM,
@@ -88,15 +88,16 @@ def _seed_secrets(count=6, owner="alice"):
 
 
 def test_limited_issues_single_jid_subquery_statement():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     form = FORM(Database(backend))
     form.register_all(MODELS)
     with use_form(form):
         _seed_secrets(4)
-        backend.statements.clear()
+        log.clear()
         with viewer_context(Viewer("alice")):
             PushSecret.objects.all().order_by("title").limited(2).fetch()
-    selects = [s for s in backend.statements if s.startswith("SELECT * ")]
+    selects = [s for s in log.statements if s.startswith("SELECT * ")]
     assert len(selects) == 1
     # Ordered bounds use the deterministic grouped jid-subselect form.
     assert 'jid IN (SELECT "jid" FROM "PushSecret"' in selects[0]
@@ -108,30 +109,32 @@ def test_limited_issues_single_jid_subquery_statement():
 
 
 def test_unordered_limited_issues_distinct_jid_subquery():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     form = FORM(Database(backend))
     form.register_all(MODELS)
     with use_form(form):
         _seed_secrets(4)
-        backend.statements.clear()
+        log.clear()
         with viewer_context(Viewer("alice")):
             PushSecret.objects.all().limited(2).fetch()
-    selects = [s for s in backend.statements if s.startswith("SELECT * ")]
+    selects = [s for s in log.statements if s.startswith("SELECT * ")]
     assert len(selects) == 1
     assert 'jid IN (SELECT DISTINCT "jid" FROM "PushSecret" LIMIT 2)' in selects[0]
     backend.close()
 
 
 def test_first_issues_bounded_statement():
-    backend = RecordingSqliteBackend()
+    backend = SqliteBackend()
+    log = StatementLog(backend)
     form = FORM(Database(backend))
     form.register_all(MODELS)
     with use_form(form):
         _seed_secrets(4)
-        backend.statements.clear()
+        log.clear()
         with viewer_context(Viewer("alice")):
             PushSecret.objects.filter(owner="alice").first()
-    selects = [s for s in backend.statements if s.startswith("SELECT * ")]
+    selects = [s for s in log.statements if s.startswith("SELECT * ")]
     assert len(selects) == 1
     assert "LIMIT 1" in selects[0]
     backend.close()

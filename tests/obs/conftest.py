@@ -1,0 +1,21 @@
+"""Shared fixtures for the observability tests.
+
+Every test in this package runs against a clean slate: tracing disabled,
+counter totals zeroed and the trace ring emptied, restored again afterwards
+so obs state never bleeds into (or out of) other test packages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,59 @@
+"""Counter accuracy under concurrent traced requests.
+
+Each worker thread's trace must see exactly its own request's counters
+(thread-local span stacks), while the process-wide totals see the exact sum
+-- the invariant that makes per-request numbers and ``/metrics`` agree.
+"""
+
+import threading
+
+from repro import obs
+from repro.apps.conf import ConferencePhase, build_conf_app, seed_conference, setup_conf
+from repro.web import TestClient
+
+
+def test_concurrent_request_traces_do_not_bleed_and_totals_sum():
+    form = setup_conf()
+    created = seed_conference(form, papers=5, users=8, pc_members=3)
+    app = build_conf_app(form)
+    try:
+        workers = 6
+        barrier = threading.Barrier(workers)
+        traces = [None] * workers
+        errors = []
+
+        def drive(index):
+            try:
+                client = TestClient(app)
+                user = created["users"][index % len(created["users"])]
+                client.force_login(user.jid, user.name)
+                barrier.wait()
+                response = client.get("/papers")
+                assert response.ok
+                # Each request ran as its own trace (started by handle()).
+                traces[index] = obs.get_trace(response.headers["X-Trace-Id"])
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        with obs.tracing():
+            obs.reset()
+            threads = [
+                threading.Thread(target=drive, args=(i,)) for i in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            totals = obs.totals.snapshot()
+
+        assert not errors
+        for name in ("web.requests", "db.statements", "facet.rows.unmarshalled"):
+            per_trace = [trace.counters.get(name, 0) for trace in traces]
+            # Every request did real work and recorded it on its own trace...
+            assert all(value > 0 for value in per_trace), (name, per_trace)
+            # ...and the global totals are exactly the sum of the traces.
+            assert totals[name] == sum(per_trace), (name, per_trace, totals[name])
+        # One request each: a bled span stack would double-count this.
+        assert all(trace.counters["web.requests"] == 1 for trace in traces)
+    finally:
+        ConferencePhase.reset()

@@ -1,0 +1,153 @@
+"""The tracing core: span trees, counters, and the disabled fast path."""
+
+import threading
+
+from repro import obs
+
+
+# -- disabled: near-zero overhead ------------------------------------------------------
+
+
+def test_disabled_span_returns_the_shared_noop_singleton():
+    assert obs.span("form.fetch") is obs.NOOP
+    assert obs.span("anything", key="value") is obs.NOOP
+
+
+def test_disabled_trace_yields_none_and_stores_nothing():
+    with obs.trace("GET /papers") as trace_:
+        assert trace_ is None
+    assert obs.snapshot()["traces"] == []
+
+
+def test_disabled_add_changes_no_totals():
+    before = obs.totals.snapshot()
+    obs.add("policy.evaluations")
+    obs.add("db.rows", 100)
+    assert obs.totals.snapshot() == before
+
+
+def test_span_outside_a_trace_is_the_noop_even_when_enabled():
+    with obs.tracing():
+        assert obs.span("form.fetch") is obs.NOOP
+
+
+# -- enabled: the span tree -------------------------------------------------------------
+
+
+def test_trace_builds_a_nested_span_tree_with_durations():
+    with obs.tracing():
+        with obs.trace("GET /papers", app="conf") as trace_:
+            with obs.span("web.view", route="all_papers"):
+                with obs.span("form.fetch"):
+                    obs.event("plan.bounded", limit=2)
+            with obs.span("web.render"):
+                pass
+    assert trace_.name == "GET /papers"
+    assert trace_.duration is not None and trace_.duration >= 0
+    view, render = trace_.root.children
+    assert (view.name, render.name) == ("web.view", "web.render")
+    assert view.attributes == {"route": "all_papers"}
+    (fetch,) = view.children
+    assert fetch.duration is not None
+    assert [leaf.name for leaf in fetch.children] == ["plan.bounded"]
+    assert fetch.children[0].duration == 0.0
+
+
+def test_counters_accumulate_on_trace_span_and_totals():
+    with obs.tracing():
+        with obs.trace("work") as trace_:
+            with obs.span("form.fetch"):
+                obs.add("policy.evaluations")
+                obs.add("policy.evaluations")
+                obs.add("db.rows", 5)
+    assert trace_.counters["policy.evaluations"] == 2
+    assert trace_.root.children[0].counters["db.rows"] == 5
+    assert obs.totals.get("policy.evaluations") == 2
+    assert obs.totals.get("db.rows") == 5
+
+
+def test_finished_traces_are_retrievable_by_id():
+    with obs.tracing():
+        with obs.trace("GET /one") as trace_:
+            pass
+    stored = obs.get_trace(trace_.trace_id)
+    assert stored is trace_
+    assert obs.get_trace("nonexistent") is None
+    index = obs.snapshot()["traces"]
+    assert [item["trace_id"] for item in index] == [trace_.trace_id]
+
+
+def test_nested_traces_restore_the_outer_trace():
+    with obs.tracing():
+        with obs.trace("outer") as outer:
+            with obs.trace("inner") as inner:
+                assert obs.current_trace() is inner
+            assert obs.current_trace() is outer
+            obs.add("web.requests")
+    assert outer.counters == {"web.requests": 1}
+    assert inner.counters == {}
+
+
+def test_to_dict_serialises_the_whole_tree():
+    with obs.tracing():
+        with obs.trace("GET /papers") as trace_:
+            with obs.span("form.fetch", model="Paper"):
+                obs.add("facet.rows.unmarshalled", 6)
+    data = trace_.to_dict()
+    assert data["trace_id"] == trace_.trace_id
+    assert data["counters"] == {"facet.rows.unmarshalled": 6}
+    (fetch,) = data["spans"]["children"]
+    assert fetch["attributes"] == {"model": "Paper"}
+    assert fetch["counters"] == {"facet.rows.unmarshalled": 6}
+
+
+def test_tree_lines_render_one_line_per_span():
+    with obs.tracing():
+        with obs.trace("bench") as trace_:
+            with obs.span("form.fetch"):
+                obs.add("db.statements")
+    lines = trace_.tree_lines()
+    assert len(lines) == 2
+    assert "bench" in lines[0]
+    assert "form.fetch" in lines[1] and "db.statements=1" in lines[1]
+
+
+# -- thread isolation -------------------------------------------------------------------
+
+
+def test_concurrent_traces_do_not_bleed_counters_across_threads():
+    barrier = threading.Barrier(4)
+    traces = {}
+
+    def work(index):
+        barrier.wait()
+        with obs.trace(f"thread-{index}") as trace_:
+            for _ in range(index + 1):
+                obs.add("policy.evaluations")
+        traces[index] = trace_
+
+    with obs.tracing():
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    for index in range(4):
+        assert traces[index].counters == {"policy.evaluations": index + 1}
+    # Totals are the exact sum of the per-trace counters: 1 + 2 + 3 + 4.
+    assert obs.totals.get("policy.evaluations") == 10
+
+
+def test_every_counter_used_by_the_instrumentation_is_in_the_glossary():
+    # The glossary is the documentation contract: every name the core
+    # bumps must map to a paper concept.
+    import pathlib
+    import re
+
+    src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    used = set()
+    for path in src.rglob("*.py"):
+        used.update(re.findall(r"""add\(\s*["']([a-z_.]+)["']""", path.read_text()))
+    missing = used - set(obs.COUNTER_GLOSSARY)
+    assert not missing, f"counters missing from COUNTER_GLOSSARY: {sorted(missing)}"
