@@ -1,0 +1,221 @@
+"""Policy-shape classification: the planning input for policy pushdown.
+
+The ROADMAP's biggest open item compiles Early Pruning into SQL; its first
+step is knowing, per ``@label_for`` policy, *how* the decision depends on
+the viewer.  Three shapes, checked in order:
+
+* ``viewer-independent`` -- the viewer parameter never occurs: the policy
+  is a pure function of the row and global state (e.g. the conference
+  phase) and one evaluation covers every viewer;
+* ``equality-on-viewer`` -- every viewer occurrence is an identity test
+  (``==``/``!=``/``is``/``in``) of the viewer or one of its attributes
+  against a row value or a constant (helpers inlined): the outcome can be
+  joined against an indexed ``(label, viewer_key, visible)`` table;
+* ``opaque`` -- anything else, most importantly the viewer flowing into an
+  ORM query as a filter value (membership checks): the Python evaluator
+  stays the oracle.
+
+Each ``equality-on-viewer`` verdict carries its *atoms*, the individual
+identity tests, machine-readably.
+
+>>> from repro.analysis.facts import facts_for_source
+>>> mod = facts_for_source('''
+... class Paper(JModel):
+...     author = ForeignKey("User")
+...     @staticmethod
+...     @label_for("author")
+...     def restrict_author(paper, viewer):
+...         return viewer is not None and viewer.jid == paper.author_id
+... ''', "m.py")
+>>> shape = classify_policy(mod.models[0].groups[0], mod.models[0])
+>>> shape["shape"]
+'equality-on-viewer'
+>>> [a["kind"] for a in shape["atoms"]]
+['is-not', 'eq']
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.astutils import (
+    attach_parents,
+    const_str,
+    dotted_name,
+    positional_params,
+)
+from repro.analysis.facts import GroupFacts, ModelFacts, ModuleFacts
+from repro.analysis.readsets import MAX_DEPTH, infer_method_reads
+
+_ATOM_KINDS = {
+    ast.Eq: "eq",
+    ast.NotEq: "ne",
+    ast.Is: "is",
+    ast.IsNot: "is-not",
+    ast.In: "in",
+    ast.NotIn: "not-in",
+}
+
+
+def _describe_operand(node: ast.AST) -> Any:
+    """A JSON-friendly description of a comparison operand."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)) and all(
+        isinstance(e, ast.Constant) for e in node.elts
+    ):
+        return [e.value for e in node.elts]
+    name = dotted_name(node)
+    return name if name is not None else "<expr>"
+
+
+def _viewer_chain(name_node: ast.Name) -> Tuple[ast.AST, str]:
+    """Climb ``viewer.attr...`` to the outermost attribute; spell the chain."""
+    current: ast.AST = name_node
+    spelling = name_node.id
+    parent = getattr(current, "_parent", None)
+    while isinstance(parent, ast.Attribute) and parent.value is current:
+        current = parent
+        spelling += "." + parent.attr
+        parent = getattr(current, "_parent", None)
+    return current, spelling
+
+
+class _PolicyClassifier:
+    def __init__(self, facts: ModelFacts) -> None:
+        self.facts = facts
+        self.atoms: List[Dict[str, Any]] = []
+        self.opaque_reasons: List[str] = []
+        self.occurrences = 0
+
+    def classify(
+        self, node: Optional[ast.FunctionDef], viewer_param: Optional[str],
+        depth: int = 0, stack: Tuple[str, ...] = (),
+    ) -> None:
+        if node is None:
+            self.opaque_reasons.append("policy source unavailable")
+            self.occurrences += 1
+            return
+        if viewer_param is None:
+            return
+        if depth > MAX_DEPTH or node.name in stack:
+            self.opaque_reasons.append("helper recursion too deep")
+            self.occurrences += 1
+            return
+        attach_parents(node)
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Name) and sub.id == viewer_param
+                    and isinstance(sub.ctx, ast.Load)):
+                continue
+            self.occurrences += 1
+            self._classify_occurrence(sub, node, depth, stack + (node.name,))
+
+    def _classify_occurrence(
+        self, name_node: ast.Name, func: ast.FunctionDef,
+        depth: int, stack: Tuple[str, ...],
+    ) -> None:
+        # getattr(viewer, "attr"[, default]) reads a viewer attribute; the
+        # call node stands in for the attribute chain.
+        parent = getattr(name_node, "_parent", None)
+        if (
+            isinstance(parent, ast.Call)
+            and dotted_name(parent.func) == "getattr"
+            and parent.args
+            and parent.args[0] is name_node
+            and len(parent.args) >= 2
+            and const_str(parent.args[1]) is not None
+        ):
+            chain: ast.AST = parent
+            spelling = f"{name_node.id}.{const_str(parent.args[1])}"
+        else:
+            chain, spelling = _viewer_chain(name_node)
+        outer = getattr(chain, "_parent", None)
+        # A keyword argument wraps its value in an ast.keyword node; the
+        # interesting parent is the call it belongs to.
+        if isinstance(outer, ast.keyword):
+            outer = getattr(outer, "_parent", None)
+        if isinstance(outer, ast.Compare):
+            ops = outer.ops
+            if all(type(op) in _ATOM_KINDS for op in ops):
+                operands = [outer.left] + list(outer.comparators)
+                others = [op for op in operands if op is not chain]
+                self.atoms.append({
+                    "kind": _ATOM_KINDS[type(ops[0])],
+                    "viewer": spelling,
+                    "other": _describe_operand(others[0]) if others else None,
+                })
+                return
+            self.opaque_reasons.append(
+                f"non-identity comparison on {spelling} (line {name_node.lineno})"
+            )
+            return
+        if isinstance(outer, ast.Call):
+            func_name = dotted_name(outer.func)
+            if func_name is not None and ".objects." in func_name:
+                self.opaque_reasons.append(
+                    f"{spelling} used as a query filter value in "
+                    f"{func_name}() (line {name_node.lineno})"
+                )
+                return
+            helper = self.facts.helper(func_name) if func_name else None
+            if helper is None and func_name in self.facts.methods:
+                helper = self.facts.methods[func_name]
+            if helper is not None and chain is name_node:
+                params = positional_params(helper)
+                bound: Optional[str] = None
+                for index, arg in enumerate(outer.args):
+                    if arg is chain and index < len(params):
+                        bound = params[index]
+                for kw in outer.keywords:
+                    if kw.value is chain and kw.arg in params:
+                        bound = kw.arg
+                if bound is not None:
+                    self.classify(helper, bound, depth + 1, stack)
+                    return
+            self.opaque_reasons.append(
+                f"{spelling} escapes into {func_name or '<dynamic>'}() "
+                f"(line {name_node.lineno})"
+            )
+            return
+        self.opaque_reasons.append(
+            f"{spelling} used outside an identity comparison "
+            f"(line {name_node.lineno})"
+        )
+
+
+def classify_policy(group: GroupFacts, facts: ModelFacts) -> Dict[str, Any]:
+    """Classify one policy group into its machine-readable shape record."""
+    classifier = _PolicyClassifier(facts)
+    viewer = None
+    if group.node is not None:
+        params = positional_params(group.node)
+        viewer = params[1] if len(params) > 1 else None
+    classifier.classify(group.node, viewer)
+    if classifier.occurrences == 0 and group.node is not None:
+        shape = "viewer-independent"
+    elif not classifier.opaque_reasons:
+        shape = "equality-on-viewer"
+    else:
+        shape = "opaque"
+    reads = infer_method_reads(group.node, facts)
+    return {
+        "model": facts.name,
+        "group": group.key,
+        "fields": list(group.fields),
+        "policy": group.method_name,
+        "shape": shape,
+        "atoms": classifier.atoms,
+        "opaque_reasons": classifier.opaque_reasons,
+        "reads": reads.report(),
+        "cross_record": reads.cross_record,
+    }
+
+
+def classify_module(module: ModuleFacts) -> List[Dict[str, Any]]:
+    """Shape records for every policy group declared in a module."""
+    records = []
+    for model in module.models:
+        for group in model.groups:
+            records.append(classify_policy(group, model))
+    return records

@@ -1,0 +1,389 @@
+"""The JQL lint rules: static checks on the Jacqueline trusted surface.
+
+The paper's guarantee -- policy-agnostic application code -- rests on two
+disciplines nothing enforced until now: policies and
+``jacqueline_get_public_*`` methods are the *only* code that decides
+visibility (and must be well-formed side-effect-free functions of the row
+and viewer), and application code never touches the faceted encoding
+(``jvars``, facet internals) directly.  Each rule checks one way those
+disciplines break:
+
+====== ======== =========================================================
+code   severity finding
+====== ======== =========================================================
+JQL001 error    ``@label_for`` names a field the model does not declare
+JQL002 warning  policied field has no ``jacqueline_get_public_*`` method
+JQL003 error    side effect inside a policy / public-facet method
+JQL004 error    public method reads another label group's guarded field
+JQL005 error    code touches the faceted encoding (``.jvars`` access,
+                ``.jid`` assignment, ``_facet_rows``/``_db_row``/``_meta``)
+JQL006 warning  branching on a policied field outside a viewer context
+JQL007 error    policy/public method has the wrong arity
+JQL008 warning  public method depends on *other* records (fk chains, ORM
+                queries) -- cross-record staleness this model's rewrites
+                cannot repair
+JQL009 warning  public method's read set is TOP -- every eligible update
+                will take the batched rewrite
+====== ======== =========================================================
+
+>>> from repro.analysis.facts import facts_for_source
+>>> bad = facts_for_source('''
+... class Doc(JModel):
+...     title = CharField()
+...     @staticmethod
+...     @label_for("subject")
+...     def restrict(row, viewer):
+...         return False
+... ''', "bad.py")
+>>> [d.code for d in run_rules(bad)]
+['JQL001']
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.astutils import (
+    ancestors,
+    dotted_name,
+    enclosing_function,
+    positional_params,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.facts import ModelFacts, ModuleFacts
+from repro.analysis.readsets import infer_method_reads
+
+#: code -> (severity, one-line summary); the rule catalogue.
+RULES: Dict[str, Tuple[Severity, str]] = {
+    "JQL001": (Severity.ERROR, "label_for names a nonexistent field"),
+    "JQL002": (Severity.WARNING, "policied field missing its public method"),
+    "JQL003": (Severity.ERROR, "side effect inside a policy or public method"),
+    "JQL004": (Severity.ERROR, "public method reads another group's guarded field"),
+    "JQL005": (Severity.ERROR, "code touches the faceted encoding internals"),
+    "JQL006": (Severity.WARNING, "branching on a policied field outside a viewer context"),
+    "JQL007": (Severity.ERROR, "policy or public method has the wrong arity"),
+    "JQL008": (Severity.WARNING, "public method depends on other records"),
+    "JQL009": (Severity.WARNING, "public method read set is TOP"),
+}
+
+#: Call leaves that mutate persistent or record state.
+_MUTATING_CALLS = frozenset({
+    "save", "delete", "update", "create", "bulk_create", "bulk_update",
+    "bulk_save", "insert_many", "replace_rows", "execute_update",
+    "execute_delete",
+})
+
+#: Internal attributes application code must never reach for.
+_INTERNAL_ATTRS = frozenset({"_facet_rows", "_db_row", "_meta"})
+
+#: ``with`` context managers that establish a viewer/branch context.
+_VIEWER_CONTEXTS = frozenset({"viewer_context", "jif", "under_branch"})
+
+
+def _diag(code: str, message: str, module: ModuleFacts, line: int,
+          model: Optional[str] = None, symbol: Optional[str] = None) -> Diagnostic:
+    severity, _summary = RULES[code]
+    return Diagnostic(code, severity, message, module.path, line, model, symbol)
+
+
+def _trusted_methods(model: ModelFacts):
+    """(kind, field-or-key, name, node) for every policy + public method."""
+    for group in model.groups:
+        yield "policy", group.key, group.method_name, group.node, group.line
+    for field_name, (name, node) in sorted(model.public_methods.items()):
+        line = node.lineno if node is not None else model.line
+        yield "public", field_name, name, node, line
+
+
+def check_jql001(module: ModuleFacts) -> List[Diagnostic]:
+    """``@label_for`` on a field the model does not declare."""
+    found = []
+    for model in module.models:
+        for group in model.groups:
+            for field_name in group.fields:
+                if field_name not in model.fields:
+                    found.append(_diag(
+                        "JQL001",
+                        f"@label_for({field_name!r}) names a field "
+                        f"{model.name} does not declare",
+                        module, group.line, model.name, group.method_name,
+                    ))
+            if not group.fields:
+                found.append(_diag(
+                    "JQL001", "@label_for() lists no fields",
+                    module, group.line, model.name, group.method_name,
+                ))
+    return found
+
+
+def check_jql002(module: ModuleFacts) -> List[Diagnostic]:
+    """A policied field with no public-facet method renders as ``None``.
+
+    Usually an omission: the paper's models always pair a policy with the
+    public value viewers outside the branch should see.  Declaring an
+    explicit method returning ``None`` documents the intent and silences
+    the warning.
+    """
+    found = []
+    for model in module.models:
+        for group in model.groups:
+            for field_name in group.fields:
+                if field_name in model.fields and field_name not in model.public_methods:
+                    found.append(_diag(
+                        "JQL002",
+                        f"policied field {field_name!r} has no "
+                        f"jacqueline_get_public_{field_name} method "
+                        "(public facet falls back to None)",
+                        module, group.line, model.name, group.method_name,
+                    ))
+    return found
+
+
+def check_jql003(module: ModuleFacts) -> List[Diagnostic]:
+    """Side effects inside the trusted surface.
+
+    Policies run at every read (possibly many times per request) and
+    public methods at every save/rewrite; a store, a mutating ORM/backend
+    call, or ``global``/``nonlocal`` inside one makes visibility evaluation
+    observable -- the paper requires them to be pure.
+    """
+    found = []
+    for model in module.models:
+        for kind, _key, name, node, _line in _trusted_methods(model):
+            if node is None:
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Attribute) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    found.append(_diag(
+                        "JQL003",
+                        f"{kind} method assigns attribute .{sub.attr}",
+                        module, sub.lineno, model.name, name,
+                    ))
+                elif isinstance(sub, (ast.Global, ast.Nonlocal)):
+                    found.append(_diag(
+                        "JQL003",
+                        f"{kind} method declares {sub.names[0]!r} "
+                        f"{'global' if isinstance(sub, ast.Global) else 'nonlocal'}",
+                        module, sub.lineno, model.name, name,
+                    ))
+                elif isinstance(sub, ast.Call):
+                    called = dotted_name(sub.func)
+                    leaf = called.rsplit(".", 1)[-1] if called else None
+                    if leaf in _MUTATING_CALLS and called != leaf:
+                        found.append(_diag(
+                            "JQL003",
+                            f"{kind} method calls mutating {called}()",
+                            module, sub.lineno, model.name, name,
+                        ))
+    return found
+
+
+def check_jql004(module: ModuleFacts) -> List[Diagnostic]:
+    """A public method reading another group's guarded field leaks it.
+
+    The public facet is computed from the *secret* instance at save time
+    and stored on rows where the other group's label is False -- deriving
+    it from a field that other group guards publishes data its own policy
+    would have hidden.
+    """
+    found = []
+    for model in module.models:
+        column_to_field = {f.column: f.name for f in model.fields.values()}
+        for field_name, (name, node) in sorted(model.public_methods.items()):
+            if node is None:
+                continue
+            own_group = model.group_for_field(field_name)
+            own_fields = set(own_group.fields) if own_group else {field_name}
+            reads = infer_method_reads(node, model)
+            if reads.top:
+                continue  # JQL009's finding
+            for column in sorted(reads.columns):
+                read_field = column_to_field.get(column)
+                if read_field is None or read_field in own_fields:
+                    continue
+                other = model.group_for_field(read_field)
+                if other is not None:
+                    found.append(_diag(
+                        "JQL004",
+                        f"public method for {field_name!r} reads "
+                        f"{read_field!r}, guarded by the {other.key!r} label "
+                        "group -- its save-time snapshot leaks the secret value",
+                        module, node.lineno, model.name, name,
+                    ))
+    return found
+
+
+def check_jql005(module: ModuleFacts) -> List[Diagnostic]:
+    """Application code touching the faceted encoding directly.
+
+    ``.jvars`` is the label-assignment encoding (never meaningful to
+    applications); assigning ``.jid`` forges record identity; the
+    underscore internals bypass the FORM entirely.  Reading ``.jid`` is
+    fine -- it is the public record key.
+    """
+    found = []
+    for sub in ast.walk(module.tree):
+        if not isinstance(sub, ast.Attribute):
+            continue
+        if sub.attr == "jvars":
+            found.append(_diag(
+                "JQL005",
+                "direct access to the jvars label encoding",
+                module, sub.lineno,
+            ))
+        elif sub.attr == "jid" and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            found.append(_diag(
+                "JQL005",
+                "assignment to .jid forges record identity",
+                module, sub.lineno,
+            ))
+        elif sub.attr in _INTERNAL_ATTRS:
+            found.append(_diag(
+                "JQL005",
+                f"access to FORM internal .{sub.attr}",
+                module, sub.lineno,
+            ))
+    return found
+
+
+def check_jql006(module: ModuleFacts) -> List[Diagnostic]:
+    """Branching on a (possibly faceted) policied field outside a viewer
+    context.
+
+    Outside ``viewer_context``/``jif`` a policied attribute may be a
+    faceted value; a plain ``if`` on it silently takes the truthiness of
+    the facet object.  Heuristic (attribute-name based), hence a warning;
+    the trusted methods themselves are exempt (they receive the secret
+    instance).
+    """
+    policied: Set[str] = set()
+    trusted_nodes = set()
+    for model in module.models:
+        for field_name in model.policied_fields:
+            policied.add(field_name)
+            facts = model.fields.get(field_name)
+            if facts is not None:
+                policied.add(facts.column)
+        for _kind, _key, _name, node, _line in _trusted_methods(model):
+            if node is not None:
+                trusted_nodes.add(node)
+    if not policied:
+        return []
+    found = []
+    for sub in ast.walk(module.tree):
+        if not isinstance(sub, (ast.If, ast.IfExp, ast.While)):
+            continue
+        owner = enclosing_function(sub)
+        if owner in trusted_nodes:
+            continue
+        if _inside_viewer_context(sub):
+            continue
+        for attr in ast.walk(sub.test):
+            if isinstance(attr, ast.Attribute) and attr.attr in policied:
+                found.append(_diag(
+                    "JQL006",
+                    f"branch on policied attribute .{attr.attr} outside a "
+                    "viewer context (may be a faceted value)",
+                    module, attr.lineno,
+                    symbol=owner.name if owner is not None else None,
+                ))
+                break
+    return found
+
+
+def _inside_viewer_context(node: ast.AST) -> bool:
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                expr = item.context_expr
+                target = expr.func if isinstance(expr, ast.Call) else expr
+                name = dotted_name(target)
+                if name is not None and name.rsplit(".", 1)[-1] in _VIEWER_CONTEXTS:
+                    return True
+    return False
+
+
+def check_jql007(module: ModuleFacts) -> List[Diagnostic]:
+    """Arity of the trusted surface: policies take (row, viewer), public
+    methods take (row)."""
+    found = []
+    for model in module.models:
+        for kind, _key, name, node, line in _trusted_methods(model):
+            if node is None:
+                continue
+            arity = len(positional_params(node))
+            expected = 2 if kind == "policy" else 1
+            if arity != expected:
+                found.append(_diag(
+                    "JQL007",
+                    f"{kind} method takes {arity} positional parameter(s), "
+                    f"expected {expected}",
+                    module, line, model.name, name,
+                ))
+    return found
+
+
+def check_jql008(module: ModuleFacts) -> List[Diagnostic]:
+    """A public method depending on *other* records can go stale when those
+    records change -- a cross-record dependency no rewrite of this model
+    repairs.  (Policies re-evaluate per read, so only public methods are
+    flagged.)"""
+    found = []
+    for model in module.models:
+        for field_name, (name, node) in sorted(model.public_methods.items()):
+            if node is None:
+                continue
+            reads = infer_method_reads(node, model)
+            if reads.cross_record and not reads.top:
+                found.append(_diag(
+                    "JQL008",
+                    f"public method for {field_name!r} depends on other "
+                    "records; its stored snapshot cannot be kept fresh by "
+                    "this model's writes",
+                    module, node.lineno, model.name, name,
+                ))
+    return found
+
+
+def check_jql009(module: ModuleFacts) -> List[Diagnostic]:
+    """A TOP public read set forces the batched rewrite on every eligible
+    update of the model -- correct but slow, and worth making explicit."""
+    found = []
+    for model in module.models:
+        for field_name, (name, node) in sorted(model.public_methods.items()):
+            reads = infer_method_reads(node, model)
+            if reads.top:
+                found.append(_diag(
+                    "JQL009",
+                    f"public method for {field_name!r} has read set TOP "
+                    f"({reads.top_reason}); every eligible update() of "
+                    f"{model.name} will take the batched rewrite",
+                    module,
+                    node.lineno if node is not None else model.line,
+                    model.name, name,
+                ))
+    return found
+
+
+_CHECKERS = (
+    check_jql001,
+    check_jql002,
+    check_jql003,
+    check_jql004,
+    check_jql005,
+    check_jql006,
+    check_jql007,
+    check_jql008,
+    check_jql009,
+)
+
+
+def run_rules(module: ModuleFacts) -> List[Diagnostic]:
+    """Run every rule over one module's facts, findings in stable order."""
+    found: List[Diagnostic] = []
+    for checker in _CHECKERS:
+        found.extend(checker(module))
+    return sorted(found, key=Diagnostic.sort_key)

@@ -23,7 +23,9 @@ from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
 from repro.core.facets import Facet, collect_labels, facet_map
 from repro.core.labels import Label
-from repro.db.expr import InList, col, eq_or_null
+import dataclasses
+
+from repro.db.expr import InList, and_all, col, eq, eq_or_null, ne
 from repro.db.query import (
     Aggregate,
     Query,
@@ -311,7 +313,13 @@ class QuerySet:
           fall back to the *batched* facet rewrite: one projected jid
           query, one row fetch, per-jid facet-row recomputation reusing
           ``JModel.save``'s expansion and pc-guard algebra, and one atomic
-          ``replace_rows`` batch.
+          ``replace_rows`` batch;
+        * an otherwise-eligible assignment to a column some
+          ``jacqueline_get_public_*`` method *reads* is **forced** onto the
+          batched rewrite (counted as ``writes.forced_fallback.read_set``):
+          the stored public snapshots depend on that column and only the
+          rewrite recomputes them.  Read sets are inferred statically by
+          :mod:`repro.analysis.readsets` and cached on the model meta.
 
         Returns the number of facet rows the write affected (records span
         several rows; use ``count()`` for record counts).  Either path
@@ -325,6 +333,11 @@ class QuerySet:
         resolved = writes.resolve_update_fields(meta, values)
         column_values = writes.fast_path_values(meta, resolved)
         pc = form.runtime.current_pc()
+        if column_values is not None and not pc:
+            forced = writes.read_set_forced_columns(meta, column_values)
+            if forced:
+                obs.add("writes.forced_fallback.read_set")
+                column_values = None
         if column_values is not None and not pc:
             obs.add("writes.fast_path")
             obs.add("plan.update_pushdown")
@@ -360,6 +373,17 @@ class QuerySet:
         in with one atomic ``replace_rows`` batch -- viewers outside the
         branch keep seeing the records.
 
+        One guarded shape still compiles to a single statement: a
+        single-branch pc on a model with no policy groups, over a table
+        whose rows all carry empty jvars (checked with one ``EXISTS`` probe
+        under the save lock -- pc labels are then *statically absent* from
+        the stored encodings).  Every matching record's sole facet row
+        survives confined to the negated branch, so the whole delete is
+        ``UPDATE t SET jvars = '<negated>' WHERE jid IN (...) AND jvars =
+        ''`` (counted as ``plan.delete_guarded_pushdown``); the per-row
+        ``jvars = ''`` guard keeps rows created with facet structure after
+        the probe untouched.
+
         Returns the number of facet rows removed (guarded: rewritten).
         Runs under the FORM save lock so deletions cannot interleave with a
         concurrent update's delete+reinsert and be silently undone.
@@ -374,6 +398,17 @@ class QuerySet:
             plan = plan_delete(query, key_column="jid")
             with form._save_lock, obs.span("form.delete.fast", model=meta.table_name):
                 return form.database.execute_delete(plan)
+        guarded_values = writes.guarded_delete_values(meta, pc)
+        if guarded_values is not None:
+            with form._save_lock:
+                if not form.database.exists(meta.table_name, ne("jvars", "")):
+                    obs.add("writes.fast_path")
+                    obs.add("plan.delete_guarded_pushdown")
+                    plan = self._guarded_delete_plan(meta, guarded_values)
+                    with obs.span(
+                        "form.delete.guarded_pushdown", model=meta.table_name
+                    ):
+                        return form.database.execute_update(plan)
         obs.add("writes.fallback")
         with form._save_lock, obs.span("form.delete.guarded", model=meta.table_name):
             jids = self._matching_jids(form)
@@ -404,8 +439,13 @@ class QuerySet:
         * ``"update"`` -- pass the assignment as keywords, exactly as
           :meth:`update` takes them; ``path`` reports ``"fast"`` (one
           pushed-down statement, whose SQL is returned) or ``"fallback"``
-          (the batched facet rewrite, whose jid-projection SQL is returned);
-        * ``"delete"`` -- like update, keyed on the current path condition.
+          (the batched facet rewrite, whose jid-projection SQL is
+          returned).  A fallback forced by read-set inference additionally
+          reports ``forced_by: "read_set"`` and the assigned columns some
+          public method reads (``forced_columns``);
+        * ``"delete"`` -- like update, keyed on the current path condition;
+          a guarded delete meeting the static pushdown shape reports
+          ``plan: "guarded-delete-pushdown"`` with ``path: "fast"``.
 
         For every pushdown path the returned ``sql`` string is exactly the
         statement a statement observer (:class:`repro.db.StatementLog`)
@@ -452,13 +492,19 @@ class QuerySet:
             column_values = writes.fast_path_values(meta, resolved)
             pc = form.runtime.current_pc()
             query, _joined = self._ordered_query(meta)
+            forced: Tuple[str, ...] = ()
             if column_values is not None and not pc:
+                forced = writes.read_set_forced_columns(meta, column_values)
+            if column_values is not None and not pc and not forced:
                 report = plan_update(query, column_values, key_column="jid").explain()
                 report["path"] = "fast"
             else:
                 report = plan_keys(query, "jid").explain()
                 report["plan"] = "batched-facet-rewrite"
                 report["path"] = "fallback"
+                if forced:
+                    report["forced_by"] = "read_set"
+                    report["forced_columns"] = list(forced)
             report["operation"] = "update"
             return report
         if operation == "delete":
@@ -468,14 +514,35 @@ class QuerySet:
                 report = plan_delete(query, key_column="jid").explain()
                 report["path"] = "fast"
             else:
-                report = plan_keys(query, "jid").explain()
-                report["plan"] = "batched-facet-rewrite"
-                report["path"] = "fallback"
+                guarded_values = writes.guarded_delete_values(meta, pc)
+                if guarded_values is not None and not form.database.exists(
+                    meta.table_name, ne("jvars", "")
+                ):
+                    report = self._guarded_delete_plan(meta, guarded_values).explain()
+                    report["plan"] = "guarded-delete-pushdown"
+                    report["path"] = "fast"
+                else:
+                    report = plan_keys(query, "jid").explain()
+                    report["plan"] = "batched-facet-rewrite"
+                    report["path"] = "fallback"
             report["operation"] = "delete"
             return report
         raise ValueError(f"unknown explain operation {operation!r}")
 
     # -- internals -----------------------------------------------------------------------
+
+    def _guarded_delete_plan(self, meta, guarded_values: Dict[str, Any]):
+        """The single-statement plan of a pushed-down guarded delete.
+
+        ``plan_update`` supplies the jid subselect; the appended ``jvars =
+        ''`` conjunct restricts the rewrite to unguarded rows (the only
+        rows the static shape covers), row by row.
+        """
+        query, _joined = self._ordered_query(meta)
+        base = plan_update(query, guarded_values, key_column="jid")
+        guard = eq("jvars", "")
+        where = and_all([w for w in (base.where, guard) if w is not None])
+        return dataclasses.replace(base, where=where)
 
     def _matching_jids(self, form: FORM) -> List[int]:
         """The DISTINCT jids matching this query set, in one projected query.

@@ -105,6 +105,27 @@ class ModelOptions:
             return None
         return method(instance)
 
+    def public_read_columns(self) -> Optional[frozenset]:
+        """Columns the model's public-facet methods read, or ``None`` (TOP).
+
+        Statically inferred once per model class
+        (:func:`repro.analysis.readsets.public_read_columns_for_model`) and
+        cached; the write decision procedure consults it to force the
+        batched rewrite when a fast-path update would stale a stored
+        public snapshot.  ``None`` means "may read anything" -- inference
+        gave up or the method source is unavailable -- and forces
+        conservatively.  Imported lazily: the analysis package depends on
+        nothing in the form, but the form only needs it once models with
+        public methods are actually updated.
+        """
+        try:
+            return self._public_read_columns
+        except AttributeError:
+            from repro.analysis.readsets import public_read_columns_for_model
+
+            self._public_read_columns = public_read_columns_for_model(self.model)
+        return self._public_read_columns
+
     def field_column(self, field_name: str) -> str:
         return self.fields[field_name].column_name
 

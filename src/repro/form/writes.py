@@ -121,14 +121,12 @@ def fast_path_values(meta, resolved: Sequence[Tuple[str, Any, Any]]) -> Optional
     an empty path condition.  Returns the marshalled ``{column: db value}``
     mapping on success.
 
-    Known limit: the eligibility check is per *assigned column*.  Stored
-    public facets of **other** (policied) fields are snapshots computed at
-    save time and are not recomputed by the single statement -- a
-    ``jacqueline_get_public_*`` method that derives its value from a
-    non-policied column can therefore go stale until the record's next
-    save or batched rewrite.  Public methods should derive only from their
-    own guarded fields (every model in this repository does); dependency
-    tracking to force the fallback automatically is a ROADMAP follow-on.
+    The eligibility check here is per *assigned column*; stored public
+    facets of other (policied) fields are save-time snapshots the single
+    statement does not recompute.  :func:`read_set_forced_columns` closes
+    that gap: the caller forces the batched rewrite whenever an assigned
+    column appears in some ``jacqueline_get_public_*`` method's statically
+    inferred read set (see :mod:`repro.analysis.readsets`).
     """
     column_values: Dict[str, Any] = {}
     for _name, field, value in resolved:
@@ -138,6 +136,64 @@ def fast_path_values(meta, resolved: Sequence[Tuple[str, Any, Any]]) -> Optional
             return None
         column_values[field.column_name] = field.to_db(value)
     return column_values
+
+
+def read_set_forced_columns(meta, column_values: Dict[str, Any]) -> Tuple[str, ...]:
+    """Assigned columns whose update must force the batched rewrite.
+
+    A ``jacqueline_get_public_*`` method's stored result is a save-time
+    snapshot; assigning a column such a method *reads* with one in-place
+    ``UPDATE`` would leave that snapshot stale.  Read sets are inferred
+    statically (:func:`repro.analysis.readsets.public_read_columns_for_model`,
+    cached on the model meta); a TOP read set -- inference gave up -- forces
+    conservatively, reported as the pseudo-column ``"*"``.
+
+    Returns ``()`` when the fast path is safe: no public methods, or none
+    of them reads any assigned column.
+    """
+    if not meta.public_methods:
+        return ()
+    reads = meta.public_read_columns()
+    if reads is None:
+        return ("*",)
+    return tuple(sorted(set(column_values) & set(reads)))
+
+
+def guarded_delete_values(meta, pc) -> Optional[Dict[str, Any]]:
+    """The single-statement encoding of a pc-guarded delete, if one exists.
+
+    A guarded delete keeps each record's previous contents for every label
+    assignment falsifying the path condition.  When the model declares no
+    policy groups and the pc is a single branch, a record stored as one
+    unguarded row (``jvars = ''``) has exactly one surviving facet row: its
+    old values confined to the negated branch.  That rewrite is expressible
+    as ``SET jvars = '<negated branch>'`` -- no fetch, no per-record
+    recomputation.  The caller must separately verify (under the save lock)
+    that the table holds *only* empty-jvars rows and guard the statement
+    with ``jvars = ''`` per row; any pre-existing facet structure falls
+    back to the batched rewrite.
+
+    Returns the ``{column: value}`` assignment, or ``None`` when the
+    static shape does not apply (policied model, multi-branch pc).
+
+    >>> class _GDMeta:
+    ...     policy_groups = []
+    >>> class _GDBranch:
+    ...     class label: name = "Doc.3.owner"
+    ...     positive = True
+    >>> class _GDPc:
+    ...     @staticmethod
+    ...     def branches(): return [_GDBranch]
+    >>> guarded_delete_values(_GDMeta, _GDPc)
+    {'jvars': 'Doc.3.owner=False'}
+    """
+    if meta.policy_groups:
+        return None
+    branches = pc_branch_list(pc)
+    if len(branches) != 1:
+        return None
+    (negated,) = complement_assignments(branches)
+    return {"jvars": format_jvars(negated)}
 
 
 # -- row marshalling --------------------------------------------------------------------

@@ -39,6 +39,14 @@ COUNTER_GLOSSARY: Dict[str, str] = {
     "pc.guard.rewrites": "pc-guarded facet-row rewrites (Section 2.2 writes)",
     "writes.fast_path": "bulk writes compiled to one UPDATE/DELETE statement",
     "writes.fallback": "bulk writes taking the batched facet rewrite",
+    "writes.forced_fallback.read_set": (
+        "eligible fast-path updates forced to the batched rewrite because "
+        "a public-facet method reads an assigned column (repro.analysis)"
+    ),
+    "plan.delete_guarded_pushdown": (
+        "pc-guarded deletes compiled to one guarded UPDATE statement "
+        "(pc labels statically absent from the table's jvars)"
+    ),
     "plan.bounded": "bounded reads compiled to the jid-subselect pushdown",
     "plan.keys": "projected record-key queries (write fallback jid scans)",
     "plan.aggregate_pushdown": "aggregates compiled to one grouped statement",

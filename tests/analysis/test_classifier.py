@@ -1,0 +1,127 @@
+"""Policy-shape classification tests (repro.analysis.classify)."""
+
+import os
+
+from repro.analysis.classify import classify_module, classify_policy
+from repro.analysis.facts import facts_for_path, facts_for_source
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _shape(source):
+    module = facts_for_source(source, "m.py")
+    model = module.models[0]
+    return classify_policy(model.groups[0], model)
+
+
+def test_viewer_independent_shape():
+    shape = _shape('''
+class Paper(JModel):
+    title = CharField()
+
+    @staticmethod
+    @label_for("title")
+    def restrict(paper, viewer):
+        return phase() == "public"
+''')
+    assert shape["shape"] == "viewer-independent"
+    assert shape["atoms"] == []
+    assert shape["opaque_reasons"] == []
+
+
+def test_equality_on_viewer_shape_with_atoms():
+    shape = _shape('''
+class Paper(JModel):
+    title = CharField()
+    author = ForeignKey("User")
+
+    @staticmethod
+    @label_for("title")
+    def restrict(paper, viewer):
+        return viewer is not None and viewer.jid == paper.author_id
+''')
+    assert shape["shape"] == "equality-on-viewer"
+    assert [a["kind"] for a in shape["atoms"]] == ["is-not", "eq"]
+    assert shape["atoms"][1]["viewer"] == "viewer.jid"
+    assert shape["atoms"][1]["other"] == "paper.author_id"
+
+
+def test_helper_with_getattr_inlines_to_equality():
+    shape = _shape('''
+def _is_staff(user):
+    return getattr(user, "level", None) in ("pc", "chair")
+
+
+class Paper(JModel):
+    title = CharField()
+
+    @staticmethod
+    @label_for("title")
+    def restrict(paper, viewer):
+        return _is_staff(viewer)
+''')
+    assert shape["shape"] == "equality-on-viewer"
+    assert shape["atoms"] == [
+        {"kind": "in", "viewer": "user.level", "other": ["pc", "chair"]}
+    ]
+
+
+def test_viewer_as_query_filter_is_opaque():
+    shape = _shape('''
+class Event(JModel):
+    name = CharField()
+
+    @staticmethod
+    @label_for("name")
+    def restrict(event, viewer):
+        return Guest.objects.get(event=event, guest=viewer) is not None
+''')
+    assert shape["shape"] == "opaque"
+    assert any("query filter" in r for r in shape["opaque_reasons"])
+
+
+def test_shape_record_carries_group_metadata_and_reads():
+    shape = _shape('''
+class Paper(JModel):
+    title = CharField()
+    author = ForeignKey("User")
+
+    @staticmethod
+    @label_for("title")
+    def restrict(paper, viewer):
+        return viewer == paper.author
+''')
+    assert shape["model"] == "Paper"
+    assert shape["group"] == "title"
+    assert shape["fields"] == ["title"]
+    assert shape["policy"] == "restrict"
+    assert shape["reads"] == ["author_id"]
+
+
+def test_conf_app_policies_classify_as_verified():
+    module = facts_for_path(
+        os.path.join(REPO_ROOT, "src", "repro", "apps", "conf", "models.py")
+    )
+    shapes = {
+        (s["model"], s["group"]): s["shape"] for s in classify_module(module)
+    }
+    assert shapes == {
+        ("ConfUser", "email"): "equality-on-viewer",
+        ("Paper", "author"): "opaque",
+        ("Paper", "accepted"): "equality-on-viewer",
+        ("Review", "reviewer"): "equality-on-viewer",
+        ("Review", "contents"): "equality-on-viewer",
+    }
+
+
+def test_calendar_app_membership_policies_are_opaque():
+    module = facts_for_path(
+        os.path.join(REPO_ROOT, "src", "repro", "apps", "calendar", "models.py")
+    )
+    shapes = {
+        (s["model"], s["group"]): s["shape"] for s in classify_module(module)
+    }
+    assert shapes[("Event", "name")] == "opaque"
+    assert shapes[("EventGuest", "guest")] == "opaque"

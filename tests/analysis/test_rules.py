@@ -1,0 +1,222 @@
+"""Per-rule fixtures: every JQL rule fires on its bad example (and the CLI
+exits nonzero on it) and stays quiet on the corrected version."""
+
+import pytest
+
+from repro.analysis import cli
+
+#: rule code -> (bad source that trips exactly it, strict? for exit code)
+BAD = {
+    "JQL001": '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    @label_for("subject")
+    def restrict(row, viewer):
+        return False
+''',
+    "JQL002": '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return False
+''',
+    "JQL003": '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        Audit.objects.create(note="leak")
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        row.title = "oops"
+        return False
+''',
+    "JQL004": '''
+class Doc(JModel):
+    title = CharField()
+    salary = IntegerField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "band %d" % (doc.salary // 10000)
+
+    @staticmethod
+    @label_for("title")
+    def restrict_title(row, viewer):
+        return False
+
+    @staticmethod
+    def jacqueline_get_public_salary(doc):
+        return 0
+
+    @staticmethod
+    @label_for("salary")
+    def restrict_salary(row, viewer):
+        return False
+''',
+    "JQL005": '''
+def sneak(record):
+    record.jid = 99
+    return record.jvars
+''',
+    "JQL006": '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return False
+
+
+def render(doc):
+    if doc.title:
+        return "titled"
+    return "untitled"
+''',
+    "JQL007": '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc, extra):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row):
+        return False
+''',
+    "JQL008": '''
+class Doc(JModel):
+    title = CharField()
+    owner = ForeignKey("User")
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return doc.owner.name
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return False
+''',
+    "JQL009": '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return mystery(doc)
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return False
+''',
+}
+
+#: Rules whose finding is warning severity (CLI needs --strict to fail).
+WARNINGS = {"JQL002", "JQL006", "JQL008", "JQL009"}
+
+CLEAN = '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return viewer == row
+'''
+
+
+@pytest.mark.parametrize("code", sorted(BAD))
+def test_each_rule_fires_on_its_fixture(code):
+    report = cli.analyze_source(BAD[code], f"{code.lower()}.py")
+    assert code in {d.code for d in report.diagnostics}
+    for diagnostic in report.diagnostics:
+        if diagnostic.code == code:
+            assert diagnostic.line > 0
+            assert diagnostic.file == f"{code.lower()}.py"
+            assert code in diagnostic.format()
+
+
+@pytest.mark.parametrize("code", sorted(BAD))
+def test_cli_exits_nonzero_on_each_fixture(code, tmp_path, capsys):
+    path = tmp_path / f"{code.lower()}.py"
+    path.write_text(BAD[code])
+    argv = [str(path)] + (["--strict"] if code in WARNINGS else [])
+    assert cli.main(argv) == 1
+    out = capsys.readouterr().out
+    assert code in out
+
+
+def test_syntax_error_is_a_jql000_finding(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    assert cli.main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "JQL000" in out and "syntax error" in out
+
+
+def test_clean_fixture_has_no_findings():
+    report = cli.analyze_source(CLEAN, "clean.py")
+    assert report.diagnostics == []
+    assert report.exit_code(strict=True) == 0
+
+
+def test_jql003_does_not_flag_bare_local_helpers():
+    # A bare call named like a mutator ("update(...)" on nothing) is a
+    # local helper, not an ORM/backend write.
+    source = '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return update("x")
+'''
+    report = cli.analyze_source(source, "m.py")
+    assert "JQL003" not in {d.code for d in report.diagnostics}
+
+
+def test_jql006_quiet_inside_viewer_contexts():
+    source = '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return False
+
+
+def render(doc, user):
+    with viewer_context(user):
+        if doc.title:
+            return "titled"
+    return "untitled"
+'''
+    report = cli.analyze_source(source, "m.py")
+    assert "JQL006" not in {d.code for d in report.diagnostics}

@@ -17,6 +17,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__fi
 DOCS = sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
 
 DOCTESTED_MODULES = [
+    "repro.analysis.astutils",
+    "repro.analysis.classify",
+    "repro.analysis.cli",
+    "repro.analysis.diagnostics",
+    "repro.analysis.facts",
+    "repro.analysis.readsets",
+    "repro.analysis.rules",
     "repro.db.backend",
     "repro.db.engine",
     "repro.db.expr",

@@ -1,0 +1,195 @@
+"""Guarded-delete pushdown: pc labels statically absent from a table's jvars.
+
+The PR 5 follow-on: a ``QuerySet.delete()`` under a single-branch path
+condition, on a model with no policy groups, over a table whose rows all
+carry empty jvars, compiles to **one** statement --
+
+    UPDATE t SET jvars = '<negated branch>'
+    WHERE jid IN (SELECT DISTINCT jid ...) AND jvars = ''
+
+-- because each matching record's sole facet row survives exactly once,
+confined to the complement world.  Policied models, multi-branch pcs and
+pre-existing facet structure fall back to the batched rewrite unchanged.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.labels import Label
+from repro.db import Database, SqliteBackend, StatementLog
+from repro.form import (
+    FORM,
+    CharField,
+    IntegerField,
+    JModel,
+    jacqueline,
+    label_for,
+    use_form,
+    viewer_context,
+)
+
+
+class Person(JModel):
+    name = CharField(max_length=64)
+
+
+class Note(JModel):
+    """No policy groups: eligible for the guarded-delete pushdown."""
+
+    title = CharField(max_length=64)
+    done = IntegerField(default=0)
+
+
+class Secret(JModel):
+    """Policy groups make every record multi-row: pushdown ineligible."""
+
+    body = CharField(max_length=64)
+
+    @staticmethod
+    def jacqueline_get_public_body(secret):
+        return "[hidden]"
+
+    @staticmethod
+    @label_for("body")
+    @jacqueline
+    def jacqueline_restrict_body(secret, ctxt):
+        return getattr(ctxt, "name", None) == "alice"
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _make_form(kind):
+    database = Database() if kind == "memory" else Database(SqliteBackend())
+    form = FORM(database)
+    form.register_all([Person, Note, Secret])
+    return form, database
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def note_form(request):
+    form, database = _make_form(request.param)
+    with use_form(form):
+        yield form
+    if request.param == "sqlite":
+        database.close()
+
+
+def _guard_label(form, allowed="alice"):
+    label = Label(hint="branch")
+    form.runtime.policy_env.declare(label)
+    form.runtime.policy_env.restrict(
+        label, lambda viewer: getattr(viewer, "name", None) == allowed
+    )
+    return label
+
+
+def test_guarded_delete_takes_the_pushdown_and_keeps_complement_rows(note_form):
+    notes = [Note.objects.create(title=f"n{i}", done=i % 2) for i in range(4)]
+    label = _guard_label(note_form)
+    with obs.tracing():
+        with note_form.runtime.under_branch(label, True):
+            deleted = Note.objects.filter(done=0).delete()
+    assert deleted == 2
+    assert obs.totals.get("plan.delete_guarded_pushdown") == 1
+    assert obs.totals.get("writes.fast_path") == 1
+    assert obs.totals.get("writes.fallback") == 0
+    for note in notes:
+        (row,) = note_form.database.find("Note", jid=note.jid)
+        if note.done == 0:  # deleted in-branch, survives in the complement
+            assert row["jvars"] == f"{label.name}=False"
+            assert row["title"] == note.title
+        else:  # unmatched records keep their unguarded row bit-for-bit
+            assert row["jvars"] == ""
+
+
+def test_pushdown_semantics_match_the_guarded_world_view(note_form):
+    alice = Person.objects.create(name="alice")
+    bob = Person.objects.create(name="bob")
+    Note.objects.create(title="shared", done=0)
+    label = _guard_label(note_form, allowed="alice")
+    with note_form.runtime.under_branch(label, True):
+        Note.objects.all().delete()
+    # In-branch viewer (alice): the record is gone; others keep seeing it.
+    with viewer_context(alice):
+        assert Note.objects.all().fetch() == []
+    with viewer_context(bob):
+        assert [n.title for n in Note.objects.all().fetch()] == ["shared"]
+
+
+def test_pushdown_is_one_update_statement_on_sqlite():
+    backend = SqliteBackend()
+    form = FORM(Database(backend))
+    form.register_all([Person, Note, Secret])
+    with use_form(form):
+        for index in range(3):
+            Note.objects.create(title=f"n{index}")
+        label = _guard_label(form)
+        with form.runtime.under_branch(label, True):
+            expected = Note.objects.all().explain(operation="delete")
+            with StatementLog(backend) as log:
+                Note.objects.all().delete()
+        assert expected["plan"] == "guarded-delete-pushdown"
+        assert expected["path"] == "fast"
+        writes = [s for s in log.statements if not s.lstrip().startswith("SELECT")]
+        assert writes == [expected["sql"]]
+        assert writes[0].startswith('UPDATE "Note" SET "jvars" = ?')
+        assert "jvars = ?" in writes[0]  # the per-row empty-jvars guard
+
+
+def test_policied_model_falls_back(note_form):
+    secret = Secret.objects.create(body="launch codes")
+    label = _guard_label(note_form)
+    with obs.tracing():
+        with note_form.runtime.under_branch(label, True):
+            Secret.objects.all().delete()
+    assert obs.totals.get("plan.delete_guarded_pushdown") == 0
+    assert obs.totals.get("writes.fallback") == 1
+    rows = note_form.database.find("Secret", jid=secret.jid)
+    assert rows and all(f"{label.name}=False" in row["jvars"] for row in rows)
+
+
+def test_multi_branch_pc_falls_back(note_form):
+    note = Note.objects.create(title="n")
+    first = _guard_label(note_form, allowed="alice")
+    second = _guard_label(note_form, allowed="bob")
+    with obs.tracing():
+        with note_form.runtime.under_branch(first, True), \
+                note_form.runtime.under_branch(second, True):
+            Note.objects.all().delete()
+    assert obs.totals.get("plan.delete_guarded_pushdown") == 0
+    assert obs.totals.get("writes.fallback") == 1
+    rows = note_form.database.find("Note", jid=note.jid)
+    # The record survives in every world falsifying the two-branch pc.
+    assert rows and all(
+        f"{first.name}=False" in row["jvars"] or f"{second.name}=False" in row["jvars"]
+        for row in rows
+    )
+
+
+def test_pre_existing_facet_structure_falls_back(note_form):
+    note = Note.objects.create(title="draft")
+    label = _guard_label(note_form)
+    with note_form.runtime.under_branch(label, True):
+        note.title = "redacted draft"
+        note.save()  # a guarded save stores labelled rows: jvars non-empty
+    other = _guard_label(note_form, allowed="bob")
+    with obs.tracing():
+        with note_form.runtime.under_branch(other, True):
+            Note.objects.all().delete()
+    assert obs.totals.get("plan.delete_guarded_pushdown") == 0
+    assert obs.totals.get("writes.fallback") == 1
+
+
+def test_explain_reports_fallback_when_shape_does_not_apply(note_form):
+    label = _guard_label(note_form)
+    with note_form.runtime.under_branch(label, True):
+        report = Secret.objects.all().explain(operation="delete")
+    assert report["path"] == "fallback"
+    assert report["plan"] == "batched-facet-rewrite"

@@ -1,0 +1,178 @@
+"""Read-set-forced fallback: the staleness regression the analyzer closes.
+
+A ``jacqueline_get_public_*`` method may derive its value from a
+*non-policied* column.  Before read-set integration, a fast-path
+``QuerySet.update()`` of that column rewrote it in place and left the
+stored public snapshot stale -- the "Known limit" previously documented on
+``fast_path_values``.  With :mod:`repro.analysis.readsets` feeding the
+write decision procedure, such an update is forced onto the batched facet
+rewrite, which recomputes every public facet.
+"""
+
+import pytest
+
+from repro import obs
+from repro.db import Database, SqliteBackend, StatementLog
+from repro.form import (
+    FORM,
+    CharField,
+    IntegerField,
+    JModel,
+    jacqueline,
+    label_for,
+    use_form,
+)
+
+
+class Memo(JModel):
+    """The public title *derives from the non-policied* ``priority``."""
+
+    title = CharField(max_length=128)
+    priority = IntegerField(default=0)
+    body = CharField(max_length=256, default="")
+
+    @staticmethod
+    def jacqueline_get_public_title(memo):
+        return f"memo (priority {memo.priority})"
+
+    @staticmethod
+    @label_for("title")
+    @jacqueline
+    def jacqueline_restrict_title(memo, ctxt):
+        return ctxt is not None and getattr(ctxt, "name", None) == "owner"
+
+
+class Opaque(JModel):
+    """A public method the analyzer cannot see through: read set TOP."""
+
+    data = CharField(max_length=64)
+    extra = CharField(max_length=64, default="")
+
+    @staticmethod
+    def jacqueline_get_public_data(blob):
+        # The attribute name is computed, so inference cannot resolve it
+        # (TOP) -- but the method still runs fine during rewrites.
+        return getattr(blob, "ext" + "ra", None)
+
+    @staticmethod
+    @label_for("data")
+    @jacqueline
+    def jacqueline_restrict_data(blob, ctxt):
+        return False
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _make_form(kind, models):
+    database = Database() if kind == "memory" else Database(SqliteBackend())
+    form = FORM(database)
+    form.register_all(models)
+    return form, database
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def memo_form(request):
+    form, database = _make_form(request.param, [Memo, Opaque])
+    with use_form(form):
+        yield form
+    if request.param == "sqlite":
+        database.close()
+
+
+def _public_titles(form, jid):
+    return [
+        row["title"]
+        for row in form.database.find("Memo", jid=jid)
+        if "=False" in row["jvars"]
+    ]
+
+
+def test_meta_caches_the_inferred_public_read_set():
+    meta = Memo._meta
+    assert meta.public_read_columns() == frozenset({"priority"})
+    # Cached: the AST work happens once per model class.
+    assert meta.public_read_columns() is meta.public_read_columns()
+    assert Opaque._meta.public_read_columns() is None  # TOP
+
+
+def test_fast_path_update_of_a_read_column_recomputes_public_facets(memo_form):
+    memo = Memo.objects.create(title="q3 planning", priority=1)
+    assert _public_titles(memo_form, memo.jid) == ["memo (priority 1)"]
+
+    # priority is not policied and the value is concrete: without read-set
+    # forcing this compiles to one in-place UPDATE and the stored public
+    # title above would keep saying "priority 1".
+    changed = Memo.objects.filter(title="q3 planning").update(priority=9)
+    assert changed == 2  # both facet rows rewritten
+
+    rows = memo_form.database.find("Memo", jid=memo.jid)
+    assert all(row["priority"] == 9 for row in rows)
+    assert _public_titles(memo_form, memo.jid) == ["memo (priority 9)"]
+
+
+def test_forced_fallback_is_counted_and_skips_the_fast_path(memo_form):
+    Memo.objects.create(title="t", priority=0)
+    with obs.tracing():
+        Memo.objects.all().update(priority=5)
+    assert obs.totals.get("writes.forced_fallback.read_set") == 1
+    assert obs.totals.get("writes.fallback") == 1
+    assert obs.totals.get("writes.fast_path") == 0
+
+
+def test_update_of_an_unread_column_keeps_the_fast_path(memo_form):
+    memo = Memo.objects.create(title="t", priority=2)
+    with obs.tracing():
+        Memo.objects.all().update(body="minutes attached")
+    assert obs.totals.get("writes.fast_path") == 1
+    assert obs.totals.get("writes.forced_fallback.read_set") == 0
+    # The snapshot untouched by the in-place write is still correct.
+    assert _public_titles(memo_form, memo.jid) == ["memo (priority 2)"]
+
+
+def test_top_read_set_forces_every_eligible_update(memo_form):
+    Opaque.objects.create(data="s3cret", extra="x")
+    with obs.tracing():
+        Opaque.objects.all().update(extra="y")
+    assert obs.totals.get("writes.forced_fallback.read_set") == 1
+    assert obs.totals.get("writes.fast_path") == 0
+
+
+def test_forced_update_is_batched_not_per_record_on_sqlite():
+    backend = SqliteBackend()
+    form = FORM(Database(backend))
+    form.register_all([Memo, Opaque])
+    with use_form(form):
+        for index in range(4):
+            Memo.objects.create(title=f"m{index}", priority=index)
+        with StatementLog(backend) as log:
+            Memo.objects.all().update(priority=7)
+        # Forced path == the batched rewrite: jid projection + row fetch +
+        # replace batch, never one statement per record -- and no single
+        # in-place UPDATE, which would have left the snapshots stale.
+        assert not any(s.startswith("UPDATE") for s in log.statements)
+        assert len(log.statements) < 4 + 2
+
+
+def test_explain_names_the_forced_path(memo_form):
+    report = Memo.objects.filter(priority=1).explain(
+        operation="update", priority=3
+    )
+    assert report["path"] == "fallback"
+    assert report["plan"] == "batched-facet-rewrite"
+    assert report["forced_by"] == "read_set"
+    assert report["forced_columns"] == ["priority"]
+
+    fast = Memo.objects.all().explain(operation="update", body="b")
+    assert fast["path"] == "fast"
+    assert "forced_by" not in fast
+
+    top = Opaque.objects.all().explain(operation="update", extra="z")
+    assert top["path"] == "fallback"
+    assert top["forced_columns"] == ["*"]
