@@ -61,10 +61,78 @@ class Backend(abc.ABC):
         self.invalidation.publish(table)
 
     def _publish_clear(self) -> None:
+        # clear() removes every row, so every table is facet-free again.
+        state = getattr(self, "_facet_state", None)
+        if state is not None:
+            for name in self.table_names():
+                state[name] = False
         self.invalidation.publish_all()
 
     def _publish_schema_change(self, table: Optional[str] = None) -> None:
+        if table is not None:
+            self._facet_tables.pop(table, None)
         self.invalidation.schema_changed(table)
+
+    # -- facet bookkeeping ---------------------------------------------------------
+
+    @property
+    def _facet_tables(self) -> Dict[str, bool]:
+        """Per-table "may hold faceted rows" bits (``jvars != ''``).
+
+        ``True`` is sticky until the table is cleared or dropped; ``False``
+        is trustworthy because every write path inspects the rows it writes
+        via :meth:`_note_facet_write`.  Absent means unknown (e.g. a
+        reopened persistent table) and :meth:`may_have_facets` probes once.
+        """
+        state = getattr(self, "_facet_state", None)
+        if state is None:
+            state = {}
+            self._facet_state = state
+        return state
+
+    def _note_facet_write(self, table: str, rows: Sequence[Dict[str, Any]]) -> None:
+        """Record that ``rows`` were written (sets the facet bit on jvars)."""
+        for row in rows:
+            if row.get("jvars"):
+                self._facet_tables[table] = True
+                return
+
+    def may_have_facets(self, table: str) -> bool:
+        """Whether ``table`` may hold faceted rows (non-empty ``jvars``).
+
+        Served from the write-maintained bit when known; otherwise one
+        ``EXISTS(jvars != '')`` probe runs and its result is cached (kept
+        coherent by the write hooks).  Tables without a ``jvars`` column can
+        never hold facets.  Errors stay conservative (``True``).
+
+        >>> from repro.db import Database
+        >>> from repro.db.schema import ColumnType
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", jvars=ColumnType.TEXT)
+        ...     before = db.backend.may_have_facets("Paper")
+        ...     _ = db.insert("Paper", jvars="a=True")
+        ...     (before, db.backend.may_have_facets("Paper"))
+        (False, True)
+        """
+        state = self._facet_tables
+        known = state.get(table)
+        if known is not None:
+            return known
+        try:
+            schema = self.schema(table)
+        except Exception:
+            return True
+        if not schema.has_column("jvars"):
+            state[table] = False
+            return False
+        try:
+            from repro.db.expr import ne
+
+            found = bool(self.exists(table, ne("jvars", "")))
+        except Exception:  # pragma: no cover - conservative on probe failure
+            return True
+        state[table] = found
+        return found
 
     # -- statement observation -----------------------------------------------------
 

@@ -236,6 +236,20 @@ class Database:
         query = plan_count_distinct(Query(table=table, where=where), column)
         return int(self.backend.aggregate(query) or 0)
 
+    def may_have_facets(self, table: str) -> bool:
+        """Whether ``table`` may hold faceted rows (write-maintained bit).
+
+        Backed by :meth:`repro.db.backend.Backend.may_have_facets`: writes
+        keep a per-table bit, so the hot paths (guarded-delete pushdown)
+        skip the ``EXISTS(jvars != '')`` probe statement entirely.
+
+        >>> with Database() as db:
+        ...     _ = db.define_table("Paper", jvars=ColumnType.TEXT)
+        ...     db.may_have_facets("Paper")
+        False
+        """
+        return self.backend.may_have_facets(table)
+
     def exists(self, table: str, where: Optional[Expression] = None) -> bool:
         """``SELECT EXISTS(...)``: any matching row, without fetching rows.
 

@@ -46,6 +46,8 @@ class MemoryBackend(Backend):
             if schema.name in self._tables:
                 return
             self._tables[schema.name] = Table(schema)
+        # A freshly created in-memory table is empty, hence facet-free.
+        self._facet_tables[schema.name] = False
         self._publish_schema_change()
 
     def drop_table(self, name: str) -> None:
@@ -81,6 +83,7 @@ class MemoryBackend(Backend):
                 "INSERT", insert_summary(table, 1), (), 1,
                 time.perf_counter() - started,
             )
+        self._note_facet_write(table, (values,))
         self._publish_write(table)
         return pk
 
@@ -93,11 +96,13 @@ class MemoryBackend(Backend):
         """
         observing = self._observing()
         started = time.perf_counter() if observing else 0.0
+        saw_facets = False
         with self._lock:
             target = self._table(table)
             pks: List[int] = []
             try:
                 for row in rows:
+                    saw_facets = saw_facets or bool(row.get("jvars"))
                     pks.append(target.insert(row))
             except BaseException:
                 for pk in pks:
@@ -108,6 +113,8 @@ class MemoryBackend(Backend):
                 "INSERT", insert_summary(table, len(pks)), (), len(pks),
                 time.perf_counter() - started,
             )
+        if saw_facets:
+            self._facet_tables[table] = True
         if pks:
             self._publish_write(table)
         return pks
@@ -127,6 +134,7 @@ class MemoryBackend(Backend):
                 "UPDATE", statement, params, count, time.perf_counter() - started
             )
         if count:
+            self._note_facet_write(table, (values,))
             self._publish_write(table)
         return count
 
@@ -178,6 +186,7 @@ class MemoryBackend(Backend):
         """
         observing = self._observing()
         started = time.perf_counter() if observing else 0.0
+        saw_facets = False
         with self._lock:
             target = self._table(table)
             where = self._resolve_expression(where)
@@ -186,6 +195,7 @@ class MemoryBackend(Backend):
             pks: List[int] = []
             try:
                 for row in rows:
+                    saw_facets = saw_facets or bool(row.get("jvars"))
                     pks.append(target.insert(row))
             except BaseException:
                 for pk in pks:
@@ -198,6 +208,8 @@ class MemoryBackend(Backend):
                 "REPLACE", replace_summary(table, len(replaced), len(pks)), (),
                 len(replaced) + len(pks), time.perf_counter() - started,
             )
+        if saw_facets:
+            self._facet_tables[table] = True
         if replaced or pks:
             self._publish_write(table)
         return pks

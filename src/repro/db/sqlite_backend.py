@@ -189,7 +189,30 @@ class SqliteBackend(Backend):
                 )
             connection.commit()
             self._schemas[schema.name] = schema
+            self._seed_facet_bit(connection, schema)
         self._publish_schema_change()
+
+    def _seed_facet_bit(self, connection: sqlite3.Connection, schema: TableSchema) -> None:
+        """Initialise the facet bit for a just-created table.
+
+        ``CREATE TABLE IF NOT EXISTS`` may have adopted a pre-existing table
+        in a persistent file, so file databases probe the adopted rows once
+        here (at schema time, never on the write/delete path); in-memory
+        databases are always fresh and therefore facet-free.
+        """
+        if not schema.has_column("jvars"):
+            self._facet_tables[schema.name] = False
+            return
+        if self._is_memory:
+            self._facet_tables[schema.name] = False
+            return
+        try:
+            cursor = connection.execute(
+                f'SELECT EXISTS(SELECT 1 FROM "{schema.name}" WHERE "jvars" != \'\')'
+            )
+            self._facet_tables[schema.name] = bool(cursor.fetchone()[0])
+        except sqlite3.Error:  # pragma: no cover - stay unknown, probe lazily
+            pass
 
     def drop_table(self, name: str) -> None:
         with self._writing() as connection:
@@ -247,6 +270,7 @@ class SqliteBackend(Backend):
                 "INSERT", insert_summary(table, 1), (), 1,
                 time.perf_counter() - started,
             )
+        self._note_facet_write(table, (row,))
         self._publish_write(table)
         return pk
 
@@ -303,6 +327,7 @@ class SqliteBackend(Backend):
                 "INSERT", insert_summary(table, len(prepared)), (), len(prepared),
                 time.perf_counter() - started,
             )
+        self._note_facet_write(table, prepared)
         self._publish_write(table)
         return pks
 
@@ -326,6 +351,7 @@ class SqliteBackend(Backend):
                 "UPDATE", statement, params, count, time.perf_counter() - started
             )
         if count:
+            self._note_facet_write(table, (values,))
             self._publish_write(table)
         return count
 
@@ -369,6 +395,7 @@ class SqliteBackend(Backend):
                 "REPLACE", replace_summary(table, deleted, len(pks)), (),
                 deleted + len(pks), time.perf_counter() - started,
             )
+        self._note_facet_write(table, prepared)
         if deleted or pks:
             self._publish_write(table)
         return pks

@@ -25,7 +25,7 @@ from repro.core.facets import Facet, collect_labels, facet_map
 from repro.core.labels import Label
 import dataclasses
 
-from repro.db.expr import InList, and_all, col, eq, eq_or_null, ne
+from repro.db.expr import InList, and_all, col, eq, eq_or_null
 from repro.db.query import (
     Aggregate,
     Query,
@@ -36,6 +36,7 @@ from repro.db.query import (
     plan_keys,
     plan_update,
 )
+from repro.form import pushdown as pushdown_sql
 from repro.form import writes
 from repro.form.aggregates import (
     FACET_AGGREGATE_FUNCTIONS,
@@ -126,10 +127,16 @@ class QuerySet:
         """
         form = current_form()
         with obs.span("form.fetch", model=self.model._meta.table_name):
-            entries = self._fetch_entries(form)
+            entries, pushed = self._fetch_entries(form)
             self._register_policies(form, entries)
             viewer = current_viewer()
             if viewer is not None:
+                if pushed:
+                    # Policy pushdown: the statement's pruning predicate
+                    # already kept exactly the facet rows visible to this
+                    # viewer -- no Python-side label resolution.
+                    obs.add("plan.policy_pushdown")
+                    return [instance for _jid, _branches, instance in entries]
                 return self._pruned(form, entries, viewer)
             obs.add("worlds.merged", len(entries))
             return build_faceted_collection(
@@ -173,7 +180,7 @@ class QuerySet:
         if self.limit is None and viewer is not None:
             form = current_form()
             bounded = self.limited(1, self.offset)
-            entries = bounded._fetch_entries(form)
+            entries, _pushed = bounded._fetch_entries(form)
             if not entries:
                 return None  # no matching record at all: no fallback needed
             bounded._register_policies(form, entries)
@@ -200,25 +207,34 @@ class QuerySet:
         what ``facet_map(len, fetch())`` would produce); inside one, only
         the partitions visible to the viewer are summed.
 
-        Falls back to the fetching path when the query set is bounded
-        (``limited``), or for a known viewer on a model with its own
-        policies -- there Early Pruning evaluates this model's policies
-        against the already-fetched secret facet, which a no-row-fetch plan
-        cannot do without one policy query per record.
+        Falls back to the fetching path only when the query set is bounded
+        (``limited``) -- the bound counts records, which the grouped plan
+        cannot see.  For a known viewer on a policied model the pruning
+        predicate itself joins the statement (policy pushdown,
+        :mod:`repro.form.pushdown`) whenever the model's policies classify
+        as viewer-independent or equality-on-viewer, keeping the count a
+        single SQL statement; only opaque policies (counted as
+        ``plan.policy_pushdown.opaque_fallback``) fetch and prune in
+        Python.
         """
-        pushdown = self._aggregate_groups(("COUNT",))
-        if pushdown is None:
+        plan = self._aggregate_groups(("COUNT",))
+        if plan is None:
             result = self.fetch()
             if isinstance(result, Facet):
                 return facet_map(len, result)
             return len(result)
-        form, groups, specs = pushdown
+        form, groups, specs, pushed = plan
         key = specs[0].result_key()
         counts = [
             (branches, int(row.get(key) or 0)) for branches, row in groups
         ]
         viewer = current_viewer()
         if viewer is not None:
+            if pushed:
+                # Every partition the statement returned is fully visible
+                # to the viewer (the pruning predicate saw to that).
+                obs.add("plan.policy_pushdown")
+                return sum(count for _branches, count in counts)
             resolve = self._label_resolver(form, viewer)
             return visible_value(counts, resolve, lambda a, b: a + b, 0)
         merged = merge_counts(counts)
@@ -258,16 +274,22 @@ class QuerySet:
             raise ValueError(f"unknown aggregate function {function!r}")
         meta = self.model._meta
         column = self._aggregate_column(meta, field_name, function)
-        pushdown = self._aggregate_groups(_STATS_SPECS[function], column)
-        if pushdown is None:
+        plan = self._aggregate_groups(_STATS_SPECS[function], column)
+        if plan is None:
             return self._aggregate_from_instances(column, function)
-        form, groups, specs = pushdown
+        form, groups, specs, pushed = plan
         stats = [
             (branches, self._stats_from_row(row, specs))
             for branches, row in groups
         ]
         viewer = current_viewer()
         if viewer is not None:
+            if pushed:
+                obs.add("plan.policy_pushdown")
+                merged = ColumnStats()
+                for _branches, partition in stats:
+                    merged = ColumnStats.combine(merged, partition)
+                return merged.finalise(function)
             resolve = self._label_resolver(form, viewer)
             merged = visible_value(
                 stats, resolve, ColumnStats.combine, ColumnStats()
@@ -375,9 +397,10 @@ class QuerySet:
 
         One guarded shape still compiles to a single statement: a
         single-branch pc on a model with no policy groups, over a table
-        whose rows all carry empty jvars (checked with one ``EXISTS`` probe
-        under the save lock -- pc labels are then *statically absent* from
-        the stored encodings).  Every matching record's sole facet row
+        whose rows all carry empty jvars (served by the write-maintained
+        per-table facet bit, so no probe statement runs -- pc labels are
+        then *statically absent* from the stored encodings).  Every
+        matching record's sole facet row
         survives confined to the negated branch, so the whole delete is
         ``UPDATE t SET jvars = '<negated>' WHERE jid IN (...) AND jvars =
         ''`` (counted as ``plan.delete_guarded_pushdown``); the per-row
@@ -401,7 +424,7 @@ class QuerySet:
         guarded_values = writes.guarded_delete_values(meta, pc)
         if guarded_values is not None:
             with form._save_lock:
-                if not form.database.exists(meta.table_name, ne("jvars", "")):
+                if not form.database.may_have_facets(meta.table_name):
                     obs.add("writes.fast_path")
                     obs.add("plan.delete_guarded_pushdown")
                     plan = self._guarded_delete_plan(meta, guarded_values)
@@ -454,10 +477,15 @@ class QuerySet:
         form = current_form()
         meta = self.model._meta
         if operation == "fetch":
-            query, _joined = self._build_query(meta)
+            query, _joined, pushed = self._build_query(meta, populate=False)
             report = query.explain()
             report["operation"] = "fetch"
-            report["mode"] = "pruned" if current_viewer() is not None else "faceted"
+            if pushed:
+                report["mode"] = "policy-pushdown"
+            else:
+                report["mode"] = (
+                    "pruned" if current_viewer() is not None else "faceted"
+                )
             return report
         if operation in ("count", "aggregate"):
             if operation == "count":
@@ -473,7 +501,17 @@ class QuerySet:
                     else None
                 )
             bounded = self.limit is not None or self.offset
-            pruned_policied = current_viewer() is not None and bool(meta.policy_groups)
+            agg_query = None
+            pushed = False
+            if not bounded:
+                agg_query, _group_columns, _specs, pushed = self._aggregate_plan(
+                    functions, column, populate=False
+                )
+            pruned_policied = (
+                current_viewer() is not None
+                and bool(meta.policy_groups)
+                and not pushed
+            )
             if bounded or pruned_policied:
                 report = self.explain("fetch")
                 report["operation"] = operation
@@ -483,9 +521,10 @@ class QuerySet:
                     else "pruned query on a policied model"
                 )
                 return report
-            agg_query, _group_columns, _specs = self._aggregate_plan(functions, column)
             report = agg_query.explain()
             report["operation"] = operation
+            if pushed:
+                report["mode"] = "policy-pushdown"
             return report
         if operation == "update":
             resolved = writes.resolve_update_fields(meta, values)
@@ -515,8 +554,8 @@ class QuerySet:
                 report["path"] = "fast"
             else:
                 guarded_values = writes.guarded_delete_values(meta, pc)
-                if guarded_values is not None and not form.database.exists(
-                    meta.table_name, ne("jvars", "")
+                if guarded_values is not None and not form.database.may_have_facets(
+                    meta.table_name
                 ):
                     report = self._guarded_delete_plan(meta, guarded_values).explain()
                     report["plan"] = "guarded-delete-pushdown"
@@ -577,7 +616,9 @@ class QuerySet:
             ))
         return rows
 
-    def _fetch_entries(self, form: FORM) -> List[Tuple[int, Tuple[JvarBranch, ...], Any]]:
+    def _fetch_entries(
+        self, form: FORM
+    ) -> Tuple[List[Tuple[int, Tuple[JvarBranch, ...], Any]], bool]:
         """Run the relational query and unmarshal rows into
         ``(jid, branches, instance)`` entries (one per facet row).
 
@@ -586,10 +627,16 @@ class QuerySet:
         i.e. the pre-pruning result shared by every viewer -- and instances
         are rebuilt per fetch, so per-request state attached to instances
         (resolved foreign keys, application mutations) never crosses fetches
-        or viewers.
+        or viewers.  Policy-pushdown statements embed the viewer key in
+        their store subquery (and so in the cache key): their already-pruned
+        entries cache per viewer, never shared, and a store repopulation
+        invalidates them through ``tables_read()`` like any other write.
+
+        Returns ``(entries, pushed)``; ``pushed`` means the statement's
+        pruning predicate already did the viewer's pruning.
         """
         meta = self.model._meta
-        query, joined_tables = self._build_query(meta)
+        query, joined_tables, pushed = self._build_query(meta)
         cache = form.caches.queries if form.caches.query_cache_enabled else None
         key = None
         raw_entries: Optional[
@@ -622,7 +669,7 @@ class QuerySet:
             for jid, branches, values in self._limit_entries(raw_entries)
         ]
         obs.add("facet.rows.unmarshalled", len(entries))
-        return entries
+        return entries, pushed
 
     def _limit_entries(
         self, entries: List[Tuple[int, Tuple[JvarBranch, ...], Any]]
@@ -675,7 +722,9 @@ class QuerySet:
             query = query.limited(self.limit, self.offset)
         return query, joined
 
-    def _build_query(self, meta) -> Tuple[Query, List[str]]:
+    def _build_query(
+        self, meta, populate: bool = True
+    ) -> Tuple[Query, List[str], bool]:
         query, joined = self._ordered_query(meta)
         # Bounded queries compile to the jid-subselect pushdown: the LIMIT
         # counts DISTINCT jids inside a subquery, so the database prunes to
@@ -684,30 +733,73 @@ class QuerySet:
         if query.limit is not None or query.offset:
             query = plan_bounded(query, "jid", query.limit, query.offset)
             obs.add("plan.bounded")
-        return query, joined
+            return query, joined, False
+        # Unbounded pruned queries on eligible policied models additionally
+        # compile the pruning predicate into the statement (policy
+        # pushdown): the engine keeps exactly the viewer-visible facet
+        # rows, so the Python side skips label resolution entirely.  The
+        # bounded form stays on the Python path -- its record bound counts
+        # *matching* records pre-pruning, and :meth:`first`'s
+        # invisible-match fallback depends on seeing them.
+        viewer = current_viewer()
+        pushed = False
+        if viewer is not None:
+            conjuncts = pushdown_sql.pruning_conjuncts(
+                current_form(), self.model, joined, viewer, populate=populate
+            )
+            if conjuncts is not None:
+                for conjunct in conjuncts:
+                    query = query.filter(conjunct)
+                pushed = True
+        return query, joined, pushed
 
     # -- aggregate pushdown -------------------------------------------------------------
 
     def _aggregate_plan(
-        self, functions: Tuple[str, ...], column: Optional[str] = None
-    ) -> Tuple[Query, List[str], Tuple[Aggregate, ...]]:
+        self,
+        functions: Tuple[str, ...],
+        column: Optional[str] = None,
+        populate: bool = True,
+    ) -> Tuple[Query, List[str], Tuple[Aggregate, ...], bool]:
         """Compile this query set's grouped jvars-partition statement.
 
         The plan-construction half of :meth:`_aggregate_groups`, shared with
         :meth:`explain` so the reported SQL is the executed SQL by
-        construction.  Returns ``(query, group_columns, specs)``.
+        construction.  Returns ``(query, group_columns, specs, pushed)``;
+        ``pushed`` means the statement carries the viewer's pruning
+        predicate (policy pushdown), so every returned partition is fully
+        visible -- and the jvars GROUP BY is dropped entirely: with the
+        engine pruning, partitioning by label assignment would only split
+        one visible world across thousands of per-record groups to be
+        re-summed in Python.  ``populate=False`` plans without refreshing
+        the label-assignment store (``explain``) -- the predicate's SQL
+        does not depend on the store's contents, so the two spellings
+        agree.
         """
         meta = self.model._meta
         query, joined = self._filtered_query(meta)
+        pushed = False
+        viewer = current_viewer()
+        if viewer is not None and self.limit is None and not self.offset:
+            conjuncts = pushdown_sql.pruning_conjuncts(
+                current_form(), self.model, joined, viewer, populate=populate
+            )
+            if conjuncts is not None:
+                for conjunct in conjuncts:
+                    query = query.filter(conjunct)
+                pushed = True
         if column is not None and joined and "." not in column:
             column = f"{meta.table_name}.{column}"
         specs = tuple(
             Aggregate(function) if column is None else Aggregate(function, column)
             for function in functions
         )
-        group_columns = [f"{meta.table_name}.jvars" if joined else "jvars"]
-        group_columns.extend(f"{table}.jvars" for table in joined)
-        return plan_aggregate(query, group_columns, specs), group_columns, specs
+        if pushed:
+            group_columns: List[str] = []
+        else:
+            group_columns = [f"{meta.table_name}.jvars" if joined else "jvars"]
+            group_columns.extend(f"{table}.jvars" for table in joined)
+        return plan_aggregate(query, group_columns, specs), group_columns, specs, pushed
 
     def _aggregate_groups(self, functions: Tuple[str, ...], column: Optional[str] = None):
         """Fetch the jvars-partitioned aggregates behind count()/aggregate().
@@ -716,26 +808,32 @@ class QuerySet:
         statement -- ``SELECT jvars..., AGG... GROUP BY jvars...`` (every
         joined table's jvars column joins the grouping, exactly as its
         branches would have joined each row's branch set) -- and returns
-        ``(form, groups, specs)`` where ``groups`` pairs each partition's
-        parsed branches with its aggregate row.
+        ``(form, groups, specs, pushed)`` where ``groups`` pairs each
+        partition's parsed branches with its aggregate row and ``pushed``
+        means the statement carried the viewer's pruning predicate.
 
-        Returns ``None`` when the pushdown does not apply: bounded query
-        sets (the bound counts records, which a grouped plan cannot see),
-        and pruned queries on models with their own policies (Early Pruning
-        evaluates those policies against the fetched secret facet; a
-        no-fetch plan would instead pay one policy query per record).
+        Returns ``None`` when the grouped plan does not apply: bounded
+        query sets (the bound counts records, which a grouped plan cannot
+        see), and pruned queries on policied models whose pruning predicate
+        could *not* be compiled into the statement (opaque policies,
+        unknown viewer identity, store population failure) -- there Early
+        Pruning must evaluate policies against the fetched secret facet,
+        which a no-fetch plan cannot do.
 
         Results are cached in the faceted query cache under the aggregate
         plan's own key; ``tables_read()`` registers the base and joined
-        tables, so any write to them invalidates the cached partitions.
+        tables (for pushed plans also the label-assignment store), so any
+        write to them invalidates the cached partitions.
         """
         if self.limit is not None or self.offset:
             return None
         meta = self.model._meta
-        if current_viewer() is not None and meta.policy_groups:
-            return None
         form = current_form()
-        agg_query, group_columns, specs = self._aggregate_plan(functions, column)
+        agg_query, group_columns, specs, pushed = self._aggregate_plan(
+            functions, column
+        )
+        if current_viewer() is not None and meta.policy_groups and not pushed:
+            return None
         obs.add("plan.aggregate_pushdown")
         cache = form.caches.queries if form.caches.query_cache_enabled else None
         key = None
@@ -753,7 +851,7 @@ class QuerySet:
                 groups.append((tuple(dict.fromkeys(branches)), dict(row)))
             if cache is not None:
                 cache.put(key, list(agg_query.tables_read()), groups)
-        return form, groups, specs
+        return form, groups, specs, pushed
 
     @staticmethod
     def _stats_from_row(row: Dict[str, Any], specs: Sequence[Aggregate]) -> ColumnStats:

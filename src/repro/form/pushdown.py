@@ -1,0 +1,425 @@
+"""Policy pushdown: compile Early Pruning into the SQL statement itself.
+
+Every policied read used to fetch facet rows and resolve each guarding
+label in Python -- O(labels) policy evaluations per request.  This module
+materialises policy *outcomes* instead: a label-assignment store table
+(:data:`STORE_TABLE`) holds, per ``(model table, viewer)``, every non-empty
+``jvars`` encoding whose branches are all consistent with the viewer's
+resolved label assignment.  A pruned query then appends one predicate per
+involved table::
+
+    (jvars = '' OR jvars IN (SELECT jvars FROM "__jacq_labels__"
+                             WHERE table_name = ? AND viewer_key = ?))
+
+and the *database engine* prunes -- one SQL statement for
+``filter().fetch()``, ``count()`` and ``aggregate()`` on both backends.
+
+Correctness is by construction, not by re-deriving policies in SQL: the
+store is populated by the same :func:`repro.form.manager._resolve_label`
+pipeline the Python path uses (the Python path stays both the fallback and
+the differential-testing oracle, see ``tests/fuzz/``).  Because label names
+embed the record (``Table.jid.group``) and :func:`repro.form.marshal.format_jvars`
+canonicalises branch order, a non-empty ``jvars`` string identifies its
+label assignment exactly, so membership of the *string* decides visibility
+of the *row*.
+
+The decision procedure consumes :mod:`repro.analysis.classify` shapes:
+
+* ``viewer-independent`` / ``equality-on-viewer`` models are eligible;
+* any ``opaque`` group keeps the model on the Python path and counts
+  ``plan.policy_pushdown.opaque_fallback`` -- no silent third state.
+
+Invalidation (epoch coherence):
+
+* every store entry is stamped with the global policy epoch, the schema
+  generation and a write mark taken *before* the population read;
+* models whose policies provably read only their own row (shape checks
+  pass, inferred read set is not TOP, no cross-record reads, no ORM query
+  in the policy body) invalidate *narrowly* on their own table's write
+  generation; everything else invalidates on any write (a broad counter
+  fed by the invalidation bus);
+* out-of-band policy inputs (e.g. the conference phase) must call
+  :func:`repro.cache.epoch.bump_policy_epoch` -- the same contract the
+  label cache already imposes.
+
+>>> _is_model_label("not a label")
+False
+>>> _viewer_key_text(("User", 3))
+"('User', 3)"
+"""
+
+from __future__ import annotations
+
+import ast
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro import obs
+from repro.cache.bus import InvalidationBus, subscribe_weak
+from repro.cache.epoch import policy_epoch
+from repro.cache.label_cache import viewer_cache_key
+from repro.db.expr import ColumnRef, Expression, InSubquery, OrExpr, and_all, eq, ne
+from repro.db.query import Query
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.form.marshal import parse_jvars
+
+#: The label-assignment store: per (model table, viewer), the jvars
+#: encodings visible to that viewer.  The double-underscore name keeps it
+#: out of the application namespace, like Django's own meta tables.
+STORE_TABLE = "__jacq_labels__"
+
+
+def _store_schema() -> TableSchema:
+    return TableSchema(
+        STORE_TABLE,
+        (
+            Column("id", ColumnType.INTEGER, primary_key=True),
+            Column("table_name", ColumnType.TEXT, indexed=True),
+            Column("viewer_key", ColumnType.TEXT, indexed=True),
+            Column("jvars", ColumnType.TEXT, default=""),
+        ),
+    )
+
+
+def _viewer_key_text(viewer_key: Hashable) -> str:
+    """The stored spelling of a viewer identity (stable across requests)."""
+    return repr(viewer_key)
+
+
+def _is_model_label(name: str) -> bool:
+    """Whether a label follows the FORM convention and resolves to a
+    registered model's policy group.
+
+    Anything else (pc labels pushed by application code, ad-hoc value-facet
+    labels) has no write/epoch invalidation hook the store could subscribe
+    to, so tables carrying such labels stay on the Python path.
+    """
+    parts = name.split(".")
+    if len(parts) != 3:
+        return False
+    table, jid_text, group_key = parts
+    try:
+        int(jid_text)
+    except ValueError:
+        return False
+    from repro.form.model import ModelRegistry
+
+    try:
+        model = ModelRegistry.get(table)
+    except LookupError:
+        return False
+    return any(g.key == group_key for g in model._meta.policy_groups)
+
+
+def _has_orm_query(node: Optional[ast.AST]) -> bool:
+    """Whether a policy body mentions ``.objects`` anywhere.
+
+    Read-set inference only flags cross-record reads it can prove; an ORM
+    query whose argument is an attribute chain escapes it.  For *narrow*
+    invalidation we must be certain the policy reads nothing but its own
+    row, so any ``.objects`` mention forces broad invalidation.
+    """
+    if node is None:
+        return True
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "objects"
+        for sub in ast.walk(node)
+    )
+
+
+@dataclass(frozen=True)
+class PushdownProfile:
+    """The per-model decision record of the pushdown planner.
+
+    ``eligible`` -- every policy group is viewer-independent or
+    equality-on-viewer (classifier shapes), so the store can serve this
+    model.  ``opaque`` -- at least one group is opaque; queries touching the
+    model fall back and count ``plan.policy_pushdown.opaque_fallback``.
+    ``narrow`` -- outcomes provably depend only on the model's own rows
+    (plus epoch-guarded globals): invalidate on the own-table write
+    generation instead of every write.
+    """
+
+    eligible: bool
+    narrow: bool
+    opaque: bool
+    shapes: Dict[str, str] = field(default_factory=dict)
+
+
+def _compute_profile(model: type) -> PushdownProfile:
+    meta = model._meta
+    if not meta.policy_groups:
+        return PushdownProfile(eligible=True, narrow=True, opaque=False)
+    try:
+        from repro.analysis.classify import classify_policy
+        from repro.analysis.facts import facts_for_model
+
+        facts = facts_for_model(model)
+        records = [classify_policy(group, facts) for group in facts.groups]
+    except Exception:
+        # Classification itself failing (lost source, exotic bodies) is the
+        # opaque case: the Python evaluator stays the oracle.
+        return PushdownProfile(eligible=False, narrow=False, opaque=True)
+    shapes = {record["group"]: record["shape"] for record in records}
+    opaque = any(record["shape"] == "opaque" for record in records)
+    eligible = not opaque and len(records) == len(meta.policy_groups)
+    narrow = eligible and all(
+        record["reads"] != "TOP" and not record["cross_record"]
+        for record in records
+    ) and not any(_has_orm_query(group.node) for group in facts.groups)
+    return PushdownProfile(
+        eligible=eligible, narrow=narrow, opaque=opaque or not eligible,
+        shapes=shapes,
+    )
+
+
+def profile_for(model: type) -> PushdownProfile:
+    """The (cached) pushdown profile of a model class."""
+    meta = model._meta
+    try:
+        return meta._pushdown_profile
+    except AttributeError:
+        meta._pushdown_profile = _compute_profile(model)
+    return meta._pushdown_profile
+
+
+class LabelAssignmentStore:
+    """Maintains :data:`STORE_TABLE` write-through and tracks its validity.
+
+    One instance per FORM, subscribed (weakly) to the database's
+    invalidation bus.  ``ensure()`` is the only populater: it snapshots the
+    validity stamps *before* reading, resolves every distinct non-empty
+    jvars encoding through the Python resolver, and swaps the viewer's
+    slice of the store atomically with ``replace_rows`` -- so a write
+    racing the population can only make the recorded stamps stale, never
+    leave a stale store looking valid.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        #: (table, viewer_key) -> (narrow, epoch, schema_gen, mark, ok)
+        self._valid: Dict[Tuple[str, Hashable], Tuple[bool, int, int, int, bool]] = {}
+        #: bumped on every non-store write (the broad invalidation mark)
+        self._any_write = 0
+        self._count_lock = threading.Lock()
+        self._local = threading.local()
+        self._subscription = None
+
+    # -- bus wiring -----------------------------------------------------------------
+
+    def bind(self, bus: InvalidationBus) -> None:
+        self._subscription = subscribe_weak(
+            bus, self, LabelAssignmentStore._on_write
+        )
+
+    def _on_write(self, table: str) -> None:
+        # The store's own repopulation writes must not invalidate the store.
+        if table == STORE_TABLE:
+            return
+        with self._count_lock:
+            self._any_write += 1
+
+    # -- re-entrancy ------------------------------------------------------------------
+
+    @property
+    def populating(self) -> bool:
+        """Whether *this thread* is inside a population resolution cycle.
+
+        Policies evaluated during population may issue queries of their
+        own; those nested queries must take the Python path (the store
+        being filled is not yet trustworthy, and recursing into ensure()
+        could loop).
+        """
+        return getattr(self._local, "active", False)
+
+    # -- validity ---------------------------------------------------------------------
+
+    def _entry_current(
+        self, bus: InvalidationBus, table: str,
+        entry: Tuple[bool, int, int, int, bool],
+    ) -> bool:
+        narrow, epoch, schema, mark, _ok = entry
+        if epoch != policy_epoch() or schema != bus.schema_generation:
+            return False
+        current = bus.write_generation(table) if narrow else self._any_write
+        return mark == current
+
+    def predicts(self, model: type, viewer_key: Hashable) -> bool:
+        """Whether planning (``explain``) should assume the store serves
+        this (table, viewer) -- without populating it.
+
+        Optimistic for never-attempted pairs (profiles were already
+        checked); pessimistic after a recorded population failure, which
+        only unknown (non-model) labels cause and which writes rarely cure.
+        """
+        entry = self._valid.get((model._meta.table_name, viewer_key))
+        return True if entry is None else entry[4]
+
+    # -- population --------------------------------------------------------------------
+
+    def ensure(self, form: Any, model: type, viewer: Any, viewer_key: Hashable) -> bool:
+        """Make the store current for ``(model's table, viewer)``.
+
+        Returns ``True`` when the store can serve the pruning predicate;
+        ``False`` when population failed (some stored label does not follow
+        the model convention) and the caller must fall back.
+        """
+        meta = model._meta
+        table = meta.table_name
+        bus = form.database.invalidation
+        with self._lock:
+            entry = self._valid.get((table, viewer_key))
+            if entry is not None and self._entry_current(bus, table, entry):
+                return entry[4]
+            if not form.database.has_table(STORE_TABLE):
+                form.database.create_table(_store_schema())
+            # Stamp snapshots come BEFORE the read they guard (the label
+            # cache's fill-vs-write pattern): a racing write makes the
+            # recorded entry stale, forcing repopulation on the next query.
+            epoch = policy_epoch()
+            schema = bus.schema_generation
+            narrow_mark = bus.write_generation(table)
+            broad_mark = self._any_write
+            self._local.active = True
+            try:
+                outcome = self._visible_jvars(form, meta, viewer)
+            finally:
+                self._local.active = False
+            profile = profile_for(model)
+            if outcome is None:
+                ok, narrow = False, profile.narrow
+            else:
+                visible, only_own = outcome
+                ok = True
+                narrow = profile.narrow and only_own
+                key_text = _viewer_key_text(viewer_key)
+                where = and_all(
+                    [eq("table_name", table), eq("viewer_key", key_text)]
+                )
+                rows = [
+                    {"table_name": table, "viewer_key": key_text, "jvars": encoded}
+                    for encoded in visible
+                ]
+                form.database.replace_rows(STORE_TABLE, where, rows)
+                obs.add("pushdown.store.refresh")
+            mark = narrow_mark if narrow else broad_mark
+            self._valid[(table, viewer_key)] = (narrow, epoch, schema, mark, ok)
+            return ok
+
+    def _visible_jvars(
+        self, form: Any, meta: Any, viewer: Any
+    ) -> Optional[Tuple[List[str], bool]]:
+        """Resolve every distinct non-empty jvars encoding of a table.
+
+        Returns ``(visible encodings, only own-table labels seen)``, or
+        ``None`` when an encoding mentions a label the store cannot keep
+        coherent (population failure -> Python fallback).  Resolution goes
+        through the exact oracle pipeline (:func:`_resolve_label`), memoised
+        per label for the scan.
+        """
+        from repro.form.manager import _resolve_label
+
+        query = (
+            Query(table=meta.table_name)
+            .select("jvars")
+            .filter(ne("jvars", ""))
+            .distinct_rows()
+        )
+        rows = form.database.execute(query)
+        prefix = f"{meta.table_name}."
+        memo: Dict[str, bool] = {}
+        visible: List[str] = []
+        only_own = True
+        for row in rows:
+            encoded = row.get("jvars")
+            keep = True
+            for name, polarity in parse_jvars(encoded):
+                if not name.startswith(prefix):
+                    only_own = False
+                outcome = memo.get(name)
+                if outcome is None:
+                    if not _is_model_label(name):
+                        return None
+                    outcome = bool(_resolve_label(form, name, viewer))
+                    memo[name] = outcome
+                if outcome != polarity:
+                    keep = False
+                    break
+            if keep:
+                visible.append(encoded)
+        return visible, only_own
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all validity stamps (``FORM.clear()``)."""
+        with self._lock:
+            self._valid.clear()
+
+
+def pruning_conjuncts(
+    form: Any,
+    model: type,
+    joined_tables: List[str],
+    viewer: Any,
+    populate: bool = True,
+) -> Optional[List[Expression]]:
+    """The per-table pruning predicates of a viewer-context query, or
+    ``None`` when the Python path must prune.
+
+    One conjunct per involved table (base plus joins), each
+    ``jvars = '' OR jvars IN (store slice)``.  ``populate=False`` builds
+    the same predicate without touching the store (``explain``); the
+    predicate SQL does not depend on the store's *contents*, so the
+    reported statement string-equals the executed one.
+    """
+    if not getattr(form, "policy_pushdown_enabled", True):
+        return None
+    store = getattr(form, "pushdown_store", None)
+    if store is None or store.populating:
+        return None
+    key = viewer_cache_key(viewer)
+    if key is None:
+        return None
+    from repro.form.model import ModelRegistry
+
+    models = [model]
+    for table in joined_tables:
+        try:
+            models.append(ModelRegistry.get(table))
+        except LookupError:
+            return None
+    if not any(m._meta.policy_groups for m in models):
+        # Nothing policied anywhere in the query: the existing paths are
+        # already optimal (and unpolicied pc-label rows stay on the
+        # resolver path, whose semantics they were written against).
+        return None
+    for m in models:
+        profile = profile_for(m)
+        if not profile.eligible:
+            if profile.opaque:
+                obs.add("plan.policy_pushdown.opaque_fallback")
+            return None
+    for m in models:
+        if populate:
+            if not store.ensure(form, m, viewer, key):
+                return None
+        elif not store.predicts(m, key):
+            return None
+    qualify = bool(joined_tables)
+    key_text = _viewer_key_text(key)
+    conjuncts: List[Expression] = []
+    for m in models:
+        table = m._meta.table_name
+        column = f"{table}.jvars" if qualify else "jvars"
+        store_slice = (
+            Query(table=STORE_TABLE)
+            .select("jvars")
+            .filter(eq("table_name", table))
+            .filter(eq("viewer_key", key_text))
+        )
+        conjuncts.append(
+            OrExpr(eq(column, ""), InSubquery(ColumnRef(column), store_slice))
+        )
+    return conjuncts

@@ -52,6 +52,18 @@ COUNTER_GLOSSARY: Dict[str, str] = {
     "plan.aggregate_pushdown": "aggregates compiled to one grouped statement",
     "plan.update_pushdown": "updates compiled to one UPDATE statement",
     "plan.delete_pushdown": "deletes compiled to one DELETE statement",
+    "plan.policy_pushdown": (
+        "pruned reads whose pruning predicate was compiled into the SQL "
+        "statement (Early Pruning in SQL, repro.form.pushdown)"
+    ),
+    "plan.policy_pushdown.opaque_fallback": (
+        "pruned reads kept on the Python path because a policy classified "
+        "as opaque (repro.analysis.classify)"
+    ),
+    "pushdown.store.refresh": (
+        "label-assignment store repopulations (one per stale "
+        "(table, viewer) slice; Early Pruning in SQL)"
+    ),
     "db.statements": "SQL statements executed by the backends",
     "db.rows": "rows returned or changed by those statements",
     "web.requests": "requests dispatched by the web applications",
