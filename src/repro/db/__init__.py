@@ -16,22 +16,38 @@ single interface:
 translation between Django-style and Jacqueline-style queries.
 """
 
-from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.schema import Column, ColumnType, IndexSpec, TableSchema, index_name
 from repro.db.expr import (
     AndExpr,
+    Between,
     ColumnRef,
     Comparison,
     ExistsSubquery,
     Expression,
     InList,
     InSubquery,
+    Like,
     Literal,
     NotExpr,
     OrExpr,
+    between,
     col,
     exists_subquery,
+    gt,
+    gte,
     in_subquery,
+    like,
     lit,
+    lt,
+    lte,
+    prefix_range,
+    string_successor,
+)
+from repro.db.planner import (
+    AccessPath,
+    PlanChoice,
+    TableStatistics,
+    choose_plan,
 )
 from repro.db.query import (
     Aggregate,
@@ -60,7 +76,9 @@ from repro.db.sqlgen import delete_to_sql, query_to_sql, schema_to_sql, update_t
 __all__ = [
     "Column",
     "ColumnType",
+    "IndexSpec",
     "TableSchema",
+    "index_name",
     "Expression",
     "ColumnRef",
     "Literal",
@@ -69,8 +87,22 @@ __all__ = [
     "OrExpr",
     "NotExpr",
     "InList",
+    "Between",
+    "Like",
     "col",
     "lit",
+    "gt",
+    "gte",
+    "lt",
+    "lte",
+    "between",
+    "like",
+    "prefix_range",
+    "string_successor",
+    "AccessPath",
+    "PlanChoice",
+    "TableStatistics",
+    "choose_plan",
     "Query",
     "Join",
     "Order",

@@ -270,6 +270,16 @@ class Backend(abc.ABC):
     def aggregate(self, query: Query) -> Any:
         """Run an aggregate query and return the scalar result."""
 
+    def explain_query(self, query: Query) -> Dict[str, Any]:
+        """Backend-specific plan detail merged into ``Query.explain()``.
+
+        The memory engine reports the access path its cost model would
+        choose (``chosen_plan`` / ``considered_plans``); SQLite reports its
+        own ``EXPLAIN QUERY PLAN`` rows.  Must not execute the query or
+        emit statement-observer events.  Default: nothing to add.
+        """
+        return {}
+
     @staticmethod
     def _check_aggregate(query: Query):
         """Validate an aggregate query; returns its :class:`Aggregate`.

@@ -264,6 +264,31 @@ class Database:
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         return self.backend.execute(query)
 
+    def explain(self, query: Query) -> Dict[str, Any]:
+        """The query's plan shape, rendered SQL and backend access path.
+
+        :meth:`Query.explain` (plan shape + SQL that string-equals the
+        executed statement) merged with the backend's own plan detail: the
+        memory engine's cost-model choice (``chosen_plan`` /
+        ``considered_plans``), SQLite's ``EXPLAIN QUERY PLAN`` rows.
+        Nothing is executed and no statement event is emitted.
+
+        >>> from repro.db.schema import Column
+        >>> with Database() as db:
+        ...     schema = TableSchema("Paper", (
+        ...         Column("id", ColumnType.INTEGER, primary_key=True),
+        ...         Column("score", ColumnType.INTEGER, ordered=True)))
+        ...     db.create_table(schema)
+        ...     _ = db.insert_many("Paper", [{"score": n} for n in range(8)])
+        ...     from repro.db.expr import between
+        ...     plan = db.explain(db.query("Paper").filter(between("score", 2, 4)))
+        ...     plan["chosen_plan"]["access"]
+        'ordered-range'
+        """
+        report = query.explain()
+        report.update(self.backend.explain_query(query))
+        return report
+
     def aggregate(self, query: Query) -> Any:
         """Run a scalar (or GROUP-BY dict) aggregate query.
 

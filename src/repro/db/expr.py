@@ -8,6 +8,8 @@ join queries.
 
 from __future__ import annotations
 
+import datetime
+import re
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -398,6 +400,164 @@ class IsNull(Expression):
         return self.operand.subqueries()
 
 
+@dataclass(frozen=True)
+class Between(Expression):
+    """Range test ``operand BETWEEN low AND high`` (inclusive both ends).
+
+    SQL defines it as ``operand >= low AND operand <= high`` and the
+    three-valued semantics follow from that expansion: a NULL operand or
+    bound makes the corresponding comparison UNKNOWN, but a definite FALSE
+    on either side still dominates (``5 BETWEEN 7 AND NULL`` is FALSE on
+    SQLite, not UNKNOWN).
+
+    >>> between("score", 2, 5).evaluate({"score": 3})
+    True
+    >>> between("score", 2, 5).evaluate({"score": None}) is None
+    True
+    >>> between("score", 7, None).evaluate({"score": 5})
+    False
+    >>> between("score", 2, 5).to_sql()
+    ('score BETWEEN ? AND ?', [2, 5])
+    """
+
+    operand: Expression
+    low: Expression
+    high: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        low = self.low.evaluate(row)
+        high = self.high.evaluate(row)
+        ge = None if value is None or low is None else value >= low
+        le = None if value is None or high is None else value <= high
+        # Three-valued AND of the two comparisons.
+        if ge is not None and not ge:
+            return False
+        if le is not None and not le:
+            return False
+        if ge is None or le is None:
+            return None
+        return True
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        operand_sql, params = self.operand.to_sql()
+        low_sql, low_params = self.low.to_sql()
+        high_sql, high_params = self.high.to_sql()
+        return (
+            f"{operand_sql} BETWEEN {low_sql} AND {high_sql}",
+            params + low_params + high_params,
+        )
+
+    def columns(self) -> List[str]:
+        return self.operand.columns() + self.low.columns() + self.high.columns()
+
+    def subqueries(self) -> List[Any]:
+        return (
+            self.operand.subqueries()
+            + self.low.subqueries()
+            + self.high.subqueries()
+        )
+
+
+def _like_text(value: Any) -> str:
+    """The TEXT form SQLite compares a stored value against under LIKE.
+
+    Mirrors the SQLite backend's storage encoding, so the memory engine's
+    LIKE agrees with SQLite applying LIKE to the stored representation:
+    booleans are stored as 1/0, datetimes as their isoformat.
+    """
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, datetime.datetime):
+        return value.isoformat()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL pattern match ``operand LIKE pattern`` (``%`` and ``_`` wildcards).
+
+    The default follows SQLite's LIKE: case-insensitive for ASCII letters
+    only.  ``case_sensitive=True`` matches exactly -- rendered to SQL as
+    ``GLOB`` with a translated pattern, because SQLite's LIKE operator
+    cannot be made case-sensitive per-expression -- and is the form an
+    ordered index can serve with a prefix range probe.  A NULL operand or
+    pattern is UNKNOWN, as in SQL.
+
+    >>> like("path", "/eng/%", case_sensitive=True).evaluate({"path": "/eng/a"})
+    True
+    >>> like("name", "AD%").evaluate({"name": "ada"})
+    True
+    >>> like("name", "AD%", case_sensitive=True).evaluate({"name": "ada"})
+    False
+    >>> like("name", "a%").evaluate({"name": None}) is None
+    True
+    >>> like("path", "/eng/%", case_sensitive=True).to_sql()
+    ('path GLOB ?', ['/eng/*'])
+    """
+
+    operand: Expression
+    pattern: str
+    case_sensitive: bool = False
+
+    def evaluate(self, row: Dict[str, Any]) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None or self.pattern is None:
+            return None
+        regex = self.__dict__.get("_regex")
+        if regex is None:
+            translated = "".join(
+                ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+                for ch in self.pattern
+            )
+            flags = re.DOTALL
+            if not self.case_sensitive:
+                # SQLite's LIKE folds case for ASCII letters only.
+                flags |= re.IGNORECASE | re.ASCII
+            regex = re.compile(translated, flags)
+            object.__setattr__(self, "_regex", regex)
+        return regex.fullmatch(_like_text(value)) is not None
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        operand_sql, params = self.operand.to_sql()
+        if not self.case_sensitive:
+            return f"{operand_sql} LIKE ?", params + [self.pattern]
+        glob = "".join(
+            "*" if ch == "%" else "?" if ch == "_"
+            else f"[{ch}]" if ch in "*?[" else ch
+            for ch in self.pattern
+        )
+        return f"{operand_sql} GLOB ?", params + [glob]
+
+    def literal_prefix(self) -> Tuple[str, bool]:
+        """The pattern's leading literal text, and whether it is *pure*.
+
+        A pure prefix pattern is ``literal + '%'`` exactly -- every string
+        in the half-open range ``[prefix, successor(prefix))`` matches, so
+        a case-sensitive index probe over that range is exact.
+
+        >>> like("p", "/eng/%").literal_prefix()
+        ('/eng/', True)
+        >>> like("p", "a_c%").literal_prefix()
+        ('a', False)
+        """
+        prefix = []
+        for index, ch in enumerate(self.pattern):
+            if ch in "%_":
+                rest = self.pattern[index:]
+                return "".join(prefix), rest == "%"
+            prefix.append(ch)
+        return "".join(prefix), False
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+    def subqueries(self) -> List[Any]:
+        return self.operand.subqueries()
+
+
 # -- subquery resolution ---------------------------------------------------------
 
 
@@ -519,6 +679,110 @@ def eq_or_null(column: str, value: Any) -> Expression:
     if value is None:
         return IsNull(ColumnRef(column))
     return eq(column, value)
+
+
+def _comparison(op: str, column: str, value: Any) -> Comparison:
+    right = value if isinstance(value, Expression) else Literal(value)
+    return Comparison(op, ColumnRef(column), right)
+
+
+def gt(column: str, value: Any) -> Comparison:
+    """``column > value``.
+
+    >>> gt("score", 3).evaluate({"score": 5})
+    True
+    """
+    return _comparison(">", column, value)
+
+
+def gte(column: str, value: Any) -> Comparison:
+    """``column >= value``.
+
+    >>> gte("score", 3).evaluate({"score": 3})
+    True
+    """
+    return _comparison(">=", column, value)
+
+
+def lt(column: str, value: Any) -> Comparison:
+    """``column < value``.
+
+    >>> lt("score", 3).evaluate({"score": None}) is None
+    True
+    """
+    return _comparison("<", column, value)
+
+
+def lte(column: str, value: Any) -> Comparison:
+    """``column <= value``.
+
+    >>> lte("score", 3).to_sql()
+    ('score <= ?', [3])
+    """
+    return _comparison("<=", column, value)
+
+
+def between(column: str, low: Any, high: Any) -> Between:
+    """``column BETWEEN low AND high`` (inclusive both ends).
+
+    >>> between("score", 2, 4).evaluate({"score": 4})
+    True
+    """
+    low_expr = low if isinstance(low, Expression) else Literal(low)
+    high_expr = high if isinstance(high, Expression) else Literal(high)
+    return Between(ColumnRef(column), low_expr, high_expr)
+
+
+def like(column: str, pattern: str, case_sensitive: bool = False) -> Like:
+    """``column LIKE pattern`` (``%``/``_`` wildcards; SQLite case rules).
+
+    >>> like("title", "facet%").evaluate({"title": "Faceted values"})
+    True
+    """
+    return Like(ColumnRef(column), pattern, case_sensitive)
+
+
+def string_successor(text: str) -> Optional[str]:
+    """The smallest string greater than every string prefixed by ``text``.
+
+    The upper bound of a prefix range probe: increment the last code point,
+    carrying past ``chr(0x10FFFF)``.  ``None`` means "no finite bound"
+    (empty input or all-maximal code points).  Valid for both backends
+    because UTF-8 byte order equals code-point order.
+
+    >>> string_successor("/eng/")
+    '/eng0'
+    >>> string_successor("") is None
+    True
+    """
+    for index in range(len(text) - 1, -1, -1):
+        if ord(text[index]) < 0x10FFFF:
+            return text[:index] + chr(ord(text[index]) + 1)
+    return None
+
+
+def prefix_range(column: str, prefix: str) -> Expression:
+    """A prefix match compiled to plain range comparisons.
+
+    The rewrite SQLite's own LIKE optimisation applies to
+    ``column LIKE 'prefix%'``: a half-open range ``[prefix,
+    successor(prefix))`` that ordinary ordered indexes serve on both
+    backends.  Case-sensitive by construction (range comparisons are), so
+    it is the indexable spelling of the org-tree ``path LIKE :prefix ||
+    '%'`` policy shape.
+
+    >>> prefix_range("path", "/eng/").to_sql()
+    ('(path >= ? AND path < ?)', ['/eng/', '/eng0'])
+    >>> prefix_range("path", "").to_sql()
+    ('path IS NOT NULL', [])
+    """
+    if not prefix:
+        # Every non-NULL TEXT value matches the empty prefix.
+        return IsNull(ColumnRef(column), negated=True)
+    upper = string_successor(prefix)
+    if upper is None:  # all-maximal code points: no finite upper bound
+        return gte(column, prefix)
+    return AndExpr(gte(column, prefix), lt(column, upper))
 
 
 def in_subquery(column: str, subquery: Any) -> InSubquery:

@@ -33,11 +33,17 @@ from repro.db.table import Table
 
 
 class MemoryBackend(Backend):
-    """Keeps every table in memory; useful for tests and fast benchmarks."""
+    """Keeps every table in memory; useful for tests and fast benchmarks.
 
-    def __init__(self) -> None:
+    ``use_indexes=False`` forces every read onto the full-scan path --
+    the oracle configuration plan-parity fuzzing compares against; rendered
+    SQL and all other observables are unchanged by the flag.
+    """
+
+    def __init__(self, use_indexes: bool = True) -> None:
         self._tables: Dict[str, Table] = {}
         self._lock = threading.RLock()
+        self._use_indexes = use_indexes
 
     # -- schema management ---------------------------------------------------------
 
@@ -45,7 +51,9 @@ class MemoryBackend(Backend):
         with self._lock:
             if schema.name in self._tables:
                 return
-            self._tables[schema.name] = Table(schema)
+            table = Table(schema)
+            table.use_indexes = self._use_indexes
+            self._tables[schema.name] = table
         # A freshly created in-memory table is empty, hence facet-free.
         self._facet_tables[schema.name] = False
         self._publish_schema_change()
@@ -271,6 +279,18 @@ class MemoryBackend(Backend):
                 )
                 rows = dedupe_rows(projected, stop_after=stop_after)
                 return rows[query.offset:] if query.offset else rows
+            if not query.is_join() and not query.distinct and query.order_by:
+                # Ask the cost model whether an ordered index can serve the
+                # ORDER BY directly: rows then stream out pre-sorted with an
+                # early exit at offset+limit matches, no sort pass at all.
+                table = self._table(query.table)
+                choice = table.plan(where, query.order_by, query.limit, query.offset)
+                table.last_plan = choice
+                if choice.chosen.serves_order:
+                    rows = self._serve_in_order(table, choice.chosen, where, query)
+                    if columns:
+                        rows = [self._pick_columns(row, columns) for row in rows]
+                    return rows
             source = self._source_rows(query, where)
             rows = source
             if where is not None:
@@ -373,6 +393,26 @@ class MemoryBackend(Backend):
         result = apply_order(result, query.order_by)
         return apply_limit(result, query.limit, query.offset)
 
+    def _serve_in_order(self, table: Table, path, where, query: Query):
+        """Stream an order-serving access path: filter, stop early, copy.
+
+        The path hands back candidates already in ORDER BY order (the
+        planner only claims ``serves_order`` when the index's order is
+        scan-identical, NULL placement and tie-breaks included), so the
+        first ``offset + limit`` matches *are* the result window.
+        """
+        if query.limit is not None and query.limit <= 0:
+            return []
+        rows, exact = table.rows_for_path(path, copy=False)
+        stop = None if query.limit is None else query.limit + query.offset
+        matched: List[Dict[str, Any]] = []
+        for row in rows:
+            if exact or where is None or where.evaluate(row):
+                matched.append(dict(row))
+                if stop is not None and len(matched) >= stop:
+                    break
+        return matched[query.offset:] if query.offset else matched
+
     def _source_rows(
         self, query: Query, where, copy: bool = True
     ) -> List[Dict[str, Any]]:
@@ -387,6 +427,31 @@ class MemoryBackend(Backend):
         if not query.is_join():
             return self._table(query.table).candidate_rows(where, copy=copy)
         return self._join_rows(query)
+
+    def explain_query(self, query: Query) -> Dict[str, Any]:
+        """The access path the cost model chooses for this query, unexecuted.
+
+        Single-table reads report ``chosen_plan`` / ``considered_plans``
+        (the same :func:`repro.db.planner.choose_plan` call the executor
+        makes, over live statistics, so explain == execution); joins scan.
+        Subqueries are left unresolved -- planning must not execute them.
+        """
+        if query.is_join() or not self.has_table(query.table):
+            return {}
+        with self._lock:
+            table = self._table(query.table)
+            # Subqueries stay unresolved (planning never executes them): an
+            # InSubquery conjunct simply contributes no probe, while sibling
+            # conjuncts still plan exactly as execution will.
+            choice = table.plan(
+                query.where, query.order_by, query.limit, query.offset
+            )
+        return choice.describe()
+
+    def last_plan(self, table: str):
+        """The :class:`~repro.db.planner.PlanChoice` behind the most recent
+        planned read of ``table`` (test/debug introspection)."""
+        return self._table(table).last_plan
 
     def clear(self) -> None:
         with self._lock:

@@ -61,7 +61,15 @@ class ColumnType(enum.Enum):
 
 @dataclass(frozen=True)
 class Column:
-    """A single column definition."""
+    """A single column definition.
+
+    ``indexed`` requests a hash index on the memory engine (exact
+    ``=``/``IN``/``IS NULL`` probes) and a ``CREATE INDEX`` on SQLite;
+    ``ordered`` additionally requests an *ordered* index serving range
+    predicates, prefix matches and ORDER BY (SQLite's B-tree indexes are
+    ordered already, so there it only adds the DDL when ``indexed`` is
+    unset).
+    """
 
     name: str
     type: ColumnType
@@ -69,6 +77,7 @@ class Column:
     nullable: bool = True
     default: Any = None
     indexed: bool = False
+    ordered: bool = False
 
     def coerce(self, value: Any) -> Any:
         if value is None:
@@ -76,6 +85,40 @@ class Column:
                 raise ValueError(f"column {self.name!r} is not nullable")
             return None
         return self.type.coerce(value)
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A (possibly composite) ordered secondary index declaration.
+
+    ``columns`` are ordered most-significant first, like SQL composite
+    indexes: a range or prefix probe on ``columns[0]`` can always be
+    served, and the index orders rows by the full column tuple.  The name
+    defaults to ``idx_<table>_<col1>_<col2>`` at DDL-emission time (see
+    :func:`index_name`), keeping SQLite's per-database index namespace
+    collision-free.
+
+    >>> IndexSpec(("score", "jid")).columns
+    ('score', 'jid')
+    """
+
+    columns: Tuple[str, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("an index needs at least one column")
+        if len(self.columns) != len(set(self.columns)):
+            raise SchemaError(f"index has duplicate columns: {self.columns!r}")
+
+
+def index_name(table: str, spec: IndexSpec) -> str:
+    """The DDL name of an index (explicit, or derived from its columns).
+
+    >>> index_name("Task", IndexSpec(("path", "jid")))
+    'idx_Task_path_jid'
+    """
+    return spec.name or "idx_{}_{}".format(table, "_".join(spec.columns))
 
 
 class SchemaError(Exception):
@@ -92,6 +135,9 @@ class TableSchema:
 
     name: str
     columns: Tuple[Column, ...]
+    #: Explicit (possibly composite) ordered-index declarations, beyond the
+    #: single-column indexes implied by ``Column.indexed``/``Column.ordered``.
+    indexes: Tuple[IndexSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -106,6 +152,13 @@ class TableSchema:
             raise SchemaError(f"primary key of {self.name!r} must be INTEGER")
         self._by_name: Dict[str, Column] = {column.name: column for column in self.columns}
         self._primary_key: Column = primary[0]
+        for spec in self.indexes:
+            for column in spec.columns:
+                if column not in self._by_name:
+                    raise SchemaError(
+                        f"index {index_name(self.name, spec)!r} references "
+                        f"unknown column {column!r}"
+                    )
 
     # -- queries ---------------------------------------------------------------
 
@@ -129,6 +182,26 @@ class TableSchema:
 
     def indexed_columns(self) -> List[Column]:
         return [column for column in self.columns if column.indexed]
+
+    def ordered_indexes(self) -> List[IndexSpec]:
+        """Every ordered index of this table, single-column and composite.
+
+        ``Column(ordered=True)`` contributes a single-column spec; the
+        schema's explicit :attr:`indexes` follow (duplicate column tuples
+        collapse, first declaration wins).
+        """
+        specs: List[IndexSpec] = [
+            IndexSpec((column.name,)) for column in self.columns if column.ordered
+        ]
+        specs.extend(self.indexes)
+        seen: Dict[Tuple[str, ...], None] = {}
+        unique = []
+        for spec in specs:
+            if spec.columns in seen:
+                continue
+            seen[spec.columns] = None
+            unique.append(spec)
+        return unique
 
     # -- row helpers -------------------------------------------------------------
 
@@ -162,4 +235,10 @@ class TableSchema:
         """
         existing = set(self.column_names())
         appended = tuple(column for column in extra if column.name not in existing)
-        return TableSchema(self.name, self.columns + appended)
+        return TableSchema(self.name, self.columns + appended, self.indexes)
+
+    def with_indexes(self, extra: Sequence[IndexSpec]) -> "TableSchema":
+        """A copy of this schema with additional ordered indexes appended."""
+        existing = {spec.columns for spec in self.indexes}
+        appended = tuple(spec for spec in extra if spec.columns not in existing)
+        return TableSchema(self.name, self.columns, self.indexes + appended)

@@ -31,7 +31,7 @@ from repro.db.backend import Backend
 from repro.db.expr import Expression
 from repro.db.observe import insert_summary, replace_summary
 from repro.db.query import DeletePlan, Query, UpdatePlan, compute_aggregate
-from repro.db.schema import Column, ColumnType, SchemaError, TableSchema
+from repro.db.schema import Column, ColumnType, SchemaError, TableSchema, index_name
 from repro.db.sqlgen import delete_to_sql, query_to_sql, schema_to_sql, update_to_sql
 
 
@@ -120,13 +120,25 @@ class _ConnectionPool:
 
 
 class SqliteBackend(Backend):
-    """Stores tables in a SQLite database (in-memory by default)."""
+    """Stores tables in a SQLite database (in-memory by default).
 
-    def __init__(self, path: str = ":memory:", timeout: float = 30.0) -> None:
+    ``emit_indexes=False`` suppresses every ``CREATE INDEX`` at table
+    creation -- the forced-scan configuration plan-parity fuzzing compares
+    against; all statements and results are otherwise identical.
+    """
+
+    def __init__(
+        self, path: str = ":memory:", timeout: float = 30.0,
+        emit_indexes: bool = True,
+    ) -> None:
         self._path = path
         self._is_memory = path == ":memory:"
         self._write_lock = threading.RLock()
         self._schemas: Dict[str, TableSchema] = {}
+        self._emit_indexes = emit_indexes
+        #: Every CREATE INDEX statement this backend has executed, in order
+        #: (the captured-DDL record index-coverage tests assert against).
+        self._index_ddl: List[str] = []
         if self._is_memory:
             self._shared_connection: Optional[sqlite3.Connection] = sqlite3.connect(
                 path, check_same_thread=False
@@ -180,17 +192,52 @@ class SqliteBackend(Backend):
         if schema.name in self._schemas:
             return
         statement = schema_to_sql(schema)
+        index_statements = self._index_statements(schema) if self._emit_indexes else []
         with self._writing() as connection:
             connection.execute(statement)
-            for column in schema.indexed_columns():
-                connection.execute(
-                    f'CREATE INDEX IF NOT EXISTS "idx_{schema.name}_{column.name}" '
-                    f'ON "{schema.name}" ("{column.name}")'
-                )
+            for index_statement in index_statements:
+                connection.execute(index_statement)
             connection.commit()
+            self._index_ddl.extend(index_statements)
             self._schemas[schema.name] = schema
             self._seed_facet_bit(connection, schema)
         self._publish_schema_change()
+
+    @staticmethod
+    def _index_statements(schema: TableSchema) -> List[str]:
+        """Every ``CREATE INDEX`` statement a table's schema calls for.
+
+        Hash-indexed columns (``indexed=True``) and ordered indexes
+        (``ordered=True`` columns plus explicit :class:`IndexSpec`\\ s,
+        composite included) both become plain B-tree indexes here --
+        SQLite's indexes are ordered already, so the two memory-engine
+        index families collapse into one DDL form.  A column that is both
+        ``indexed`` and ``ordered`` gets a single index.
+        """
+        statements: List[str] = []
+        emitted = set()
+        for column in schema.indexed_columns():
+            name = f"idx_{schema.name}_{column.name}"
+            emitted.add(name)
+            statements.append(
+                f'CREATE INDEX IF NOT EXISTS "{name}" '
+                f'ON "{schema.name}" ("{column.name}")'
+            )
+        for spec in schema.ordered_indexes():
+            name = index_name(schema.name, spec)
+            if name in emitted:
+                continue
+            emitted.add(name)
+            columns_sql = ", ".join(f'"{c}"' for c in spec.columns)
+            statements.append(
+                f'CREATE INDEX IF NOT EXISTS "{name}" '
+                f'ON "{schema.name}" ({columns_sql})'
+            )
+        return statements
+
+    def index_ddl(self) -> List[str]:
+        """The ``CREATE INDEX`` statements executed so far, in order."""
+        return list(self._index_ddl)
 
     def _seed_facet_bit(self, connection: sqlite3.Connection, schema: TableSchema) -> None:
         """Initialise the facet bit for a just-created table.
@@ -453,6 +500,24 @@ class SqliteBackend(Backend):
         if function in ("MIN", "MAX"):
             value = self._decode_aggregated_value(query, query.aggregate, value)
         return value
+
+    def explain_query(self, query: Query) -> Dict[str, Any]:
+        """SQLite's own ``EXPLAIN QUERY PLAN`` rows for this query.
+
+        The statement is only *prepared* (never run), no observer event is
+        emitted, and the captured index DDL rides along so callers can see
+        which declared indexes back the reported plan.
+        """
+        statement, params = query_to_sql(query, qualify=query.is_join())
+        try:
+            with self._reading() as connection:
+                cursor = connection.execute(
+                    "EXPLAIN QUERY PLAN " + statement, self._encode_params(params)
+                )
+                detail = [str(row[-1]) for row in cursor.fetchall()]
+        except sqlite3.Error:  # pragma: no cover - explain is best-effort
+            return {}
+        return {"sqlite_plan": detail, "index_ddl": self.index_ddl()}
 
     def clear(self) -> None:
         with self._writing() as connection:

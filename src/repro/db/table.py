@@ -1,15 +1,179 @@
-"""In-memory table storage with secondary indexes."""
+"""In-memory table storage with secondary indexes.
+
+Two index families live beside the row heap:
+
+* **hash indexes** (``Column(indexed=True)``): dict buckets serving exact
+  ``=`` / ``IN`` / ``IS NULL`` probes;
+* **ordered indexes** (``Column(ordered=True)`` or an explicit
+  :class:`~repro.db.schema.IndexSpec`): bisect-maintained sorted entry
+  lists serving range predicates (``<`` ``<=`` ``>`` ``>=`` ``BETWEEN``),
+  case-sensitive prefix ``LIKE``, and in-order walks for ORDER BY with
+  early exit under LIMIT.
+
+Which one (if any) serves a given read is decided by the cost model in
+:mod:`repro.db.planner` from live table statistics; ``use_indexes=False``
+forces the scan path, which is the oracle plan-parity fuzzing compares
+against.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+import bisect
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.db.expr import Expression
-from repro.db.schema import SchemaError, TableSchema
+from repro.db.planner import AccessPath, PlanChoice, TableStatistics, choose_plan
+from repro.db.schema import SchemaError, TableSchema, index_name
+
+
+class _Top:
+    """A sentinel comparing greater than every value; used as a bisect
+    probe suffix to land *after* all entries sharing a key prefix."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:  # pragma: no cover - never stored
+        return 0
+
+
+_TOP = _Top()
+
+#: NULL sort component: ``(1,)`` orders after every ``(0, value)``, so an
+#: ascending entry walk yields non-NULL values first and NULLs last --
+#: exactly the engine's pinned ORDER BY NULL convention.
+_NULL_COMPONENT: Tuple[int, ...] = (1,)
+
+
+def _component(value: Any) -> Tuple[Any, ...]:
+    return _NULL_COMPONENT if value is None else (0, value)
+
+
+class OrderedIndex:
+    """A sorted-list ordered index over one or more columns.
+
+    Entries are tuples ``(enc(v1), ..., enc(vn), pk)`` where ``enc``
+    wraps each column value so NULLs order after non-NULLs and the
+    primary key breaks ties deterministically (stable-sort order).  All
+    probes are tuple-prefix bisections, so lookups are O(log n) and range
+    reads O(log n + matches).
+    """
+
+    __slots__ = ("name", "columns", "_entries", "_first_counts")
+
+    def __init__(self, name: str, columns: Tuple[str, ...]) -> None:
+        self.name = name
+        self.columns = columns
+        self._entries: List[Tuple[Any, ...]] = []
+        # Distinct leading-component counts feed the planner's cardinality
+        # estimate without an O(n) walk per plan.
+        self._first_counts: Dict[Tuple[Any, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, row: Dict[str, Any], pk: int) -> Tuple[Any, ...]:
+        return tuple(_component(row.get(c)) for c in self.columns) + (pk,)
+
+    def add(self, row: Dict[str, Any], pk: int) -> None:
+        key = self.key_for(row, pk)
+        bisect.insort(self._entries, key)
+        first = key[0]
+        self._first_counts[first] = self._first_counts.get(first, 0) + 1
+
+    def remove(self, row: Dict[str, Any], pk: int) -> None:
+        key = self.key_for(row, pk)
+        position = bisect.bisect_left(self._entries, key)
+        if position < len(self._entries) and self._entries[position] == key:
+            del self._entries[position]
+            first = key[0]
+            count = self._first_counts.get(first, 0) - 1
+            if count <= 0:
+                self._first_counts.pop(first, None)
+            else:
+                self._first_counts[first] = count
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._first_counts.clear()
+
+    def cardinality(self) -> int:
+        return len(self._first_counts)
+
+    # -- probes -------------------------------------------------------------------
+
+    def range_pks(
+        self,
+        low: Optional[Tuple[Any, bool]],
+        high: Optional[Tuple[Any, bool]],
+        descending: bool = False,
+    ) -> List[int]:
+        """Primary keys of rows whose leading column lies in the range.
+
+        Bounds are ``(value, inclusive)`` or ``None`` for unbounded.  NULL
+        leading values never qualify (a SQL range comparison with NULL is
+        UNKNOWN).  Ascending output is (value, pk)-ordered; descending
+        output walks value groups in reverse while keeping ascending pk
+        order inside each group, matching a stable reverse sort.
+        """
+        entries = self._entries
+        if low is None:
+            start = 0
+        elif low[1]:
+            start = bisect.bisect_left(entries, (_component(low[0]),))
+        else:
+            start = bisect.bisect_left(entries, (_component(low[0]), _TOP))
+        if high is None:
+            stop = bisect.bisect_left(entries, (_NULL_COMPONENT,))
+        elif high[1]:
+            stop = bisect.bisect_left(entries, (_component(high[0]), _TOP))
+        else:
+            stop = bisect.bisect_left(entries, (_component(high[0]),))
+        segment = entries[start:stop]
+        if not descending:
+            return [entry[-1] for entry in segment]
+        return self._descending_pks(segment)
+
+    def scan_pks(self, descending: bool = False) -> List[int]:
+        """Every primary key in index order (NULLs last ascending, first
+        descending -- the engine's ORDER BY NULL convention)."""
+        if not descending:
+            return [entry[-1] for entry in self._entries]
+        return self._descending_pks(self._entries)
+
+    @staticmethod
+    def _descending_pks(segment: Sequence[Tuple[Any, ...]]) -> List[int]:
+        # Walk equal-leading-value groups back to front, keeping ascending
+        # pk order inside each group: the exact row order of a stable
+        # reverse=True sort, so index-served DESC is scan-identical.
+        out: List[int] = []
+        i = len(segment)
+        while i > 0:
+            j = i
+            first = segment[i - 1][0]
+            while i > 0 and segment[i - 1][0] == first:
+                i -= 1
+            out.extend(entry[-1] for entry in segment[i:j])
+        return out
 
 
 class Table:
-    """A heap of rows plus hash indexes on the columns marked ``indexed``.
+    """A heap of rows plus hash and ordered indexes per the schema.
 
     Rows are stored as dicts keyed by column name; the integer primary key is
     auto-assigned on insert when missing.
@@ -22,6 +186,16 @@ class Table:
         self._indexes: Dict[str, Dict[Any, set]] = {
             column.name: {} for column in schema.indexed_columns()
         }
+        self._ordered: Dict[str, OrderedIndex] = {}
+        for spec in schema.ordered_indexes():
+            name = index_name(schema.name, spec)
+            self._ordered[name] = OrderedIndex(name, spec.columns)
+        #: ``False`` forces the scan path -- the oracle configuration the
+        #: plan-parity fuzz harness runs against.
+        self.use_indexes = True
+        #: The :class:`~repro.db.planner.PlanChoice` behind the most recent
+        #: planned read, recorded for ``explain()``/test introspection.
+        self.last_plan: Optional[PlanChoice] = None
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -92,6 +266,8 @@ class Table:
         self._next_pk = 1
         for index in self._indexes.values():
             index.clear()
+        for ordered in self._ordered.values():
+            ordered.clear()
 
     # -- queries ---------------------------------------------------------------------
 
@@ -118,9 +294,10 @@ class Table:
         A conservative superset of the matching rows: callers still
         evaluate ``where`` per row.  Equality, ``IN (...)`` lists (the
         resolved form of a jid-subselect pushdown) and ``IS NULL`` probes on
-        an indexed column read the hash index instead of scanning the heap,
-        which is what keeps the memory backend's bounded and grouped query
-        paths O(matches) instead of O(table).
+        a hash-indexed column read the hash buckets, and range/``BETWEEN``/
+        prefix-``LIKE`` probes on an ordered-indexed column read the sorted
+        entries -- which is what keeps the memory backend's bounded and
+        grouped query paths O(matches) instead of O(table).
 
         ``copy=False`` returns the live row dicts -- only for callers that
         read under the backend lock and never return them (the aggregate
@@ -130,6 +307,89 @@ class Table:
         if not copy:
             return rows
         return [dict(row) for row in rows]
+
+    # -- planning ------------------------------------------------------------------------
+
+    def statistics(self) -> TableStatistics:
+        """A live snapshot of the statistics the cost model consumes."""
+        return TableStatistics(
+            row_count=len(self._rows),
+            hash_indexes={
+                column: len(index) for column, index in self._indexes.items()
+            },
+            ordered_indexes={
+                name: index.columns for name, index in self._ordered.items()
+            },
+            ordered_cardinality={
+                name: index.cardinality() for name, index in self._ordered.items()
+            },
+        )
+
+    def plan(
+        self,
+        where: Optional[Expression],
+        order_by: Sequence[Any] = (),
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> PlanChoice:
+        """Cost the access paths for a read over this table."""
+        return choose_plan(
+            where,
+            order_by,
+            limit,
+            offset,
+            statistics=self.statistics(),
+            use_indexes=self.use_indexes,
+        )
+
+    def rows_for_path(
+        self, path: AccessPath, copy: bool = True
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Execute an access path, returning ``(candidate rows, exact)``.
+
+        ``exact`` means the candidates are precisely the rows matching the
+        predicate the path was planned for, so callers may skip per-row
+        evaluation.  Rows arrive in index order when ``path.serves_order``
+        (respecting ``path.descending``), heap order otherwise.  Records
+        the served path in the ``plan.index.*`` observability counters.
+        """
+        rows, exact = self._path_rows(path)
+        obs.add(_PATH_COUNTERS[path.kind])
+        if copy:
+            rows = [dict(row) for row in rows]
+        return rows, exact
+
+    def _path_rows(self, path: AccessPath) -> Tuple[List[Dict[str, Any]], bool]:
+        if path.kind == "hash-probe":
+            index = self._indexes.get(path.column, {})
+            pks: set = set()
+            for value in path.values or ():
+                pks |= index.get(value, set())
+            return [self._rows[pk] for pk in sorted(pks) if pk in self._rows], path.exact
+        if path.kind == "ordered-range":
+            if path.empty:
+                # A NULL bound makes that conjunct UNKNOWN for every row:
+                # nothing can match, exactly.
+                return [], True
+            ordered = self._ordered[path.index]
+            try:
+                pks = ordered.range_pks(path.low, path.high, path.descending)
+            except TypeError:
+                # Probe literal incomparable with stored values (mixed-type
+                # query): fall back to the scan the planner would otherwise
+                # have chosen.
+                return list(self._rows.values()), False
+            if not path.serves_order:
+                # Without an ORDER BY to serve, candidates keep primary-key
+                # order -- the same order the scan and hash paths produce,
+                # so enabling the index never changes observable row order.
+                pks = sorted(pks)
+            return [self._rows[pk] for pk in pks if pk in self._rows], path.exact
+        if path.kind == "ordered-scan":
+            ordered = self._ordered[path.index]
+            pks = ordered.scan_pks(path.descending)
+            return [self._rows[pk] for pk in pks if pk in self._rows], False
+        return list(self._rows.values()), False
 
     # -- indexes ------------------------------------------------------------------------
 
@@ -144,73 +404,27 @@ class Table:
         """Index-narrowed candidate rows plus an exactness flag.
 
         ``exact`` means the candidates are precisely the rows matching
-        ``where`` -- the whole filter is one indexed probe whose bucket
-        membership *is* the predicate -- so callers may skip per-row
+        ``where`` -- the whole filter is one indexed probe whose bucket (or
+        range) membership *is* the predicate -- so callers may skip per-row
         evaluation.  This is the narrowing behind set-oriented writes: the
         resolved ``jid IN (...)`` of a write plan mutates exactly its index
-        buckets, O(matches) with no per-row predicate work.
+        buckets, O(matches) with no per-row predicate work.  The access
+        path is chosen by the cost model in :mod:`repro.db.planner`.
         """
         if where is None:
             return list(self._rows.values()), True
-        hit = self._index_lookup(where)
-        if hit is None:
+        if not self.use_indexes:
             return list(self._rows.values()), False
-        column, values, exact = hit
-        index = self._indexes.get(column, {})
-        pks: set = set()
-        for value in values:
-            pks |= index.get(value, set())
-        return [self._rows[pk] for pk in sorted(pks) if pk in self._rows], exact
-
-    def _index_lookup(
-        self, where: Expression
-    ) -> Optional[Tuple[str, Tuple[Any, ...], bool]]:
-        """Detect a top-level indexed ``= literal`` / ``IN`` / ``IS NULL``.
-
-        Returns ``(column, candidate key values, exact)``.  An ``IN`` list
-        drops NULL entries -- a NULL never compares equal, so no matching
-        row can live in the NULL bucket -- while ``IS NULL`` reads exactly
-        that bucket; both probes are *exact* (bucket membership equals the
-        predicate), as is ``= literal`` for a non-NULL literal.  Only
-        AND-conjunctions are descended: an OR branch could match rows
-        outside any single index bucket, and a descended probe is merely a
-        superset (``exact=False``).
-        """
-        from repro.db.expr import AndExpr, ColumnRef, Comparison, InList, IsNull, Literal
-
-        if isinstance(where, Comparison) and where.op == "=":
-            if isinstance(where.left, ColumnRef) and isinstance(where.right, Literal):
-                name = where.left.name.rsplit(".", 1)[-1]
-                if name in self._indexes:
-                    # "= NULL" is UNKNOWN, never a match: the NULL bucket is
-                    # a superset that per-row evaluation must reject.
-                    return name, (where.right.value,), where.right.value is not None
-        if isinstance(where, InList) and isinstance(where.operand, ColumnRef):
-            name = where.operand.name.rsplit(".", 1)[-1]
-            if name in self._indexes:
-                values = tuple(value for value in where.values if value is not None)
-                try:
-                    for value in values:
-                        hash(value)
-                except TypeError:  # unhashable: cannot probe a hash index
-                    return None
-                return name, values, True
-        if isinstance(where, IsNull) and not where.negated:
-            if isinstance(where.operand, ColumnRef):
-                name = where.operand.name.rsplit(".", 1)[-1]
-                if name in self._indexes:
-                    return name, (None,), True
-        if isinstance(where, AndExpr):
-            hit = self._index_lookup(where.left) or self._index_lookup(where.right)
-            if hit is not None:
-                column, values, _exact = hit
-                return column, values, False
-        return None
+        choice = self.plan(where)
+        self.last_plan = choice
+        return self.rows_for_path(choice.chosen, copy=False)
 
     def _index_add(self, row: Dict[str, Any]) -> None:
         pk = row[self.schema.primary_key.name]
         for column, index in self._indexes.items():
             index.setdefault(row.get(column), set()).add(pk)
+        for ordered in self._ordered.values():
+            ordered.add(row, pk)
 
     def _index_remove(self, row: Dict[str, Any]) -> None:
         pk = row[self.schema.primary_key.name]
@@ -218,6 +432,17 @@ class Table:
             bucket = index.get(row.get(column))
             if bucket is not None:
                 bucket.discard(pk)
+        for ordered in self._ordered.values():
+            ordered.remove(row, pk)
 
     def __repr__(self) -> str:
         return f"Table({self.schema.name!r}, rows={len(self._rows)})"
+
+
+#: Observability counter per executed access-path kind.
+_PATH_COUNTERS = {
+    "hash-probe": "plan.index.hash_probe",
+    "ordered-range": "plan.index.range_probe",
+    "ordered-scan": "plan.index.ordered_scan",
+    "full-scan": "plan.index.full_scan",
+}

@@ -479,6 +479,9 @@ class QuerySet:
         if operation == "fetch":
             query, _joined, pushed = self._build_query(meta, populate=False)
             report = query.explain()
+            # Backend plan detail: the memory engine's cost-model choice
+            # (chosen_plan / considered_plans), SQLite's EXPLAIN QUERY PLAN.
+            report.update(form.database.backend.explain_query(query))
             report["operation"] = "fetch"
             if pushed:
                 report["mode"] = "policy-pushdown"

@@ -61,7 +61,7 @@ from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
 from repro.db.expr import ColumnRef, Expression, InSubquery, OrExpr, and_all, eq, ne
 from repro.db.query import Query
-from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.schema import Column, ColumnType, IndexSpec, TableSchema
 from repro.form.marshal import parse_jvars
 
 #: The label-assignment store: per (model table, viewer), the jvars
@@ -71,6 +71,9 @@ STORE_TABLE = "__jacq_labels__"
 
 
 def _store_schema() -> TableSchema:
+    # The composite (table_name, viewer_key) index backs the store-slice
+    # subselect every pushed-down statement joins against -- one probe per
+    # (model table, viewer) slice instead of two single-column narrowings.
     return TableSchema(
         STORE_TABLE,
         (
@@ -79,6 +82,7 @@ def _store_schema() -> TableSchema:
             Column("viewer_key", ColumnType.TEXT, indexed=True),
             Column("jvars", ColumnType.TEXT, default=""),
         ),
+        indexes=(IndexSpec(("table_name", "viewer_key")),),
     )
 
 

@@ -60,6 +60,22 @@ COUNTER_GLOSSARY: Dict[str, str] = {
         "pruned reads kept on the Python path because a policy classified "
         "as opaque (repro.analysis.classify)"
     ),
+    "plan.index.hash_probe": (
+        "memory-engine reads served by a hash-index bucket probe "
+        "(=, IN, IS NULL on an indexed column)"
+    ),
+    "plan.index.range_probe": (
+        "memory-engine reads served by an ordered-index range probe "
+        "(<, <=, >, >=, BETWEEN, prefix LIKE on an ordered column)"
+    ),
+    "plan.index.ordered_scan": (
+        "memory-engine reads served by an in-order ordered-index walk "
+        "(ORDER BY without a sort, early exit under LIMIT)"
+    ),
+    "plan.index.full_scan": (
+        "memory-engine reads where the cost model chose (or was forced "
+        "to) a full heap scan"
+    ),
     "pushdown.store.refresh": (
         "label-assignment store repopulations (one per stale "
         "(table, viewer) slice; Early Pruning in SQL)"

@@ -1,0 +1,214 @@
+"""The cost-aware planner: path choice, explain() reporting, and counters.
+
+The planner must (a) pick the cheapest access path from live table
+statistics, (b) report that choice -- and every alternative it costed --
+through ``explain()`` without executing anything, and (c) account for
+each served read under the ``plan.index.*`` counters in the glossary.
+"""
+
+from repro import obs
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    IndexSpec,
+    MemoryBackend,
+    SqliteBackend,
+    TableSchema,
+    TableStatistics,
+    between,
+    choose_plan,
+    gte,
+    like,
+)
+from repro.db.expr import eq
+from repro.db.query import Order
+from repro.obs.metrics import COUNTER_GLOSSARY
+
+
+def _schema():
+    return TableSchema(
+        "T",
+        (
+            Column("id", ColumnType.INTEGER, primary_key=True),
+            Column("score", ColumnType.INTEGER, ordered=True),
+            Column("name", ColumnType.TEXT, ordered=True),
+            Column("tag", ColumnType.TEXT, indexed=True),
+        ),
+        indexes=(IndexSpec(("score", "id")),),
+    )
+
+
+def _stats(rows=1000):
+    return TableStatistics(
+        row_count=rows,
+        hash_indexes={"tag": 4},
+        ordered_indexes={
+            "idx_T_score": ("score",),
+            "idx_T_name": ("name",),
+            "idx_T_score_id": ("score", "id"),
+        },
+        ordered_cardinality={
+            "idx_T_score": 10,
+            "idx_T_name": 50,
+            "idx_T_score_id": 1000,
+        },
+    )
+
+
+# -- choose_plan over synthetic statistics ---------------------------------------------
+
+
+def test_bounded_range_beats_the_scan():
+    choice = choose_plan(between("score", 2, 7), statistics=_stats())
+    assert choice.chosen.kind == "ordered-range"
+    assert choice.chosen.column == "score"
+    assert choice.chosen.cost < _stats().row_count
+    assert {path.kind for path in choice.considered} >= {"ordered-range", "full-scan"}
+
+
+def test_hash_probe_beats_the_range():
+    choice = choose_plan(eq("tag", "x"), statistics=_stats())
+    assert choice.chosen.kind == "hash-probe"
+    assert choice.chosen.column == "tag"
+
+
+def test_forced_scan_still_reports_the_alternatives():
+    choice = choose_plan(
+        between("score", 2, 7), statistics=_stats(), use_indexes=False
+    )
+    assert choice.chosen.kind == "full-scan"
+    assert any(path.kind == "ordered-range" for path in choice.considered)
+
+
+def test_null_bound_plans_an_empty_range():
+    choice = choose_plan(between("score", None, 7), statistics=_stats())
+    assert choice.chosen.kind == "ordered-range"
+    assert choice.chosen.empty
+    assert choice.chosen.estimated_rows == 0
+
+
+def test_single_column_index_serves_order_but_composite_does_not():
+    served = choose_plan(
+        gte("score", 5), order_by=(Order("score"),), statistics=_stats()
+    )
+    assert served.chosen.kind == "ordered-range"
+    assert served.chosen.serves_order
+    # Only name-ordered paths could serve ORDER BY name; a range on score
+    # cannot, so the plan pays the sort surcharge instead of lying.
+    unserved = choose_plan(
+        gte("score", 5), order_by=(Order("name"),), statistics=_stats()
+    )
+    assert not unserved.chosen.serves_order
+
+
+def test_ordered_scan_wins_for_bounded_order_by_without_filter():
+    choice = choose_plan(
+        None, order_by=(Order("score"),), limit=5, statistics=_stats()
+    )
+    assert choice.chosen.kind == "ordered-scan"
+    assert choice.chosen.serves_order
+    assert choice.chosen.cost < _stats().row_count
+
+
+def test_prefix_like_plans_a_range_on_the_name_index():
+    choice = choose_plan(
+        like("name", "al%", case_sensitive=True), statistics=_stats()
+    )
+    assert choice.chosen.kind == "ordered-range"
+    assert choice.chosen.column == "name"
+    assert choice.chosen.exact  # pure prefix: the probe range is the match set
+
+
+# -- explain() against live engines ----------------------------------------------------
+
+
+def test_memory_explain_reports_chosen_and_considered_plans():
+    with Database(MemoryBackend()) as database:
+        database.create_table(_schema())
+        database.insert_many("T", [{"score": n % 10, "tag": "x"} for n in range(50)])
+        report = database.explain(
+            database.query("T").filter(between("score", 2, 4))
+        )
+        assert report["chosen_plan"]["access"] == "ordered-range"
+        assert report["chosen_plan"]["index"] == "idx_T_score"
+        assert any(
+            path["access"] == "full-scan" for path in report["considered_plans"]
+        )
+        assert report["sql"].startswith('SELECT * FROM "T"')
+
+
+def test_memory_last_plan_reflects_the_executed_read():
+    backend = MemoryBackend()
+    with Database(backend) as database:
+        database.create_table(_schema())
+        database.insert_many("T", [{"score": n, "tag": "x"} for n in range(20)])
+        database.execute(database.query("T").filter(eq("tag", "x")))
+        assert backend.last_plan("T").chosen.kind == "hash-probe"
+        database.execute(database.query("T").filter(between("score", 3, 8)))
+        assert backend.last_plan("T").chosen.kind == "ordered-range"
+        database.execute(database.query("T").filter(like("name", "%odd%")))
+        assert backend.last_plan("T").chosen.kind == "full-scan"
+
+
+def test_sqlite_explain_reports_index_backed_plan_and_ddl():
+    with Database(SqliteBackend()) as database:
+        database.create_table(_schema())
+        database.insert_many("T", [{"score": n % 10, "tag": "x"} for n in range(50)])
+        report = database.explain(
+            database.query("T").filter(between("score", 2, 4))
+        )
+        assert any("idx_T_score" in line for line in report["sqlite_plan"])
+        ddl = report["index_ddl"]
+        assert any('"idx_T_score" ON "T" ("score")' in statement for statement in ddl)
+        assert any(
+            '"idx_T_score_id" ON "T" ("score", "id")' in statement
+            for statement in ddl
+        )
+
+
+def test_sqlite_forced_scan_emits_no_index_ddl():
+    backend = SqliteBackend(emit_indexes=False)
+    with Database(backend) as database:
+        database.create_table(_schema())
+        assert backend.index_ddl() == []
+
+
+def test_explain_executes_nothing_and_emits_no_statement_events():
+    for backend in (MemoryBackend(), SqliteBackend()):
+        with Database(backend) as database:
+            database.create_table(_schema())
+            database.insert_many("T", [{"score": n} for n in range(10)])
+            with database.observe_statements() as log:
+                database.explain(database.query("T").filter(gte("score", 5)))
+            assert log.statements == []
+
+
+# -- the plan.index.* counters ---------------------------------------------------------
+
+
+def test_every_access_path_counter_is_in_the_glossary():
+    for name in (
+        "plan.index.hash_probe",
+        "plan.index.range_probe",
+        "plan.index.ordered_scan",
+        "plan.index.full_scan",
+    ):
+        assert name in COUNTER_GLOSSARY
+
+
+def test_served_reads_bump_the_access_path_counters():
+    obs.reset()
+    with obs.tracing():
+        with Database(MemoryBackend()) as database:
+            database.create_table(_schema())
+            database.insert_many("T", [{"score": n, "tag": "x"} for n in range(20)])
+            database.execute(database.query("T").filter(eq("tag", "x")))
+            database.execute(database.query("T").filter(between("score", 3, 8)))
+            database.execute(database.query("T").ordered_by("score").limited(3))
+            database.execute(database.query("T").filter(like("name", "%odd%")))
+    assert obs.totals.get("plan.index.hash_probe") >= 1
+    assert obs.totals.get("plan.index.range_probe") >= 1
+    assert obs.totals.get("plan.index.ordered_scan") >= 1
+    assert obs.totals.get("plan.index.full_scan") >= 1
+    obs.reset()

@@ -28,7 +28,9 @@ DOCTESTED_MODULES = [
     "repro.db.engine",
     "repro.db.expr",
     "repro.db.observe",
+    "repro.db.planner",
     "repro.db.query",
+    "repro.db.schema",
     "repro.db.sqlgen",
     "repro.form.aggregates",
     "repro.form.writes",
