@@ -11,6 +11,10 @@ the viewer.  Three shapes, checked in order:
   (``==``/``!=``/``is``/``in``) of the viewer or one of its attributes
   against a row value or a constant (helpers inlined): the outcome can be
   joined against an indexed ``(label, viewer_key, visible)`` table;
+* ``symbolic`` -- the occurrence walk fails but the symbolic predicate
+  interpreter (:mod:`repro.analysis.symbolic`) captures the whole body
+  without TOP: the policy still reads only own-row columns and viewer
+  attributes (e.g. ``row.path.startswith(viewer.prefix)``);
 * ``opaque`` -- anything else, most importantly the viewer flowing into an
   ORM query as a filter value (membership checks): the Python evaluator
   stays the oracle.
@@ -47,6 +51,7 @@ from repro.analysis.astutils import (
 )
 from repro.analysis.facts import GroupFacts, ModelFacts, ModuleFacts
 from repro.analysis.readsets import MAX_DEPTH, infer_method_reads
+from repro.analysis.symbolic import compile_policy, contains_top, predicate_json
 
 _ATOM_KINDS = {
     ast.Eq: "eq",
@@ -198,6 +203,13 @@ def classify_policy(group: GroupFacts, facts: ModelFacts) -> Dict[str, Any]:
         shape = "equality-on-viewer"
     else:
         shape = "opaque"
+    predicate = compile_policy(group, facts)
+    if shape == "opaque" and not contains_top(predicate):
+        # The occurrence walk could not place every viewer use, but the
+        # symbolic interpreter captured the whole body: a TOP-free
+        # predicate provably reads nothing beyond own-row columns and
+        # viewer attributes (e.g. prefix tests, ``startswith``).
+        shape = "symbolic"
     reads = infer_method_reads(group.node, facts)
     return {
         "model": facts.name,
@@ -209,6 +221,7 @@ def classify_policy(group: GroupFacts, facts: ModelFacts) -> Dict[str, Any]:
         "opaque_reasons": classifier.opaque_reasons,
         "reads": reads.report(),
         "cross_record": reads.cross_record,
+        "predicate": predicate_json(predicate),
     }
 
 

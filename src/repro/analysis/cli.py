@@ -6,7 +6,17 @@ JSON report.  Exit codes are stable (CI contracts on them):
 
 * ``0`` -- no findings (warnings allowed unless ``--strict``);
 * ``1`` -- error-severity findings (or any finding under ``--strict``);
-* ``2`` -- usage error (no such path, unreadable/binary file).
+* ``2`` -- usage error (no such path, unreadable/binary file, unknown
+  ``--select`` code, unreadable/malformed ``--baseline`` file).
+
+Two filters compose with the exit-code contract:
+
+* ``--select JQL004,JQL010`` keeps only the listed rule codes (``JQL000``
+  syntax errors are always kept -- a broken file must never pass);
+* ``--baseline report.json`` suppresses findings recorded in a previous
+  JSON report, matched by ``(code, file, model, symbol, message)`` with
+  the line number ignored, so accepted legacy findings survive unrelated
+  edits that shift them.
 
 Syntax errors in analyzed files are *findings* (``JQL000``, error
 severity), not crashes: a tree with one broken file still gets the rest
@@ -21,7 +31,7 @@ of its report.
 ...         return False
 ... ''', "doc.py")
 >>> [d.code for d in report.diagnostics]
-['JQL001']
+['JQL001', 'JQL010']
 >>> report.exit_code()
 1
 """
@@ -38,7 +48,7 @@ from repro.analysis.classify import classify_module
 from repro.analysis.diagnostics import Diagnostic, Report, Severity
 from repro.analysis.facts import ModuleFacts, facts_for_source
 from repro.analysis.readsets import model_read_sets
-from repro.analysis.rules import run_rules
+from repro.analysis.rules import RULES, run_rules
 
 
 def collect_files(paths: Sequence[str]) -> List[str]:
@@ -100,6 +110,51 @@ def analyze_paths(paths: Sequence[str]) -> Report:
     return report
 
 
+def _fingerprint(code: str, file: str, model, symbol, message) -> tuple:
+    """The line-independent identity of a finding, for baseline matching."""
+    return (code, os.path.normpath(file or ""), model, symbol, message)
+
+
+def parse_select(spec: str) -> set:
+    """The rule codes of a ``--select`` spec; raises ``ValueError`` on an
+    unknown code.  ``JQL000`` (syntax error) is always included.
+
+    >>> sorted(parse_select("JQL004,JQL010"))
+    ['JQL000', 'JQL004', 'JQL010']
+    """
+    codes = {code.strip() for code in spec.split(",") if code.strip()}
+    unknown = sorted(code for code in codes if code not in RULES and code != "JQL000")
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return codes | {"JQL000"}
+
+
+def load_baseline(path: str) -> set:
+    """The accepted-finding fingerprints of a baseline JSON report.
+
+    Accepts a full ``--format json`` report (its ``diagnostics`` list) or
+    a bare list of diagnostic objects.  Raises ``OSError``/``ValueError``
+    for unreadable or malformed files (a usage error, exit code 2).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = payload.get("diagnostics") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        raise ValueError("baseline must be a JSON report or a list of findings")
+    accepted = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError("baseline entries must be finding objects")
+        accepted.add(_fingerprint(
+            entry.get("code"), entry.get("file", ""),
+            entry.get("model"), entry.get("symbol"), entry.get("message"),
+        ))
+    return accepted
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -117,7 +172,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--strict", action="store_true",
         help="exit nonzero on warnings too, not only errors",
     )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to keep (e.g. JQL004,JQL010); "
+             "JQL000 syntax errors are always kept",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON report of accepted findings to suppress (matched by "
+             "code, file, model, symbol and message; line ignored)",
+    )
     args = parser.parse_args(argv)
+    if args.select is not None:
+        try:
+            selected = parse_select(args.select)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.baseline is not None:
+        try:
+            accepted = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"error: no such baseline: {args.baseline}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
     try:
         report = analyze_paths(args.paths)
     except FileNotFoundError as exc:
@@ -126,6 +206,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.select is not None:
+        report.diagnostics = [
+            d for d in report.diagnostics if d.code in selected
+        ]
+    if args.baseline is not None:
+        report.diagnostics = [
+            d for d in report.diagnostics
+            if _fingerprint(d.code, d.file, d.model, d.symbol, d.message)
+            not in accepted
+        ]
     if args.format == "json":
         print(report.to_json())
     else:

@@ -58,12 +58,22 @@ PUBLIC_METHOD_PREFIX = "jacqueline_get_public_"
 
 @dataclass
 class FieldFacts:
-    """One declared field: its name, backing column, and kind."""
+    """One declared field: its name, backing column, and kind.
+
+    ``ctor`` records the constructor spelling (``"CharField"``,
+    ``"ForeignKey"``, ...) so type environments can assign a value kind;
+    ``fk_target`` is the referenced model name for foreign keys when it can
+    be determined; ``nullable`` mirrors the field declaration (fields are
+    nullable unless declared otherwise).
+    """
 
     name: str
     column: str
     is_foreign_key: bool
     line: int = 0
+    ctor: Optional[str] = None
+    fk_target: Optional[str] = None
+    nullable: bool = True
 
 
 @dataclass
@@ -178,6 +188,19 @@ def _field_call_kind(value: ast.AST) -> Optional[str]:
     return None
 
 
+def _field_decl_details(value: ast.Call) -> Tuple[str, Optional[str], bool]:
+    """(ctor leaf, fk target, nullable) for a field constructor call."""
+    ctor = dotted_name(value.func).rsplit(".", 1)[-1]
+    fk_target: Optional[str] = None
+    if ctor == "ForeignKey" and value.args:
+        fk_target = const_str(value.args[0]) or dotted_name(value.args[0])
+    nullable = True
+    for keyword in value.keywords:
+        if keyword.arg == "nullable" and isinstance(keyword.value, ast.Constant):
+            nullable = bool(keyword.value.value)
+    return ctor, fk_target, nullable
+
+
 def _model_from_classdef(
     node: ast.ClassDef, path: str, helper: Callable[[str], Optional[ast.FunctionDef]]
 ) -> ModelFacts:
@@ -187,12 +210,19 @@ def _model_from_classdef(
             kind = _field_call_kind(stmt.value)
             if kind is None:
                 continue
+            ctor, fk_target, nullable = _field_decl_details(stmt.value)
             for target in stmt.targets:
                 if not isinstance(target, ast.Name):
                     continue
                 column = target.id + "_id" if kind == "fk" else target.id
                 model.fields[target.id] = FieldFacts(
-                    target.id, column, kind == "fk", stmt.lineno
+                    target.id,
+                    column,
+                    kind == "fk",
+                    stmt.lineno,
+                    ctor=ctor,
+                    fk_target=fk_target,
+                    nullable=nullable,
                 )
         elif isinstance(stmt, ast.FunctionDef):
             model.methods[stmt.name] = stmt
@@ -261,8 +291,19 @@ def facts_for_model(model) -> ModelFacts:
 
     facts.helper = helper
     for name, fld in meta.fields.items():
+        fk_target: Optional[str] = None
+        if fld.column_name != name:
+            try:
+                fk_target = fld.target_model().__name__
+            except Exception:
+                fk_target = None
         facts.fields[name] = FieldFacts(
-            name, fld.column_name, fld.column_name != name
+            name,
+            fld.column_name,
+            fld.column_name != name,
+            ctor=type(fld).__name__,
+            fk_target=fk_target,
+            nullable=bool(getattr(fld, "nullable", True)),
         )
     for group in meta.policy_groups:
         facts.groups.append(

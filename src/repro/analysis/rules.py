@@ -18,12 +18,18 @@ JQL004 error    public method reads another label group's guarded field
 JQL005 error    code touches the faceted encoding (``.jvars`` access,
                 ``.jid`` assignment, ``_facet_rows``/``_db_row``/``_meta``)
 JQL006 warning  branching on a policied field outside a viewer context
+                (name heuristic); promoted to **error** when the receiver
+                is *typed* -- bound from an unambiguous ``Model.objects``
+                query whose type environment declares the field policied
 JQL007 error    policy/public method has the wrong arity
 JQL008 warning  public method depends on *other* records (fk chains, ORM
                 queries) -- cross-record staleness this model's rewrites
                 cannot repair
 JQL009 warning  public method's read set is TOP -- every eligible update
                 will take the batched rewrite
+JQL010 error    policy predicate is unsatisfiable -- the compiled IR
+                proves the label can never be granted, so every viewer
+                sees only the public facet
 ====== ======== =========================================================
 
 >>> from repro.analysis.facts import facts_for_source
@@ -33,7 +39,7 @@ JQL009 warning  public method's read set is TOP -- every eligible update
 ...     @staticmethod
 ...     @label_for("subject")
 ...     def restrict(row, viewer):
-...         return False
+...         return viewer is not None
 ... ''', "bad.py")
 >>> [d.code for d in run_rules(bad)]
 ['JQL001']
@@ -53,6 +59,7 @@ from repro.analysis.astutils import (
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.facts import ModelFacts, ModuleFacts
 from repro.analysis.readsets import infer_method_reads
+from repro.analysis.symbolic import atom_text, compile_policy, unsatisfiable
 
 #: code -> (severity, one-line summary); the rule catalogue.
 RULES: Dict[str, Tuple[Severity, str]] = {
@@ -65,6 +72,7 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "JQL007": (Severity.ERROR, "policy or public method has the wrong arity"),
     "JQL008": (Severity.WARNING, "public method depends on other records"),
     "JQL009": (Severity.WARNING, "public method read set is TOP"),
+    "JQL010": (Severity.ERROR, "policy predicate is unsatisfiable"),
 }
 
 #: Call leaves that mutate persistent or record state.
@@ -82,8 +90,10 @@ _VIEWER_CONTEXTS = frozenset({"viewer_context", "jif", "under_branch"})
 
 
 def _diag(code: str, message: str, module: ModuleFacts, line: int,
-          model: Optional[str] = None, symbol: Optional[str] = None) -> Diagnostic:
-    severity, _summary = RULES[code]
+          model: Optional[str] = None, symbol: Optional[str] = None,
+          severity: Optional[Severity] = None) -> Diagnostic:
+    if severity is None:
+        severity, _summary = RULES[code]
     return Diagnostic(code, severity, message, module.path, line, model, symbol)
 
 
@@ -249,29 +259,92 @@ def check_jql005(module: ModuleFacts) -> List[Diagnostic]:
     return found
 
 
+def _objects_model(node: ast.AST, names: Set[str]) -> Optional[str]:
+    """The model name when ``node`` is a ``Model.objects...`` expression.
+
+    Unwraps call/attribute chains (``Doc.objects.get(...)``,
+    ``Doc.objects.filter(...).first()``) down to the root name.
+    """
+    seen_objects = False
+    while True:
+        if isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Attribute):
+            if node.attr == "objects":
+                seen_objects = True
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id if seen_objects and node.id in names else None
+        else:
+            return None
+
+
+def _typed_locals(module: ModuleFacts) -> Dict[Tuple[Optional[ast.AST], str], Optional[str]]:
+    """(enclosing function, variable) -> model name for locals bound from
+    an unambiguous ``Model.objects`` query (assignment or ``for`` target).
+    A rebinding to a different model poisons the entry to ``None``."""
+    names = {m.name for m in module.models}
+    types: Dict[Tuple[Optional[ast.AST], str], Optional[str]] = {}
+
+    def note(owner: Optional[ast.AST], var: str, model: str) -> None:
+        key = (owner, var)
+        types[key] = model if types.get(key, model) == model else None
+
+    for sub in ast.walk(module.tree):
+        if isinstance(sub, ast.Assign):
+            model = _objects_model(sub.value, names)
+            if model is None:
+                continue
+            owner = enclosing_function(sub)
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    note(owner, target.id, model)
+        elif isinstance(sub, ast.For):
+            model = _objects_model(sub.iter, names)
+            if model is not None and isinstance(sub.target, ast.Name):
+                note(enclosing_function(sub), sub.target.id, model)
+    return types
+
+
 def check_jql006(module: ModuleFacts) -> List[Diagnostic]:
     """Branching on a (possibly faceted) policied field outside a viewer
     context.
 
     Outside ``viewer_context``/``jif`` a policied attribute may be a
     faceted value; a plain ``if`` on it silently takes the truthiness of
-    the facet object.  Heuristic (attribute-name based), hence a warning;
-    the trusted methods themselves are exempt (they receive the secret
+    the facet object.  Two precision levels:
+
+    * **typed** (error): the receiver is provably an instance of a known
+      model -- the branch reads a ``Model.objects`` result directly, or a
+      local bound from one -- and that model's type environment declares
+      the attribute policied.  This is not a heuristic: the value *is*
+      faceted outside a viewer context.
+    * **heuristic** (warning): the attribute merely shares its name with
+      some model's policied field.  A typed receiver whose model does
+      *not* police the attribute suppresses the name heuristic.
+
+    The trusted methods themselves are exempt (they receive the secret
     instance).
     """
     policied: Set[str] = set()
+    by_model: Dict[str, Set[str]] = {}
     trusted_nodes = set()
     for model in module.models:
+        attrs: Set[str] = set()
         for field_name in model.policied_fields:
-            policied.add(field_name)
+            attrs.add(field_name)
             facts = model.fields.get(field_name)
             if facts is not None:
-                policied.add(facts.column)
+                attrs.add(facts.column)
+        by_model[model.name] = attrs
+        policied |= attrs
         for _kind, _key, _name, node, _line in _trusted_methods(model):
             if node is not None:
                 trusted_nodes.add(node)
     if not policied:
         return []
+    model_names = set(by_model)
+    typed = _typed_locals(module)
     found = []
     for sub in ast.walk(module.tree):
         if not isinstance(sub, (ast.If, ast.IfExp, ast.While)):
@@ -282,7 +355,23 @@ def check_jql006(module: ModuleFacts) -> List[Diagnostic]:
         if _inside_viewer_context(sub):
             continue
         for attr in ast.walk(sub.test):
-            if isinstance(attr, ast.Attribute) and attr.attr in policied:
+            if not isinstance(attr, ast.Attribute) or attr.attr not in policied:
+                continue
+            receiver = _objects_model(attr.value, model_names)
+            if receiver is None and isinstance(attr.value, ast.Name):
+                receiver = typed.get((owner, attr.value.id))
+            if receiver is not None and attr.attr not in by_model[receiver]:
+                continue  # typed receiver, attribute not policied there
+            if receiver is not None:
+                found.append(_diag(
+                    "JQL006",
+                    f"branch on policied attribute {receiver}.{attr.attr} "
+                    "outside a viewer context: the value is faceted here",
+                    module, attr.lineno, receiver,
+                    symbol=owner.name if owner is not None else None,
+                    severity=Severity.ERROR,
+                ))
+            else:
                 found.append(_diag(
                     "JQL006",
                     f"branch on policied attribute .{attr.attr} outside a "
@@ -290,7 +379,7 @@ def check_jql006(module: ModuleFacts) -> List[Diagnostic]:
                     module, attr.lineno,
                     symbol=owner.name if owner is not None else None,
                 ))
-                break
+            break
     return found
 
 
@@ -368,6 +457,33 @@ def check_jql009(module: ModuleFacts) -> List[Diagnostic]:
     return found
 
 
+def check_jql010(module: ModuleFacts) -> List[Diagnostic]:
+    """A policy whose compiled predicate can never hold locks its fields
+    to the public facet for every viewer -- almost certainly a typo in a
+    constant or an inverted comparison.  Sound in one direction: the
+    symbolic decision procedure only reports *definitely* unsatisfiable
+    predicates (TOP subtrees and over-budget expansions stay silent)."""
+    found = []
+    for model in module.models:
+        for group in model.groups:
+            atoms = unsatisfiable(compile_policy(group, model))
+            if atoms is None:
+                continue
+            if atoms:
+                detail = "conflicting atoms: " + "; ".join(
+                    atom_text(atom) for atom in atoms
+                )
+            else:
+                detail = "constant-False"
+            found.append(_diag(
+                "JQL010",
+                f"policy for group {group.key!r} is unsatisfiable "
+                f"({detail}); no viewer can ever see the secret facet",
+                module, group.line, model.name, group.method_name,
+            ))
+    return found
+
+
 _CHECKERS = (
     check_jql001,
     check_jql002,
@@ -378,6 +494,7 @@ _CHECKERS = (
     check_jql007,
     check_jql008,
     check_jql009,
+    check_jql010,
 )
 
 

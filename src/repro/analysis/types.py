@@ -1,0 +1,97 @@
+"""Per-model type environments inferred from ``_meta`` field declarations.
+
+A :class:`TypeEnv` maps attribute names *and* backing columns of one model
+to :class:`ColumnType` records carrying a coarse value kind (``"text"``,
+``"int"``, ``"bool"``, ...), nullability, and — for foreign keys — the
+referenced model name.  Both analyzer front doors feed it: the syntactic
+one records the field-constructor spelling (``CharField(...)``) and the
+live one the field class name, so the same :func:`type_env` builder serves
+linting over source trees and runtime pushdown decisions alike.
+
+>>> from repro.analysis.facts import facts_for_source
+>>> mod = facts_for_source('''
+... class Doc(JModel):
+...     title = CharField(nullable=False, default="")
+...     score = IntegerField()
+...     owner = ForeignKey("User")
+... ''', "m.py")
+>>> env = type_env(mod.models[0])
+>>> env.lookup("title").kind, env.lookup("title").nullable
+('text', False)
+>>> env.lookup("owner_id").kind, env.lookup("owner_id").fk_target
+('int', 'User')
+>>> env.lookup("jid").kind, env.lookup("jid").nullable
+('int', False)
+>>> env.lookup("missing") is None
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.facts import ModelFacts
+
+#: Field-constructor leaf name -> coarse value kind.
+_CTOR_KINDS = {
+    "CharField": "text",
+    "TextField": "text",
+    "IntegerField": "int",
+    "FloatField": "float",
+    "BooleanField": "bool",
+    "DateTimeField": "datetime",
+    "ForeignKey": "int",
+}
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """The inferred type of one backing column."""
+
+    column: str
+    kind: str  # "text" | "int" | "float" | "bool" | "datetime" | "unknown"
+    nullable: bool = True
+    fk_target: Optional[str] = None
+
+
+class TypeEnv:
+    """Attribute/column -> :class:`ColumnType` for one model."""
+
+    def __init__(self, model: str, entries: Dict[str, ColumnType]):
+        self.model = model
+        self._entries = dict(entries)
+
+    def lookup(self, name: str) -> Optional[ColumnType]:
+        """Resolve a field name or column name; ``None`` when unknown."""
+        return self._entries.get(name)
+
+    def knows(self, name: str) -> bool:
+        return name in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypeEnv({self.model}, {sorted(self._entries)})"
+
+
+def type_env(facts: ModelFacts) -> TypeEnv:
+    """Build the type environment for one model's facts.
+
+    Metadata columns are always present: ``jid`` is a non-null integer and
+    ``jvars`` a non-null text column.  Unrecognized field constructors map
+    to kind ``"unknown"`` (their declared nullability is still trusted).
+    """
+    entries: Dict[str, ColumnType] = {
+        "jid": ColumnType("jid", "int", nullable=False),
+        "jvars": ColumnType("jvars", "text", nullable=False),
+    }
+    for field in facts.fields.values():
+        kind = _CTOR_KINDS.get(field.ctor or "", "unknown")
+        ctype = ColumnType(
+            field.column,
+            kind,
+            nullable=field.nullable,
+            fk_target=field.fk_target,
+        )
+        entries[field.name] = ctype
+        entries[field.column] = ctype
+    return TypeEnv(facts.name, entries)

@@ -66,11 +66,16 @@ class Backend(abc.ABC):
         if state is not None:
             for name in self.table_names():
                 state[name] = False
+        branches = getattr(self, "_branch_state", None)
+        if branches is not None:
+            for name in self.table_names():
+                branches[name] = set()
         self.invalidation.publish_all()
 
     def _publish_schema_change(self, table: Optional[str] = None) -> None:
         if table is not None:
             self._facet_tables.pop(table, None)
+            self._branch_keys.pop(table, None)
         self.invalidation.schema_changed(table)
 
     # -- facet bookkeeping ---------------------------------------------------------
@@ -90,12 +95,108 @@ class Backend(abc.ABC):
             self._facet_state = state
         return state
 
+    @property
+    def _branch_keys(self) -> Dict[str, Optional[set]]:
+        """Per-table policy-group branch keys seen in faceted rows.
+
+        ``set`` of keys when every faceted row written so far was a
+        canonical single-group facet row (``jvars`` exactly
+        ``"{table}.{jid}.{key}={bool}"`` for the row's own ``jid``);
+        ``None`` is the sticky "exotic" verdict (multi-branch rows,
+        program-counter labels, foreign-jid labels, or an update whose new
+        ``jvars`` cannot be checked against a row id).  Absent means
+        unknown -- writes skip it and :meth:`facet_branch_keys` probes the
+        table's current rows once, which is correct regardless of write
+        history.
+        """
+        state = getattr(self, "_branch_state", None)
+        if state is None:
+            state = {}
+            self._branch_state = state
+        return state
+
+    @staticmethod
+    def _own_branch_key(table: str, jid: Any, encoded: str) -> Optional[str]:
+        """The group key of one canonical facet row's ``jvars``, or ``None``.
+
+        >>> Backend._own_branch_key("Doc", 7, "Doc.7.title=True")
+        'title'
+        >>> Backend._own_branch_key("Doc", 7, "Doc.8.title=True") is None
+        True
+        >>> Backend._own_branch_key("Doc", 7, "Doc.7.title=True,x=False") is None
+        True
+        """
+        if "," in encoded:
+            return None  # multiple branches
+        prefix = f"{table}.{jid}."
+        if not encoded.startswith(prefix):
+            return None  # pc label / ad-hoc label / foreign jid
+        rest = encoded[len(prefix):]
+        for suffix in ("=True", "=False"):
+            if rest.endswith(suffix):
+                key = rest[: -len(suffix)]
+                if key and "." not in key and "=" not in key:
+                    return key
+        return None
+
     def _note_facet_write(self, table: str, rows: Sequence[Dict[str, Any]]) -> None:
-        """Record that ``rows`` were written (sets the facet bit on jvars)."""
+        """Record that ``rows`` were written (facet bit + branch keys)."""
+        branches = self._branch_keys
         for row in rows:
-            if row.get("jvars"):
-                self._facet_tables[table] = True
-                return
+            encoded = row.get("jvars")
+            if not encoded:
+                continue
+            self._facet_tables[table] = True
+            if table not in branches:
+                continue  # unknown: the probe will scan current rows
+            known = branches[table]
+            if known is None:
+                continue  # already exotic (sticky)
+            key = (
+                self._own_branch_key(table, row["jid"], encoded)
+                if "jid" in row
+                else None  # UPDATE without a row id: unverifiable
+            )
+            if key is None:
+                branches[table] = None
+            else:
+                known.add(key)
+
+    def facet_branch_keys(self, table: str) -> Optional[frozenset]:
+        """The policy-group keys of ``table``'s faceted rows, or ``None``.
+
+        A ``frozenset`` (possibly empty) means every faceted row currently
+        in the table -- and every one written since -- is a canonical
+        single-group facet row whose group key is in the set, which is the
+        soundness condition for rendering a policy branch inline with
+        :class:`~repro.db.expr.FacetBranch`.  ``None`` means exotic labels
+        may be present and inline rendering must not be used.  Unknown
+        tables are probed once by scanning their faceted rows' ``jvars``.
+        """
+        state = self._branch_keys
+        if table in state:
+            known = state[table]
+            return None if known is None else frozenset(known)
+        if not self.may_have_facets(table):
+            state[table] = set()
+            return frozenset()
+        try:
+            from repro.db.expr import ne
+
+            rows = self.execute(
+                Query(table=table, where=ne("jvars", "")).select("jid", "jvars")
+            )
+        except Exception:  # pragma: no cover - conservative on probe failure
+            return None
+        keys: set = set()
+        for row in rows:
+            key = self._own_branch_key(table, row.get("jid"), row.get("jvars") or "")
+            if key is None:
+                state[table] = None
+                return None
+            keys.add(key)
+        state[table] = keys
+        return frozenset(keys)
 
     def may_have_facets(self, table: str) -> bool:
         """Whether ``table`` may hold faceted rows (non-empty ``jvars``).

@@ -22,6 +22,23 @@ class Expression:
     def evaluate(self, row: Dict[str, Any]) -> Any:
         raise NotImplementedError
 
+    def compile(self) -> Callable[[Dict[str, Any]], Any]:
+        """A fused evaluator closure, semantically identical to :meth:`evaluate`.
+
+        The in-memory engine compiles a WHERE tree once per statement and
+        runs the closure per row, replacing the per-row method dispatch and
+        attribute traffic of interpretive evaluation -- the difference is
+        several-fold on scan-heavy predicates such as the direct-tier
+        policy pushdown.  Nodes without a specialised compiler fall back to
+        their bound ``evaluate`` (which for unresolved subquery nodes
+        correctly raises on first call).
+
+        >>> pred = (eq("rank", 1) | eq("name", "ada")).compile()
+        >>> pred({"rank": 2, "name": "ada"})
+        True
+        """
+        return self.evaluate
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         """Render to a SQL fragment and its bound parameters.
 
@@ -83,6 +100,17 @@ class ColumnRef(Expression):
     def evaluate(self, row: Dict[str, Any]) -> Any:
         return _lookup(row, self.name)
 
+    def compile(self) -> Callable[[Dict[str, Any]], Any]:
+        name = self.name
+
+        def lookup(row: Dict[str, Any]) -> Any:
+            try:
+                return row[name]
+            except KeyError:
+                return _lookup(row, name)
+
+        return lookup
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         return self.name, []
 
@@ -98,6 +126,10 @@ class Literal(Expression):
 
     def evaluate(self, row: Dict[str, Any]) -> Any:
         return self.value
+
+    def compile(self) -> Callable[[Dict[str, Any]], Any]:
+        value = self.value
+        return lambda row: value
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         return "?", [self.value]
@@ -134,6 +166,19 @@ class Comparison(Expression):
         if left is None or right is None:
             return None
         return _OPERATORS[self.op](left, right)
+
+    def compile(self) -> Callable[[Dict[str, Any]], Optional[bool]]:
+        left, right = self.left.compile(), self.right.compile()
+        op = _OPERATORS[self.op]
+
+        def compare(row: Dict[str, Any]) -> Optional[bool]:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return op(a, b)
+
+        return compare
 
     def to_sql(self) -> Tuple[str, List[Any]]:
         left_sql, left_params = self.left.to_sql()
@@ -312,6 +357,22 @@ class AndExpr(Expression):
             return None
         return True
 
+    def compile(self) -> Callable[[Dict[str, Any]], Optional[bool]]:
+        left, right = self.left.compile(), self.right.compile()
+
+        def conjoin(row: Dict[str, Any]) -> Optional[bool]:
+            a = left(row)
+            if a is not None and not a:
+                return False
+            b = right(row)
+            if b is not None and not b:
+                return False
+            if a is None or b is None:
+                return None
+            return True
+
+        return conjoin
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         left_sql, left_params = self.left.to_sql()
         right_sql, right_params = self.right.to_sql()
@@ -341,6 +402,22 @@ class OrExpr(Expression):
             return None
         return False
 
+    def compile(self) -> Callable[[Dict[str, Any]], Optional[bool]]:
+        left, right = self.left.compile(), self.right.compile()
+
+        def disjoin(row: Dict[str, Any]) -> Optional[bool]:
+            a = left(row)
+            if a:
+                return True
+            b = right(row)
+            if b:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+
+        return disjoin
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         left_sql, left_params = self.left.to_sql()
         right_sql, right_params = self.right.to_sql()
@@ -366,6 +443,17 @@ class NotExpr(Expression):
             return None
         return not bool(value)
 
+    def compile(self) -> Callable[[Dict[str, Any]], Optional[bool]]:
+        operand = self.operand.compile()
+
+        def negate(row: Dict[str, Any]) -> Optional[bool]:
+            value = operand(row)
+            if value is None:
+                return None
+            return not bool(value)
+
+        return negate
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         operand_sql, params = self.operand.to_sql()
         return f"(NOT {operand_sql})", params
@@ -388,6 +476,12 @@ class IsNull(Expression):
         is_null = self.operand.evaluate(row) is None
         return not is_null if self.negated else is_null
 
+    def compile(self) -> Callable[[Dict[str, Any]], bool]:
+        operand = self.operand.compile()
+        if self.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
     def to_sql(self) -> Tuple[str, List[Any]]:
         operand_sql, params = self.operand.to_sql()
         keyword = "IS NOT NULL" if self.negated else "IS NULL"
@@ -398,6 +492,114 @@ class IsNull(Expression):
 
     def subqueries(self) -> List[Any]:
         return self.operand.subqueries()
+
+
+@dataclass(frozen=True)
+class NullSafeEq(Expression):
+    """Null-safe equality ``left IS right`` / ``left IS NOT right``.
+
+    SQLite's ``IS`` operator compares any two values with NULL treated as
+    an ordinary (equal-to-NULL) value, so the result is always TRUE or
+    FALSE -- never UNKNOWN.  The in-memory engine mirrors that with plain
+    Python ``==``.  This is the rendering direct-WHERE policy pushdown
+    uses: a compiled policy predicate must be *two-valued* so that its
+    negation selects exactly the complement rows, which three-valued
+    ``=`` cannot guarantee on nullable columns.
+
+    >>> NullSafeEq(col("owner_id"), lit(None)).evaluate({"owner_id": None})
+    True
+    >>> NullSafeEq(col("owner_id"), lit(3)).evaluate({"owner_id": None})
+    False
+    >>> NullSafeEq(col("owner_id"), lit(3), negated=True).to_sql()
+    ('owner_id IS NOT ?', [3])
+    """
+
+    left: Expression
+    right: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        result = self.left.evaluate(row) == self.right.evaluate(row)
+        return not result if self.negated else result
+
+    def compile(self) -> Callable[[Dict[str, Any]], bool]:
+        left, right = self.left.compile(), self.right.compile()
+        if self.negated:
+            return lambda row: left(row) != right(row)
+        return lambda row: left(row) == right(row)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        left_sql, left_params = self.left.to_sql()
+        right_sql, right_params = self.right.to_sql()
+        keyword = "IS NOT" if self.negated else "IS"
+        return f"{left_sql} {keyword} {right_sql}", left_params + right_params
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+    def subqueries(self) -> List[Any]:
+        return self.left.subqueries() + self.right.subqueries()
+
+
+@dataclass(frozen=True)
+class FacetBranch(Expression):
+    """Matches the facet rows of one policy-group branch of a table.
+
+    A faceted row's ``jvars`` for a single policy group is exactly
+    ``"{table}.{jid}.{key}={polarity}"`` (the label-name convention plus
+    the encoded assignment), so the positive/negative branch of a record
+    is selected by comparing ``jvars`` against that string built from the
+    row's own ``jid``.  Rendered to SQL with the concatenation operator
+    (``jid`` is an INTEGER; ``||`` coerces it to TEXT).
+
+    >>> branch = FacetBranch("Doc", "title", True)
+    >>> branch.evaluate({"jid": 7, "jvars": "Doc.7.title=True"})
+    True
+    >>> branch.evaluate({"jid": 7, "jvars": ""})
+    False
+    >>> branch.to_sql()
+    ('jvars = (? || jid || ?)', ['Doc.', '.title=True'])
+    """
+
+    table: str
+    key: str
+    polarity: bool
+    qualify: bool = False
+
+    def _column(self, name: str) -> str:
+        return f"{self.table}.{name}" if self.qualify else name
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        jvars = _lookup(row, self._column("jvars"))
+        jid = _lookup(row, self._column("jid"))
+        return jvars == f"{self.table}.{jid}.{self.key}={self.polarity}"
+
+    def compile(self) -> Callable[[Dict[str, Any]], bool]:
+        jvars_col, jid_col = self._column("jvars"), self._column("jid")
+        prefix = f"{self.table}."
+        suffix = f".{self.key}={self.polarity}"
+
+        def match(row: Dict[str, Any]) -> bool:
+            try:
+                jvars = row[jvars_col]
+                jid = row[jid_col]
+            except KeyError:
+                jvars = _lookup(row, jvars_col)
+                jid = _lookup(row, jid_col)
+            return jvars == f"{prefix}{jid}{suffix}"
+
+        return match
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        jvars = self._column("jvars")
+        jid = self._column("jid")
+        return (
+            f"{jvars} = (? || {jid} || ?)",
+            [f"{self.table}.", f".{self.key}={self.polarity}"],
+        )
+
+    def columns(self) -> List[str]:
+        return [self._column("jvars"), self._column("jid")]
 
 
 @dataclass(frozen=True)
@@ -679,6 +881,16 @@ def eq_or_null(column: str, value: Any) -> Expression:
     if value is None:
         return IsNull(ColumnRef(column))
     return eq(column, value)
+
+
+def null_safe_eq(column: str, value: Any, negated: bool = False) -> NullSafeEq:
+    """Two-valued ``column IS value`` (see :class:`NullSafeEq`).
+
+    >>> null_safe_eq("owner_id", None).to_sql()
+    ('owner_id IS ?', [None])
+    """
+    right = value if isinstance(value, Expression) else Literal(value)
+    return NullSafeEq(ColumnRef(column), right, negated)
 
 
 def _comparison(op: str, column: str, value: Any) -> Comparison:

@@ -104,13 +104,13 @@ class MemoryBackend(Backend):
         """
         observing = self._observing()
         started = time.perf_counter() if observing else 0.0
-        saw_facets = False
+        written: List[Dict[str, Any]] = []
         with self._lock:
             target = self._table(table)
             pks: List[int] = []
             try:
                 for row in rows:
-                    saw_facets = saw_facets or bool(row.get("jvars"))
+                    written.append(row)
                     pks.append(target.insert(row))
             except BaseException:
                 for pk in pks:
@@ -121,8 +121,7 @@ class MemoryBackend(Backend):
                 "INSERT", insert_summary(table, len(pks)), (), len(pks),
                 time.perf_counter() - started,
             )
-        if saw_facets:
-            self._facet_tables[table] = True
+        self._note_facet_write(table, written)
         if pks:
             self._publish_write(table)
         return pks
@@ -194,7 +193,7 @@ class MemoryBackend(Backend):
         """
         observing = self._observing()
         started = time.perf_counter() if observing else 0.0
-        saw_facets = False
+        written: List[Dict[str, Any]] = []
         with self._lock:
             target = self._table(table)
             where = self._resolve_expression(where)
@@ -203,7 +202,7 @@ class MemoryBackend(Backend):
             pks: List[int] = []
             try:
                 for row in rows:
-                    saw_facets = saw_facets or bool(row.get("jvars"))
+                    written.append(row)
                     pks.append(target.insert(row))
             except BaseException:
                 for pk in pks:
@@ -216,8 +215,7 @@ class MemoryBackend(Backend):
                 "REPLACE", replace_summary(table, len(replaced), len(pks)), (),
                 len(replaced) + len(pks), time.perf_counter() - started,
             )
-        if saw_facets:
-            self._facet_tables[table] = True
+        self._note_facet_write(table, written)
         if replaced or pks:
             self._publish_write(table)
         return pks
@@ -267,8 +265,9 @@ class MemoryBackend(Backend):
                 # the live rows without per-row copies; only an unprojected
                 # distinct must copy (its rows escape the lock verbatim).
                 source = self._source_rows(query, where, copy=not columns)
+                predicate = None if where is None else where.compile()
                 matching = (
-                    row for row in source if where is None or where.evaluate(row)
+                    row for row in source if predicate is None or predicate(row)
                 )
                 projected = (
                     self._pick_columns(row, columns) if columns else row
@@ -294,7 +293,8 @@ class MemoryBackend(Backend):
             source = self._source_rows(query, where)
             rows = source
             if where is not None:
-                rows = [row for row in rows if where.evaluate(row)]
+                predicate = where.compile()
+                rows = [row for row in rows if predicate(row)]
         if order_outside_selection(query):
             # Ordered distinct over non-selected columns: evaluate in the
             # same grouped MIN/MAX form sqlgen renders, so both backends
@@ -330,9 +330,10 @@ class MemoryBackend(Backend):
             with self._lock:
                 where = self._resolved_where(query)
                 source = self._source_rows(query, where, copy=False)
+                predicate = None if where is None else where.compile()
                 needed = query.offset + 1
                 for row in source:
-                    if where is None or where.evaluate(row):
+                    if predicate is None or predicate(row):
                         needed -= 1
                         if needed == 0:
                             return True
@@ -345,7 +346,8 @@ class MemoryBackend(Backend):
             where = self._resolved_where(query)
             rows = self._source_rows(query, where, copy=False)
             if where is not None:
-                rows = [row for row in rows if where.evaluate(row)]
+                predicate = where.compile()
+                rows = [row for row in rows if predicate(row)]
             return compute_aggregate(rows, query.aggregate)
 
     def _aggregate_rows(self, query: Query) -> List[Dict[str, Any]]:
@@ -365,7 +367,8 @@ class MemoryBackend(Backend):
             where = self._resolved_where(query)
             rows = self._source_rows(query, where, copy=False)
             if where is not None:
-                rows = [row for row in rows if where.evaluate(row)]
+                predicate = where.compile()
+                rows = [row for row in rows if predicate(row)]
             grouped: Dict[tuple, List[Dict[str, Any]]] = {}
             if len(query.group_by) == 1:
                 # Hot path (the FORM groups by one jvars column): scalar
@@ -405,9 +408,10 @@ class MemoryBackend(Backend):
             return []
         rows, exact = table.rows_for_path(path, copy=False)
         stop = None if query.limit is None else query.limit + query.offset
+        predicate = None if where is None else where.compile()
         matched: List[Dict[str, Any]] = []
         for row in rows:
-            if exact or where is None or where.evaluate(row):
+            if exact or predicate is None or predicate(row):
                 matched.append(dict(row))
                 if stop is not None and len(matched) >= stop:
                     break

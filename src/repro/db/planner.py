@@ -42,6 +42,7 @@ from repro.db.expr import (
     IsNull,
     Like,
     Literal,
+    NullSafeEq,
     string_successor,
 )
 
@@ -172,6 +173,13 @@ def equality_probe(
             name = _bare(where.operand.name)
             if name in columns:
                 return name, (None,), True
+    if isinstance(where, NullSafeEq) and not where.negated:
+        # "column IS literal" reads exactly the literal's bucket: IS is
+        # two-valued, so even an IS NULL-valued probe is exact.
+        if isinstance(where.left, ColumnRef) and isinstance(where.right, Literal):
+            name = _bare(where.left.name)
+            if name in columns:
+                return name, (where.right.value,), True
     if isinstance(where, AndExpr):
         hit = equality_probe(where.left, columns) or equality_probe(
             where.right, columns

@@ -72,6 +72,10 @@ class FORM:
         #: (:mod:`repro.form.pushdown`); flip off to force the Python
         #: pruning path -- the differential-testing oracle.
         self.policy_pushdown_enabled = True
+        #: cap the pushdown tier: ``"store"`` demotes direct/indexable
+        #: rendering to the label-store tier (a fuzzing knob; ``None`` =
+        #: uncapped).
+        self.policy_pushdown_tier_cap: Optional[str] = None
         self.pushdown_store = LabelAssignmentStore()
         self.pushdown_store.bind(self.database.invalidation)
 

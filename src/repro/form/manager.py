@@ -485,6 +485,8 @@ class QuerySet:
             report["operation"] = "fetch"
             if pushed:
                 report["mode"] = "policy-pushdown"
+                report["tier"] = pushed.tiers.get(meta.table_name)
+                report["tiers"] = dict(pushed.tiers)
             else:
                 report["mode"] = (
                     "pruned" if current_viewer() is not None else "faceted"
@@ -528,6 +530,8 @@ class QuerySet:
             report["operation"] = operation
             if pushed:
                 report["mode"] = "policy-pushdown"
+                report["tier"] = pushed.tiers.get(meta.table_name)
+                report["tiers"] = dict(pushed.tiers)
             return report
         if operation == "update":
             resolved = writes.resolve_update_fields(meta, values)
@@ -727,7 +731,7 @@ class QuerySet:
 
     def _build_query(
         self, meta, populate: bool = True
-    ) -> Tuple[Query, List[str], bool]:
+    ) -> Tuple[Query, List[str], Optional["pushdown_sql.PushdownPlan"]]:
         query, joined = self._ordered_query(meta)
         # Bounded queries compile to the jid-subselect pushdown: the LIMIT
         # counts DISTINCT jids inside a subquery, so the database prunes to
@@ -745,16 +749,15 @@ class QuerySet:
         # *matching* records pre-pruning, and :meth:`first`'s
         # invisible-match fallback depends on seeing them.
         viewer = current_viewer()
-        pushed = False
+        plan: Optional[pushdown_sql.PushdownPlan] = None
         if viewer is not None:
-            conjuncts = pushdown_sql.pruning_conjuncts(
+            plan = pushdown_sql.pruning_conjuncts(
                 current_form(), self.model, joined, viewer, populate=populate
             )
-            if conjuncts is not None:
-                for conjunct in conjuncts:
+            if plan is not None:
+                for conjunct in plan.conjuncts:
                     query = query.filter(conjunct)
-                pushed = True
-        return query, joined, pushed
+        return query, joined, plan
 
     # -- aggregate pushdown -------------------------------------------------------------
 
@@ -763,14 +766,20 @@ class QuerySet:
         functions: Tuple[str, ...],
         column: Optional[str] = None,
         populate: bool = True,
-    ) -> Tuple[Query, List[str], Tuple[Aggregate, ...], bool]:
+    ) -> Tuple[
+        Query,
+        List[str],
+        Tuple[Aggregate, ...],
+        Optional["pushdown_sql.PushdownPlan"],
+    ]:
         """Compile this query set's grouped jvars-partition statement.
 
         The plan-construction half of :meth:`_aggregate_groups`, shared with
         :meth:`explain` so the reported SQL is the executed SQL by
         construction.  Returns ``(query, group_columns, specs, pushed)``;
-        ``pushed`` means the statement carries the viewer's pruning
-        predicate (policy pushdown), so every returned partition is fully
+        ``pushed`` is the :class:`~repro.form.pushdown.PushdownPlan` when
+        the statement carries the viewer's pruning predicate (policy
+        pushdown, ``None`` otherwise), so every returned partition is fully
         visible -- and the jvars GROUP BY is dropped entirely: with the
         engine pruning, partitioning by label assignment would only split
         one visible world across thousands of per-record groups to be
@@ -781,16 +790,15 @@ class QuerySet:
         """
         meta = self.model._meta
         query, joined = self._filtered_query(meta)
-        pushed = False
+        pushed: Optional[pushdown_sql.PushdownPlan] = None
         viewer = current_viewer()
         if viewer is not None and self.limit is None and not self.offset:
-            conjuncts = pushdown_sql.pruning_conjuncts(
+            pushed = pushdown_sql.pruning_conjuncts(
                 current_form(), self.model, joined, viewer, populate=populate
             )
-            if conjuncts is not None:
-                for conjunct in conjuncts:
+            if pushed is not None:
+                for conjunct in pushed.conjuncts:
                     query = query.filter(conjunct)
-                pushed = True
         if column is not None and joined and "." not in column:
             column = f"{meta.table_name}.{column}"
         specs = tuple(

@@ -56,10 +56,27 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro import obs
+from repro.analysis import symbolic as sym
 from repro.cache.bus import InvalidationBus, subscribe_weak
 from repro.cache.epoch import policy_epoch
 from repro.cache.label_cache import viewer_cache_key
-from repro.db.expr import ColumnRef, Expression, InSubquery, OrExpr, and_all, eq, ne
+from repro.db.expr import (
+    AndExpr,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FacetBranch,
+    InSubquery,
+    IsNull,
+    Literal,
+    NotExpr,
+    NullSafeEq,
+    OrExpr,
+    and_all,
+    eq,
+    ne,
+    prefix_range,
+)
 from repro.db.query import Query
 from repro.db.schema import Column, ColumnType, IndexSpec, TableSchema
 from repro.form.marshal import parse_jvars
@@ -143,18 +160,115 @@ class PushdownProfile:
     ``narrow`` -- outcomes provably depend only on the model's own rows
     (plus epoch-guarded globals): invalidate on the own-table write
     generation instead of every write.
+
+    ``tier`` is the *static* ceiling the symbolic predicate IR admits:
+
+    * ``"direct"`` -- single policy group whose compiled predicate renders
+      inline with two-valued atoms (equality on viewer values, membership,
+      null tests), skipping the label store entirely;
+    * ``"indexable"`` -- like direct but with prefix/range atoms that
+      compile through ``Like``/``Between``-family expressions over
+      non-nullable columns (servable from ordered indexes);
+    * ``"store"`` -- eligible, served by the label-assignment store;
+    * ``"opaque"`` -- Python fallback; ``"none"`` -- no policy groups.
+
+    Runtime conditions (viewer bind success, canonical facet-branch state)
+    can still demote direct/indexable to store per query; demotion never
+    skips to the Python path while the model stays eligible.
     """
 
     eligible: bool
     narrow: bool
     opaque: bool
     shapes: Dict[str, str] = field(default_factory=dict)
+    tier: str = "store"
+    predicate: Optional[sym.Pred] = None
+
+    @property
+    def inline(self) -> bool:
+        return self.tier in ("direct", "indexable")
+
+
+#: Atom ops renderable as two-valued equality-family SQL (direct tier).
+_DIRECT_OPS = frozenset(
+    {"eq", "ne", "in", "not-in", "is-null", "not-null", "truthy"}
+)
+#: Atom ops renderable as range/prefix probes (indexable tier).
+_RANGE_OPS = frozenset({"lt", "le", "gt", "ge", "prefix"})
+
+
+def _atom_tier(atom: sym.Atom) -> Optional[str]:
+    """``"direct"`` / ``"indexable"`` when the atom is renderable, else
+    ``None`` (store fallback).
+
+    Atoms not reading an own-row column fold to booleans at bind time with
+    Python semantics, so any op is fine.  Own-column atoms must render with
+    *two-valued* SQL: equality-family ops use ``IS``-style comparisons;
+    range and prefix ops are only exact on non-nullable columns (a NULL
+    would be UNKNOWN in SQL where Python raises).
+    """
+    lhs, rhs = atom.lhs, atom.rhs
+    lhs_own = isinstance(lhs, sym.OwnColumn)
+    rhs_own = isinstance(rhs, sym.OwnColumn)
+    if not lhs_own and not rhs_own:
+        if {type(lhs), type(rhs)} == {sym.RowSelf, sym.ViewerSelf}:
+            return "direct" if atom.op in ("eq", "ne") else None
+        if isinstance(lhs, sym.RowSelf) or isinstance(rhs, sym.RowSelf):
+            return None
+        return "direct"  # viewer/constant only: folds at bind time
+    if not lhs_own:
+        return None  # own column in a non-canonical position (e.g. prefix rhs)
+    value_ok = isinstance(rhs, (sym.ConstVal, sym.ViewerAttr, sym.OwnColumn))
+    if atom.op in ("eq", "ne"):
+        return "direct" if value_ok else None
+    if atom.op in ("in", "not-in"):
+        return (
+            "direct"
+            if isinstance(rhs, sym.ConstVal) and isinstance(rhs.value, tuple)
+            else None
+        )
+    if atom.op in ("is-null", "not-null"):
+        return "direct"
+    if atom.op == "truthy":
+        return "direct" if lhs.kind == "bool" else None
+    if atom.op in ("lt", "le", "gt", "ge"):
+        if lhs.nullable or not value_ok:
+            return None
+        if rhs_own and rhs.nullable:
+            return None
+        return "indexable"
+    if atom.op == "prefix":
+        if lhs.kind != "text" or lhs.nullable or rhs_own:
+            return None
+        return "indexable" if value_ok else None
+    return None
+
+
+def _predicate_tier(pred: sym.Pred, guarded_columns: frozenset) -> str:
+    """The static tier a compiled single-group predicate admits."""
+    if sym.contains_top(pred):
+        return "store"
+    if sym.own_columns(pred) & guarded_columns:
+        # The predicate reads a column its own group guards: the negative
+        # facet row carries the public value, so inline evaluation would
+        # diverge from the oracle.
+        return "store"
+    tier = "direct"
+    for atom in sym.iter_atoms(pred):
+        atom_tier = _atom_tier(atom)
+        if atom_tier is None:
+            return "store"
+        if atom_tier == "indexable":
+            tier = "indexable"
+    return tier
 
 
 def _compute_profile(model: type) -> PushdownProfile:
     meta = model._meta
     if not meta.policy_groups:
-        return PushdownProfile(eligible=True, narrow=True, opaque=False)
+        return PushdownProfile(
+            eligible=True, narrow=True, opaque=False, tier="none"
+        )
     try:
         from repro.analysis.classify import classify_policy
         from repro.analysis.facts import facts_for_model
@@ -164,7 +278,9 @@ def _compute_profile(model: type) -> PushdownProfile:
     except Exception:
         # Classification itself failing (lost source, exotic bodies) is the
         # opaque case: the Python evaluator stays the oracle.
-        return PushdownProfile(eligible=False, narrow=False, opaque=True)
+        return PushdownProfile(
+            eligible=False, narrow=False, opaque=True, tier="opaque"
+        )
     shapes = {record["group"]: record["shape"] for record in records}
     opaque = any(record["shape"] == "opaque" for record in records)
     eligible = not opaque and len(records) == len(meta.policy_groups)
@@ -172,9 +288,30 @@ def _compute_profile(model: type) -> PushdownProfile:
         record["reads"] != "TOP" and not record["cross_record"]
         for record in records
     ) and not any(_has_orm_query(group.node) for group in facts.groups)
+    tier = "store" if eligible else "opaque"
+    predicate: Optional[sym.Pred] = None
+    if eligible and len(facts.groups) == 1:
+        # Inline rendering covers exactly one policy group: a record's
+        # facet rows split on that group's single branch, so visibility is
+        # one two-way decision the WHERE clause can encode.
+        group = facts.groups[0]
+        guarded = frozenset(
+            meta.fields[name].column_name
+            for name in group.fields
+            if name in meta.fields
+        )
+        try:
+            compiled = sym.compile_policy(group, facts)
+            candidate = _predicate_tier(compiled, guarded)
+        except Exception:
+            candidate = "store"
+        else:
+            if candidate in ("direct", "indexable"):
+                predicate = compiled
+        tier = candidate
     return PushdownProfile(
         eligible=eligible, narrow=narrow, opaque=opaque or not eligible,
-        shapes=shapes,
+        shapes=shapes, tier=tier, predicate=predicate,
     )
 
 
@@ -362,21 +499,288 @@ class LabelAssignmentStore:
             self._valid.clear()
 
 
+# -- inline predicate rendering (direct / indexable tiers) -----------------------
+
+
+class _Demote(Exception):
+    """Raised during binding when inline rendering must fall back to the
+    label store for this (model, viewer) -- never past it to Python."""
+
+
+def _viewer_value(source: sym.ViewerAttr, viewer: Any) -> Any:
+    """Resolve a ``viewer.a.b`` chain against the live viewer object."""
+    value = viewer
+    for index, attr in enumerate(source.path):
+        last = index == len(source.path) - 1
+        try:
+            if last and source.has_default:
+                value = getattr(value, attr, source.default)
+            else:
+                value = getattr(value, attr)
+        except AttributeError:
+            # The oracle would raise here too; the store tier reproduces
+            # that (population evaluates the policy in Python).
+            raise _Demote(f"viewer has no attribute {attr!r}")
+    return value
+
+
+def _bind_value(source: sym.Source, viewer: Any) -> Any:
+    if isinstance(source, sym.ConstVal):
+        return source.value
+    if isinstance(source, sym.ViewerAttr):
+        return _viewer_value(source, viewer)
+    if isinstance(source, sym.ViewerSelf):
+        return viewer
+    raise _Demote(f"unbindable source {type(source).__name__}")
+
+
+def _bound_literal(column: sym.OwnColumn, value: Any) -> Any:
+    """Validate a bound value against the column's kind; demote on doubt.
+
+    Values bind *raw* (no ``to_db`` coercion): Python ``==`` inside the
+    oracle compares the unconverted viewer value, so coercing here would
+    make e.g. ``5 == "5"`` true in SQL but false in Python.  For the same
+    reason the value's type must match the column's kind -- SQLite applies
+    column affinity to comparison operands (``owner_id IS '5'`` matches
+    ``5``), which Python equality never does.  Model instances demote:
+    their equality semantics live in ``JModel.__eq__``, not in the stored
+    foreign-key integer.
+    """
+    import datetime
+
+    from repro.form.model import JModel
+
+    if isinstance(value, JModel):
+        raise _Demote("model-instance operand binds through JModel.__eq__")
+    if value is None:
+        return None
+    kind = column.kind
+    if kind == "text":
+        ok = isinstance(value, str)
+    elif kind in ("int", "float"):
+        ok = isinstance(value, (int, float))
+    elif kind == "bool":
+        ok = isinstance(value, (bool, int))
+    elif kind == "datetime":
+        ok = isinstance(value, datetime.datetime)
+    else:
+        ok = False
+    if not ok:
+        raise _Demote(f"value {value!r} does not match column kind {kind!r}")
+    return value
+
+
+_PY_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+    "not-in": lambda a, b: a not in b,
+    "prefix": lambda a, b: a.startswith(b),
+}
+
+_RANGE_SQL = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def _fold_viewer_atom(atom: sym.Atom, viewer: Any) -> bool:
+    """Evaluate an atom with no own-column operand to a plain boolean."""
+    lhs = _bind_value(atom.lhs, viewer)
+    try:
+        if atom.op == "is-null":
+            return lhs is None
+        if atom.op == "not-null":
+            return lhs is not None
+        if atom.op == "truthy":
+            return bool(lhs)
+        rhs = _bind_value(atom.rhs, viewer)
+        return bool(_PY_OPS[atom.op](lhs, rhs))
+    except _Demote:
+        raise
+    except Exception as error:
+        # The oracle would raise evaluating this; let the store tier (same
+        # Python evaluation) reproduce the behaviour faithfully.
+        raise _Demote(f"viewer-side evaluation failed: {error}")
+
+
+def _bind_atom(
+    atom: sym.Atom, model: type, viewer: Any, colname
+) -> "bool | Expression":
+    lhs, rhs = atom.lhs, atom.rhs
+    if {type(lhs), type(rhs)} == {sym.RowSelf, sym.ViewerSelf}:
+        # ``viewer == row``: JModel.__eq__ is type-strict and compares
+        # jids; an unsaved viewer (jid None) falls back to object identity,
+        # which no fetched record satisfies.
+        if type(viewer) is model and viewer.jid is not None:
+            return NullSafeEq(
+                ColumnRef(colname("jid")), Literal(viewer.jid), atom.op == "ne"
+            )
+        return atom.op == "ne"
+    if not isinstance(lhs, sym.OwnColumn):
+        return _fold_viewer_atom(atom, viewer)
+    column = ColumnRef(colname(lhs.column))
+    if atom.op in ("is-null", "not-null"):
+        return IsNull(column, negated=atom.op == "not-null")
+    if atom.op == "truthy":
+        return NullSafeEq(column, Literal(True))
+    if isinstance(rhs, sym.OwnColumn):
+        other = ColumnRef(colname(rhs.column))
+        if atom.op in ("eq", "ne"):
+            return NullSafeEq(column, other, atom.op == "ne")
+        if atom.op in _RANGE_SQL and not lhs.nullable and not rhs.nullable:
+            return Comparison(_RANGE_SQL[atom.op], column, other)
+        raise _Demote(f"column/column op {atom.op!r} not renderable")
+    if atom.op in ("in", "not-in"):
+        values = _bind_value(rhs, viewer)
+        members = [
+            NullSafeEq(column, Literal(_bound_literal(lhs, item)))
+            for item in values
+        ]
+        if not members:
+            return atom.op == "not-in"
+        matched: Expression = members[0]
+        for member in members[1:]:
+            matched = OrExpr(matched, member)
+        return NotExpr(matched) if atom.op == "not-in" else matched
+    value = _bound_literal(lhs, _bind_value(rhs, viewer))
+    if atom.op in ("eq", "ne"):
+        return NullSafeEq(column, Literal(value), atom.op == "ne")
+    if atom.op == "prefix":
+        if not isinstance(value, str):
+            raise _Demote("prefix bound to a non-string value")
+        return prefix_range(colname(lhs.column), value)
+    if atom.op in _RANGE_SQL:
+        if value is None:
+            raise _Demote("range bound to None")
+        return Comparison(_RANGE_SQL[atom.op], column, Literal(value))
+    raise _Demote(f"op {atom.op!r} not renderable")
+
+
+def _bind_predicate(
+    pred: sym.Pred, model: type, viewer: Any, colname
+) -> "bool | Expression":
+    """Render IR to a two-valued expression, folding viewer-only parts.
+
+    Returns a plain bool when the whole predicate folds.  Raises
+    :class:`_Demote` when some part cannot be rendered for this viewer.
+    """
+    if isinstance(pred, sym.Const):
+        return pred.value
+    if isinstance(pred, (sym.And, sym.Or)):
+        is_and = isinstance(pred, sym.And)
+        absorbing = not is_and
+        parts: List[Expression] = []
+        for item in pred.items:
+            bound = _bind_predicate(item, model, viewer, colname)
+            if isinstance(bound, bool):
+                if bound == absorbing:
+                    return absorbing
+                continue
+            parts.append(bound)
+        if not parts:
+            return not absorbing
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = AndExpr(combined, part) if is_and else OrExpr(combined, part)
+        return combined
+    if isinstance(pred, sym.Not):
+        bound = _bind_predicate(pred.item, model, viewer, colname)
+        if isinstance(bound, bool):
+            return not bound
+        # Sound because every rendered atom is two-valued (IS-family,
+        # IS NULL, or ranges over non-nullable columns).
+        return NotExpr(bound)
+    if isinstance(pred, sym.Atom):
+        return _bind_atom(pred, model, viewer, colname)
+    raise _Demote(f"unrenderable node {type(pred).__name__}")
+
+
+def _inline_conjunct(
+    form: Any, model: type, viewer: Any, qualify: bool, probe: bool = True
+) -> Optional[Expression]:
+    """The direct/indexable-tier conjunct for one model, or ``None`` when a
+    runtime condition demotes this (model, viewer) to the store tier.
+
+    Soundness gates checked here, per query:
+
+    * the table's facet rows are all canonical single-group branches of
+      this model's one policy group (:meth:`facet_branch_keys`), so the
+      positive/negative branch of every record is selected by one
+      :class:`~repro.db.expr.FacetBranch` match;
+    * the predicate binds against this viewer (attribute chains resolve,
+      values convert, viewer-only atoms fold without error).
+
+    ``probe=False`` (``explain``) skips the facet-row gate optimistically
+    instead of running its probe statement -- the same stance the store's
+    :meth:`LabelAssignmentStore.predicts` takes for never-attempted pairs.
+
+    The conjunct admits: unguarded rows (``jvars = ''``), positive-branch
+    rows where the bound predicate holds, and negative-branch rows where
+    its (two-valued) negation holds.  The predicate provably reads no
+    guarded column, so evaluating it on either facet row of a record gives
+    the record's policy outcome.
+    """
+    meta = model._meta
+    table = meta.table_name
+    profile = profile_for(model)
+    group = meta.policy_groups[0]
+    if probe:
+        try:
+            branch_keys = form.database.facet_branch_keys(table)
+        except Exception:
+            return None
+        if branch_keys is None or not branch_keys <= {group.key}:
+            return None  # exotic labels: only the store understands them
+    colname = (lambda name: f"{table}.{name}") if qualify else (lambda name: name)
+    try:
+        bound = _bind_predicate(profile.predicate, model, viewer, colname)
+    except _Demote:
+        return None
+    unguarded = eq(colname("jvars"), "")
+    positive = FacetBranch(table, group.key, True, qualify)
+    negative = FacetBranch(table, group.key, False, qualify)
+    if bound is True:
+        return OrExpr(unguarded, positive)
+    if bound is False:
+        return OrExpr(unguarded, negative)
+    return OrExpr(
+        unguarded,
+        OrExpr(AndExpr(positive, bound), AndExpr(negative, NotExpr(bound))),
+    )
+
+
+# -- the planning entry point ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PushdownPlan:
+    """What ``pruning_conjuncts`` decided: the per-table predicates plus
+    the tier each policied table is served at (``explain()`` reports it)."""
+
+    conjuncts: List[Expression]
+    tiers: Dict[str, str]
+
+
 def pruning_conjuncts(
     form: Any,
     model: type,
     joined_tables: List[str],
     viewer: Any,
     populate: bool = True,
-) -> Optional[List[Expression]]:
+) -> Optional[PushdownPlan]:
     """The per-table pruning predicates of a viewer-context query, or
     ``None`` when the Python path must prune.
 
-    One conjunct per involved table (base plus joins), each
+    One conjunct per involved table (base plus joins).  Per table, the
+    profile's static tier is tried first: direct/indexable render the
+    compiled predicate inline (no store round-trip); runtime demotion or a
+    ``policy_pushdown_tier_cap`` of ``"store"`` falls back to
     ``jvars = '' OR jvars IN (store slice)``.  ``populate=False`` builds
-    the same predicate without touching the store (``explain``); the
-    predicate SQL does not depend on the store's *contents*, so the
-    reported statement string-equals the executed one.
+    the same predicates without touching the store (``explain``); no
+    predicate's SQL depends on the store's *contents*, so the reported
+    statement string-equals the executed one.
     """
     if not getattr(form, "policy_pushdown_enabled", True):
         return None
@@ -405,17 +809,41 @@ def pruning_conjuncts(
             if profile.opaque:
                 obs.add("plan.policy_pushdown.opaque_fallback")
             return None
+    qualify = bool(joined_tables)
+    cap = getattr(form, "policy_pushdown_tier_cap", None)
+    tiers: Dict[str, str] = {}
+    inline: Dict[str, Expression] = {}
     for m in models:
+        table = m._meta.table_name
+        profile = profile_for(m)
+        tier = profile.tier
+        if tier in ("direct", "indexable") and cap != "store":
+            conjunct = _inline_conjunct(form, m, viewer, qualify, probe=populate)
+            if conjunct is not None:
+                inline[table] = conjunct
+                tiers[table] = tier
+                continue
+        # Unpolicied tables ("none") take the store path too: population
+        # walks their stored encodings, so a pc/ad-hoc label on such a
+        # table still forces the Python fallback instead of being hidden.
+        tiers[table] = "store"
+    for m in models:
+        if tiers[m._meta.table_name] in ("direct", "indexable"):
+            continue
         if populate:
             if not store.ensure(form, m, viewer, key):
                 return None
         elif not store.predicts(m, key):
             return None
-    qualify = bool(joined_tables)
     key_text = _viewer_key_text(key)
     conjuncts: List[Expression] = []
     for m in models:
         table = m._meta.table_name
+        tier = tiers[table]
+        if tier in ("direct", "indexable"):
+            obs.add(f"plan.policy_pushdown.{tier}")
+            conjuncts.append(inline[table])
+            continue
         column = f"{table}.jvars" if qualify else "jvars"
         store_slice = (
             Query(table=STORE_TABLE)
@@ -426,4 +854,4 @@ def pruning_conjuncts(
         conjuncts.append(
             OrExpr(eq(column, ""), InSubquery(ColumnRef(column), store_slice))
         )
-    return conjuncts
+    return PushdownPlan(conjuncts, tiers)

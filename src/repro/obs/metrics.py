@@ -60,6 +60,14 @@ COUNTER_GLOSSARY: Dict[str, str] = {
         "pruned reads kept on the Python path because a policy classified "
         "as opaque (repro.analysis.classify)"
     ),
+    "plan.policy_pushdown.direct": (
+        "policied tables served at the direct tier: the compiled symbolic "
+        "predicate rendered inline in the WHERE clause, no label store"
+    ),
+    "plan.policy_pushdown.indexable": (
+        "policied tables served at the indexable tier: inline predicate "
+        "with prefix/range atoms servable from ordered indexes"
+    ),
     "plan.index.hash_probe": (
         "memory-engine reads served by a hash-index bucket probe "
         "(=, IN, IS NULL on an indexed column)"

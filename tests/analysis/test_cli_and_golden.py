@@ -34,6 +34,11 @@ GOLDEN = {
             "policy": "restrict_title",
             "shape": "equality-on-viewer",
             "atoms": [{"kind": "eq", "viewer": "viewer.name", "other": "owner"}],
+            "predicate": {
+                "atom": "eq",
+                "lhs": {"viewer": "name", "default": None},
+                "rhs": {"const": "owner"},
+            },
             "opaque_reasons": [],
             "reads": [],
             "cross_record": False,
@@ -101,3 +106,77 @@ def test_module_entry_point_runs(tmp_path, fmt):
     assert proc.returncode == 0, proc.stderr
     if fmt == "json":
         assert json.loads(proc.stdout) == GOLDEN
+
+
+MIXED = SOURCE + '''
+
+def render(memo):
+    if memo.title:
+        return "titled"
+    return "untitled"
+'''
+
+
+def test_select_keeps_only_the_listed_codes(tmp_path, capsys):
+    path = tmp_path / "memo.py"
+    path.write_text(MIXED)
+    # The fixture trips JQL006 (warning, name heuristic); selecting only
+    # JQL004 filters it out and the run is clean even under --strict.
+    assert cli.main([str(path), "--select", "JQL004", "--strict"]) == 0
+    capsys.readouterr()
+    assert cli.main([str(path), "--select", "JQL006", "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "JQL006" in out
+
+
+def test_select_rejects_unknown_codes(tmp_path, capsys):
+    path = tmp_path / "memo.py"
+    path.write_text(SOURCE)
+    assert cli.main([str(path), "--select", "JQL999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code" in err and "JQL999" in err
+
+
+def test_select_always_keeps_syntax_errors(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    assert cli.main([str(path), "--select", "JQL004"]) == 1
+    out = capsys.readouterr().out
+    assert "JQL000" in out
+
+
+def test_baseline_suppresses_recorded_findings_ignoring_lines(tmp_path, capsys):
+    path = tmp_path / "memo.py"
+    path.write_text(MIXED)
+    baseline = tmp_path / "baseline.json"
+    assert cli.main([str(path), "--format", "json"]) == 0
+    baseline.write_text(capsys.readouterr().out)
+    # Accepted as baseline: the same findings no longer fail the run.
+    assert cli.main([str(path), "--baseline", str(baseline), "--strict"]) == 0
+    capsys.readouterr()
+    # Shift every line: the fingerprint ignores lines, still suppressed.
+    path.write_text("# moved\n\n\n" + MIXED)
+    assert cli.main([str(path), "--baseline", str(baseline), "--strict"]) == 0
+    capsys.readouterr()
+    # A *new* finding is not in the baseline and fails the run.
+    path.write_text(MIXED + '''
+
+def render_again(memo):
+    if memo.title:
+        return "again"
+    return ""
+''')
+    assert cli.main([str(path), "--baseline", str(baseline), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "render_again" in out or "JQL006" in out
+
+
+def test_baseline_usage_errors_exit_2(tmp_path, capsys):
+    path = tmp_path / "memo.py"
+    path.write_text(SOURCE)
+    assert cli.main([str(path), "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "no such baseline" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert cli.main([str(path), "--baseline", str(bad)]) == 2
+    assert "bad baseline" in capsys.readouterr().err

@@ -127,6 +127,20 @@ class Doc(JModel):
     def restrict(row, viewer):
         return False
 ''',
+    "JQL010": '''
+class Doc(JModel):
+    title = CharField()
+    score = IntegerField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return row.score > 5 and row.score < 3
+''',
 }
 
 #: Rules whose finding is warning severity (CLI needs --strict to fail).
@@ -220,3 +234,108 @@ def render(doc, user):
 '''
     report = cli.analyze_source(source, "m.py")
     assert "JQL006" not in {d.code for d in report.diagnostics}
+
+
+TYPED_BRANCH = CLEAN + '''
+
+def render():
+    doc = Doc.objects.get(jid=1)
+    if doc.title:
+        return "titled"
+    return "untitled"
+'''
+
+
+def test_jql006_typed_receiver_is_an_error():
+    # The local is provably a Doc (bound from Doc.objects), so the branch
+    # reads a faceted value for certain: error severity, no --strict needed.
+    report = cli.analyze_source(TYPED_BRANCH, "m.py")
+    [diag] = [d for d in report.diagnostics if d.code == "JQL006"]
+    assert diag.severity.value == "error"
+    assert diag.model == "Doc"
+    assert report.exit_code() == 1
+
+
+def test_jql006_direct_orm_chain_receiver_is_an_error():
+    source = CLEAN + '''
+
+def render():
+    if Doc.objects.get(jid=1).title:
+        return "titled"
+    return "untitled"
+'''
+    report = cli.analyze_source(source, "m.py")
+    [diag] = [d for d in report.diagnostics if d.code == "JQL006"]
+    assert diag.severity.value == "error"
+
+
+def test_jql006_typed_receiver_suppresses_the_name_heuristic():
+    # ``note`` is provably a Note, whose ``title`` is unpolicied -- the
+    # name heuristic must not fire on it.
+    source = CLEAN + '''
+
+class Note(JModel):
+    title = CharField()
+
+
+def render():
+    note = Note.objects.get(jid=1)
+    if note.title:
+        return "titled"
+    return "untitled"
+'''
+    report = cli.analyze_source(source, "m.py")
+    assert "JQL006" not in {d.code for d in report.diagnostics}
+
+
+def test_jql006_untyped_name_match_stays_a_warning():
+    report = cli.analyze_source(BAD["JQL006"], "m.py")
+    [diag] = [d for d in report.diagnostics if d.code == "JQL006"]
+    assert diag.severity.value == "warning"
+
+
+def test_jql010_reports_the_offending_atoms():
+    report = cli.analyze_source(BAD["JQL010"], "m.py")
+    [diag] = [d for d in report.diagnostics if d.code == "JQL010"]
+    assert diag.severity.value == "error"
+    assert "score > 5" in diag.message
+    assert "score < 3" in diag.message
+
+
+def test_jql010_flags_a_constant_false_policy():
+    source = '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return False
+'''
+    report = cli.analyze_source(source, "m.py")
+    [diag] = [d for d in report.diagnostics if d.code == "JQL010"]
+    assert "constant-False" in diag.message
+
+
+def test_jql010_stays_silent_on_top_predicates():
+    # An unmodelled call puts a TOP in the conjunct; the decision
+    # procedure is conservative around TOP subtrees and stays silent.
+    source = '''
+class Doc(JModel):
+    title = CharField()
+
+    @staticmethod
+    def jacqueline_get_public_title(doc):
+        return "[redacted]"
+
+    @staticmethod
+    @label_for("title")
+    def restrict(row, viewer):
+        return mystery(row) and row.title == "x" and row.title == "y"
+'''
+    report = cli.analyze_source(source, "m.py")
+    assert "JQL010" not in {d.code for d in report.diagnostics}

@@ -1,0 +1,162 @@
+"""Unit tests for the symbolic policy compiler (``repro.analysis.symbolic``).
+
+Covers the typed abstract interpreter (source modelling, getattr
+defaults, startswith/prefix atoms, TOP on unmodelled constructs),
+normalization, the IR queries (``contains_top``, ``own_columns``), the
+satisfiability decision procedure, and a golden-JSON regression pinning
+the predicate IR of every demo application's policy.
+"""
+
+import json
+import os
+
+from repro.analysis import cli
+from repro.analysis.facts import facts_for_source
+from repro.analysis.symbolic import (
+    And,
+    Atom,
+    Const,
+    ConstVal,
+    Not,
+    Or,
+    OwnColumn,
+    Top,
+    ViewerAttr,
+    ViewerSelf,
+    atom_text,
+    compile_policy,
+    contains_top,
+    normalize,
+    own_columns,
+    predicate_json,
+    predicate_text,
+    unsatisfiable,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+
+def _compile(body: str):
+    """Compile a one-group policy body over a small typed model."""
+    source = f'''
+class Doc(JModel):
+    title = CharField(max_length=64)
+    path = CharField(max_length=64, nullable=False, default="/")
+    score = IntegerField()
+    owner = ForeignKey("User")
+
+    @staticmethod
+    @label_for("title")
+    def restrict(doc, viewer):
+        return {body}
+'''
+    model = facts_for_source(source, "m.py").models[0]
+    return compile_policy(model.groups[0], model)
+
+
+def test_equality_on_viewer_attr_compiles_to_a_typed_atom():
+    pred = _compile("doc.owner_id == viewer.jid")
+    assert pred == Atom(
+        "eq", OwnColumn("owner_id", "int"), ViewerAttr(("jid",))
+    )
+
+
+def test_getattr_default_is_carried_on_the_viewer_source():
+    pred = _compile('getattr(viewer, "name", None) == "ada"')
+    assert pred == Atom(
+        "eq", ViewerAttr(("name",), True, None), ConstVal("ada")
+    )
+
+
+def test_startswith_compiles_to_a_prefix_atom_with_nullability():
+    pred = _compile("doc.path.startswith(viewer.prefix)")
+    assert pred == Atom(
+        "prefix",
+        OwnColumn("path", "text", nullable=False),
+        ViewerAttr(("prefix",)),
+    )
+
+
+def test_boolean_structure_and_none_guard():
+    pred = _compile("viewer is not None and doc.score >= 3")
+    assert pred == And((
+        Atom("not-null", ViewerSelf()),
+        Atom("ge", OwnColumn("score", "int"), ConstVal(3)),
+    ))
+
+
+def test_unmodelled_constructs_become_top_not_errors():
+    pred = _compile("mystery(doc)")
+    assert contains_top(pred)
+    assert "TOP" in predicate_text(pred)
+    # TOP poisons the tree through connectives but never raises.
+    assert contains_top(_compile("viewer is not None and mystery(doc)"))
+
+
+def test_normalize_flattens_folds_and_cancels():
+    nested = And((And((Const(True), Atom("truthy", OwnColumn("score")))),
+                  Not(Not(Atom("not-null", ViewerSelf())))))
+    flat = normalize(nested)
+    assert flat == And((
+        Atom("truthy", OwnColumn("score")),
+        Atom("not-null", ViewerSelf()),
+    ))
+    assert normalize(Or((Const(False),))) == Const(False)
+    assert normalize(Not(Atom("eq", OwnColumn("a"), ConstVal(1)))) == Atom(
+        "ne", OwnColumn("a"), ConstVal(1)
+    )
+
+
+def test_own_columns_lists_the_row_reads():
+    pred = _compile("doc.score > 2 and doc.path.startswith('/x')")
+    assert own_columns(pred) == {"score", "path"}
+
+
+def test_unsatisfiable_finds_conflicting_range_atoms():
+    pred = _compile("doc.score > 5 and doc.score < 3")
+    atoms = unsatisfiable(pred)
+    assert atoms is not None
+    assert sorted(atom_text(a) for a in atoms) == ["score < 3", "score > 5"]
+
+
+def test_unsatisfiable_is_none_for_satisfiable_and_top():
+    assert unsatisfiable(_compile("doc.score > 5")) is None
+    assert unsatisfiable(_compile("mystery(doc) and doc.score > 5")) is None
+    assert unsatisfiable(Const(False)) == []
+
+
+def test_predicate_json_round_trips_through_json():
+    pred = _compile('viewer is not None and doc.owner_id == viewer.jid')
+    payload = predicate_json(pred)
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload == {
+        "and": [
+            {"atom": "not-null", "lhs": {"viewer-self": True}},
+            {
+                "atom": "eq",
+                "lhs": {"column": "owner_id", "type": "int", "nullable": True},
+                "rhs": {"viewer": "jid"},
+            },
+        ]
+    }
+
+
+def test_demo_app_predicates_match_the_golden_json():
+    """Golden regression: the compiled predicate IR of every policy of the
+    four demo applications.  Regenerate (after inspecting the diff!) with::
+
+        PYTHONPATH=src python -c "
+        import json; from repro.analysis import cli
+        r = cli.analyze_paths(['src/repro/apps'])
+        print(json.dumps({f'{p[\\"model\\"]}.{p[\\"group\\"]}': p['predicate']
+                          for p in r.policies}, indent=2, sort_keys=True))"
+    """
+    report = cli.analyze_paths([os.path.join(REPO, "src", "repro", "apps")])
+    actual = {
+        f"{rec['model']}.{rec['group']}": rec["predicate"]
+        for rec in report.policies
+    }
+    with open(os.path.join(HERE, "golden_demo_predicates.json")) as handle:
+        golden = json.load(handle)
+    assert actual == golden

@@ -1,18 +1,21 @@
 """Policy pushdown: Early Pruning compiled into the SQL statement.
 
-The PR 8 tentpole.  On models whose policies classify as
-viewer-independent or equality-on-viewer, a viewer-context ``fetch()``,
-``count()`` or ``aggregate()`` appends the pruning predicate --
+The PR 8 tentpole, extended with the symbolic tiers.  On models whose
+policies classify as viewer-independent or equality-on-viewer, a
+viewer-context ``fetch()``, ``count()`` or ``aggregate()`` appends a
+pruning predicate and the database prunes -- one statement on both
+backends.  The predicate now has tiers: ``direct``/``indexable`` render
+the compiled symbolic predicate inline (no label store in the statement),
+``store`` falls back to
 
     jvars = '' OR jvars IN (SELECT jvars FROM "__jacq_labels__"
                             WHERE table_name = ? AND viewer_key = ?)
 
--- so the database prunes and the whole read is **one** statement on both
-backends.  The label-assignment store behind the subquery is populated by
-the same Python resolver Early Pruning uses, invalidated by write
-generations (narrow models), the any-write counter (broad models) and the
-policy epoch.  Opaque policies, bounded sets, pc-labelled rows and unknown
-viewers keep the Python path, which doubles as the oracle throughout
+populated by the same Python resolver Early Pruning uses.  Runtime
+demotion (bind failures, exotic facet rows, the ``policy_pushdown_tier_cap``
+knob) steps inline tiers down to the store, never straight to Python.
+Opaque policies, bounded sets, pc-labelled rows and unknown viewers keep
+the Python path, which doubles as the oracle throughout
 (``form.policy_pushdown_enabled = False``).
 """
 
@@ -97,7 +100,43 @@ class Vault(JModel):
         return granted
 
 
-MODELS = [Owner, Doc, Audit, Vault]
+class Wiki(JModel):
+    """Prefix-on-viewer policy over a non-nullable column: indexable tier."""
+
+    path = CharField(max_length=64, nullable=False, default="/")
+    body = CharField(max_length=64)
+
+    @staticmethod
+    def jacqueline_get_public_body(page):
+        return "[wiki]"
+
+    @staticmethod
+    @label_for("body")
+    @jacqueline
+    def jacqueline_restrict_body(page, ctxt):
+        return ctxt is not None and page.path.startswith(ctxt.name)
+
+
+class Badge(JModel):
+    """Direct-shaped policy whose bound value can mismatch the column kind
+    (int column vs. text viewer attribute): binding demotes to the store
+    tier at runtime, never to Python."""
+
+    code = IntegerField(default=0)
+    body = CharField(max_length=64)
+
+    @staticmethod
+    def jacqueline_get_public_body(badge):
+        return "[badge]"
+
+    @staticmethod
+    @label_for("body")
+    @jacqueline
+    def jacqueline_restrict_body(badge, ctxt):
+        return badge.code == getattr(ctxt, "name", None)
+
+
+MODELS = [Owner, Doc, Audit, Vault, Wiki, Badge]
 
 
 @pytest.fixture(autouse=True)
@@ -157,9 +196,41 @@ def test_profiles_classify_the_three_shapes():
     assert (plain.eligible, plain.narrow) == (True, True)
 
 
+def test_profiles_report_the_symbolic_tier():
+    assert profile_for(Doc).tier == "direct"
+    assert profile_for(Wiki).tier == "indexable"
+    assert profile_for(Badge).tier == "direct"
+    assert profile_for(Audit).tier == "store"  # ORM query in the body: TOP
+    assert profile_for(Vault).tier == "opaque"
+    assert profile_for(Owner).tier == "none"  # no policy groups at all
+    assert profile_for(Doc).predicate is not None
+    assert profile_for(Audit).predicate is None
+
+
 def test_fetch_is_one_statement_with_parity(pushdown_form):
     ada, _bob = _seed_docs(pushdown_form)
-    with viewer_context(ada):
+    with obs.tracing(), viewer_context(ada):
+        Doc.objects.all().fetch()  # warm the one-time branch-key probe
+        with pushdown_form.database.observe_statements() as log:
+            docs = Doc.objects.all().fetch()
+        # The direct tier renders the predicate inline: one statement that
+        # never touches (or populates) the label-assignment store.
+        assert len(log.statements) == 1
+        assert STORE_TABLE not in log.statements[0]
+        titles = sorted(doc.title for doc in docs)
+        oracle = _oracle(
+            pushdown_form,
+            lambda: sorted(doc.title for doc in Doc.objects.all().fetch()),
+        )
+    assert obs.totals.get("plan.policy_pushdown.direct") >= 1
+    assert titles == oracle
+    assert titles == ["[secret]", "[secret]", "t1", "t3"]
+
+
+def test_store_tier_cap_restores_the_store_statement(pushdown_form):
+    ada, _bob = _seed_docs(pushdown_form)
+    pushdown_form.policy_pushdown_tier_cap = "store"
+    with obs.tracing(), viewer_context(ada):
         Doc.objects.all().fetch()  # warm the label-assignment store
         with pushdown_form.database.observe_statements() as log:
             docs = Doc.objects.all().fetch()
@@ -170,18 +241,62 @@ def test_fetch_is_one_statement_with_parity(pushdown_form):
             pushdown_form,
             lambda: sorted(doc.title for doc in Doc.objects.all().fetch()),
         )
+    assert obs.totals.get("plan.policy_pushdown.direct") == 0
     assert titles == oracle
     assert titles == ["[secret]", "[secret]", "t1", "t3"]
+
+
+def test_indexable_tier_compiles_prefix_policies_to_ranges(pushdown_form):
+    ada, _bob = _seed_docs(pushdown_form)
+    Wiki.objects.create(path="ada/notes", body="ada's notes")
+    Wiki.objects.create(path="bob/notes", body="bob's notes")
+    with obs.tracing(), viewer_context(ada):
+        Wiki.objects.all().fetch()  # warm the one-time branch-key probe
+        with pushdown_form.database.observe_statements() as log:
+            pages = Wiki.objects.all().order_by("path").fetch()
+        assert len(log.statements) == 1
+        assert STORE_TABLE not in log.statements[0]
+        bodies = [page.body for page in pages]
+        oracle = _oracle(
+            pushdown_form,
+            lambda: [
+                page.body
+                for page in Wiki.objects.all().order_by("path").fetch()
+            ],
+        )
+    assert obs.totals.get("plan.policy_pushdown.indexable") >= 1
+    assert bodies == oracle
+    assert bodies == ["ada's notes", "[wiki]"]
+
+
+def test_kind_mismatch_demotes_to_the_store_tier(pushdown_form):
+    ada, _bob = _seed_docs(pushdown_form)
+    Badge.objects.create(code=7, body="lucky")
+    with obs.tracing(), viewer_context(ada):
+        with pushdown_form.database.observe_statements() as log:
+            bodies = [badge.body for badge in Badge.objects.all().fetch()]
+        # Statically direct, but the bound value ("ada", text) cannot probe
+        # the int column soundly: the query demotes to the store tier --
+        # still one pushed statement, never the Python path.
+        assert len(log.statements) >= 1
+        assert STORE_TABLE in log.statements[-1]
+        oracle = _oracle(
+            pushdown_form,
+            lambda: [badge.body for badge in Badge.objects.all().fetch()],
+        )
+    assert obs.totals.get("plan.policy_pushdown.direct") == 0
+    assert obs.totals.get("plan.policy_pushdown") >= 1
+    assert bodies == oracle == ["[badge]"]
 
 
 def test_count_and_exists_are_one_statement_with_parity(pushdown_form):
     ada, _bob = _seed_docs(pushdown_form)
     with viewer_context(ada):
-        Doc.objects.all().count()  # warm
+        Doc.objects.all().count()  # warm the one-time branch-key probe
         with pushdown_form.database.observe_statements() as log:
             count = Doc.objects.all().count()
         assert len(log.statements) == 1
-        assert STORE_TABLE in log.statements[0]
+        assert STORE_TABLE not in log.statements[0]
         assert count == _oracle(pushdown_form, Doc.objects.all().count)
         assert count == 4  # every record stays visible; titles facet instead
         assert Doc.objects.filter(score=2).exists() is True
@@ -219,14 +334,35 @@ def test_explain_sql_string_equals_the_executed_statement(pushdown_form):
         Doc.objects.all().fetch()  # warm
         report = Doc.objects.all().explain()
         assert report["mode"] == "policy-pushdown"
+        assert report["tier"] == "direct"
         with pushdown_form.database.observe_statements() as log:
             Doc.objects.all().fetch()
         assert log.statements == [report["sql"]]
         report = Doc.objects.all().explain("count")
         assert report["mode"] == "policy-pushdown"
+        assert report["tier"] == "direct"
         with pushdown_form.database.observe_statements() as log:
             Doc.objects.all().count()
         assert log.statements == [report["sql"]]
+
+
+def test_explain_reports_the_tier_per_knob_and_model(pushdown_form):
+    ada, _bob = _seed_docs(pushdown_form)
+    Wiki.objects.create(path="ada/notes", body="n")
+    with viewer_context(ada):
+        assert Wiki.objects.all().explain()["tier"] == "indexable"
+        Audit.objects.all().fetch()  # warm the store for Audit
+        assert Audit.objects.all().explain()["tier"] == "store"
+        pushdown_form.policy_pushdown_tier_cap = "store"
+        try:
+            Doc.objects.all().fetch()  # warm the store for Doc
+            report = Doc.objects.all().explain()
+            assert report["tier"] == "store"
+            with pushdown_form.database.observe_statements() as log:
+                Doc.objects.all().fetch()
+            assert log.statements == [report["sql"]]
+        finally:
+            pushdown_form.policy_pushdown_tier_cap = None
 
 
 def test_explain_executes_no_statements(pushdown_form):
@@ -280,6 +416,7 @@ def test_own_table_write_invalidates_a_narrow_store(pushdown_form):
 
 def test_unrelated_write_does_not_refresh_a_narrow_store(pushdown_form):
     ada, _bob = _seed_docs(pushdown_form)
+    pushdown_form.policy_pushdown_tier_cap = "store"  # exercise the store tier
     with viewer_context(ada):
         Doc.objects.all().fetch()  # warm: one refresh
         Owner.objects.create(name="carol")  # unrelated to Doc's outcomes
@@ -303,6 +440,7 @@ def test_any_write_refreshes_a_broad_store(pushdown_form):
 
 def test_policy_epoch_bump_refreshes_the_store(pushdown_form):
     ada, _bob = _seed_docs(pushdown_form)
+    pushdown_form.policy_pushdown_tier_cap = "store"  # exercise the store tier
     with viewer_context(ada):
         Doc.objects.all().fetch()  # warm
         bump_policy_epoch()

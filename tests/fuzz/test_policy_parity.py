@@ -1,13 +1,22 @@
-"""Differential fuzzing: policy pushdown vs the Python pruning oracle.
+"""Differential fuzzing: policy-pushdown tiers vs the Python pruning oracle.
 
 Each iteration draws a random *program* -- creates, set-oriented updates
 and deletes, guarded (pc) creates, viewer-context fetches, counts and
-aggregates -- from a seeded stdlib ``random.Random``, then runs it twice
-on the same backend: once with policy pushdown enabled and once on the
-Python Early Pruning path (``form.policy_pushdown_enabled = False``), the
-oracle.  The two runs must produce identical observables, and neither may
-ever leak a secret title to a non-owner (checked against the fetched
-rows' own unpolicied ``owner_id`` column, independent of either path).
+aggregates -- from a seeded stdlib ``random.Random``, then runs it once
+per pushdown configuration on the same backend:
+
+* ``"off"`` -- the Python Early Pruning path (the oracle);
+* ``"store"`` -- pushdown capped at the label-store tier
+  (``policy_pushdown_tier_cap = "store"``);
+* ``"direct"`` -- uncapped: direct/indexable predicates render inline.
+
+Every configuration must produce identical observables, and none may ever
+leak a secret to the wrong viewer -- checked against the fetched rows'
+own unpolicied columns (``owner_id``, ``path``), independent of any path.
+The model set covers all inline tiers: ``FuzzDoc`` is the direct shape
+(equality on the viewer's jid), ``FuzzOrgDoc`` the indexable shape
+(``path.startswith(viewer.path)``), ``FuzzAudit`` stays store-only (its
+policy queries another model).
 
 On failure the seed is printed, the failing program is greedily shrunk,
 and the repro is emitted as a paste-able test case calling
@@ -40,10 +49,12 @@ from repro.form import (
 
 class FuzzOwner(JModel):
     name = CharField(max_length=64)
+    #: org-tree position; the prefix source of FuzzOrgDoc's policy
+    path = CharField(max_length=32, nullable=False, default="/")
 
 
 class FuzzDoc(JModel):
-    """Equality-on-viewer, own-row-only policy: the narrow pushdown shape."""
+    """Equality-on-viewer, own-row-only policy: the direct tier."""
 
     owner = ForeignKey(FuzzOwner)
     title = CharField(max_length=128)
@@ -58,6 +69,25 @@ class FuzzDoc(JModel):
     @jacqueline
     def jacqueline_restrict_title(doc, ctxt):
         return ctxt is not None and doc.owner_id == ctxt.jid
+
+
+class FuzzOrgDoc(JModel):
+    """Prefix-on-viewer policy over a non-nullable column: the indexable
+    tier (org-tree visibility -- a doc is visible to viewers whose subtree
+    contains it)."""
+
+    path = CharField(max_length=32, nullable=False, default="/")
+    body = CharField(max_length=64)
+
+    @staticmethod
+    def jacqueline_get_public_body(doc):
+        return "[hidden]"
+
+    @staticmethod
+    @label_for("body")
+    @jacqueline
+    def jacqueline_restrict_body(doc, ctxt):
+        return ctxt is not None and doc.path.startswith(ctxt.path)
 
 
 class FuzzAudit(JModel):
@@ -78,45 +108,62 @@ class FuzzAudit(JModel):
         return owner is not None and ctxt is not None and owner.jid == ctxt.jid
 
 
-MODELS = [FuzzOwner, FuzzDoc, FuzzAudit]
+MODELS = [FuzzOwner, FuzzDoc, FuzzOrgDoc, FuzzAudit]
 AGG_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+ORG_PATHS = ("/", "/eng", "/eng/db", "/ops")
+#: pushdown configurations compared pairwise against the "off" oracle
+CONFIGS = ("off", "store", "direct")
 
 
 # -- program generation --------------------------------------------------------------
 
 
-def _gen_program(rng, length=14):
+def _gen_program(rng, length=16):
     """A random op list.  Every program opens with two owners so viewer
     and ownership choices are always well-defined."""
-    program = [("create_owner", "ada"), ("create_owner", "bob")]
+    program = [
+        ("create_owner", "ada", "/eng"),
+        ("create_owner", "bob", "/ops"),
+    ]
     for _ in range(length):
         roll = rng.random()
-        if roll < 0.18:
+        if roll < 0.14:
             program.append(
                 ("create_doc", rng.randrange(4), f"d{rng.randrange(100)}",
                  rng.randrange(10))
             )
-        elif roll < 0.26:
+        elif roll < 0.22:
             program.append(
                 ("create_audit", rng.randrange(4), f"a{rng.randrange(100)}")
             )
-        elif roll < 0.32:
-            program.append(("create_owner", f"o{rng.randrange(100)}"))
-        elif roll < 0.40:
+        elif roll < 0.28:
+            program.append(
+                ("create_owner", f"o{rng.randrange(100)}",
+                 ORG_PATHS[rng.randrange(len(ORG_PATHS))])
+            )
+        elif roll < 0.36:
             program.append(
                 ("update_score", rng.randrange(10), rng.randrange(10))
             )
-        elif roll < 0.46:
+        elif roll < 0.42:
             program.append(("delete_docs", rng.randrange(10)))
-        elif roll < 0.52:
+        elif roll < 0.48:
             program.append(
                 ("guarded_create", rng.randrange(4), f"g{rng.randrange(100)}")
             )
-        elif roll < 0.68:
+        elif roll < 0.56:
+            program.append(
+                ("create_orgdoc",
+                 ORG_PATHS[rng.randrange(len(ORG_PATHS))],
+                 f"b{rng.randrange(100)}")
+            )
+        elif roll < 0.64:
+            program.append(("fetch_orgdocs", rng.randrange(4)))
+        elif roll < 0.76:
             program.append(("fetch_docs", rng.randrange(4)))
-        elif roll < 0.78:
+        elif roll < 0.84:
             program.append(("count_docs", rng.randrange(4)))
-        elif roll < 0.90:
+        elif roll < 0.94:
             program.append(
                 ("agg_docs", rng.randrange(4),
                  AGG_FUNCTIONS[rng.randrange(len(AGG_FUNCTIONS))])
@@ -129,20 +176,27 @@ def _gen_program(rng, length=14):
 # -- program execution ---------------------------------------------------------------
 
 
-def _run_program(kind, program, pushdown_enabled):
-    """Execute ``program``, returning ``(observables, leaks)``."""
+def _run_program(kind, program, config):
+    """Execute ``program`` under a pushdown ``config``, returning
+    ``(observables, leaks)``.  Ops that need an owner are skipped while
+    none exists (shrunk programs may drop the opening creates) --
+    identically in every configuration, so parity is unaffected."""
     database = Database() if kind == "memory" else Database(SqliteBackend())
     form = FORM(database, cache_config=CacheConfig.disabled())
     form.register_all(MODELS)
-    form.policy_pushdown_enabled = pushdown_enabled
+    form.policy_pushdown_enabled = config != "off"
+    form.policy_pushdown_tier_cap = "store" if config == "store" else None
     observables = []
     leaks = []
     owners = []
     with use_form(form):
         for op in program:
             name, args = op[0], op[1:]
+            if not owners and name not in ("create_owner", "create_orgdoc"):
+                continue
             if name == "create_owner":
-                owners.append(FuzzOwner.objects.create(name=args[0]))
+                path = args[1] if len(args) > 1 else "/"
+                owners.append(FuzzOwner.objects.create(name=args[0], path=path))
             elif name == "create_doc":
                 owner = owners[args[0] % len(owners)]
                 FuzzDoc.objects.create(owner=owner, title=args[1], score=args[2])
@@ -188,6 +242,20 @@ def _run_program(kind, program, pushdown_enabled):
                 observables.append(
                     round(value, 9) if isinstance(value, float) else value
                 )
+            elif name == "create_orgdoc":
+                FuzzOrgDoc.objects.create(path=args[0], body=args[1])
+            elif name == "fetch_orgdocs":
+                viewer = owners[args[0] % len(owners)]
+                with viewer_context(viewer):
+                    docs = FuzzOrgDoc.objects.all().fetch()
+                for doc in docs:
+                    if doc.body != "[hidden]" and not doc.path.startswith(
+                        viewer.path
+                    ):
+                        leaks.append((op, doc.jid, doc.body))
+                observables.append(
+                    sorted((doc.jid, doc.path, doc.body) for doc in docs)
+                )
             elif name == "fetch_audits":
                 viewer = owners[args[0] % len(owners)]
                 with viewer_context(viewer):
@@ -204,20 +272,27 @@ def _run_program(kind, program, pushdown_enabled):
 
 def _failure(kind, program):
     """The parity/leak violation this program exposes, or ``None``."""
-    pushed, pushed_leaks = _run_program(kind, program, True)
-    oracle, oracle_leaks = _run_program(kind, program, False)
-    if pushed_leaks:
-        return f"cross-viewer leak on the pushdown path: {pushed_leaks!r}"
-    if oracle_leaks:
-        return f"cross-viewer leak on the oracle path: {oracle_leaks!r}"
-    if pushed != oracle:
-        for index, (left, right) in enumerate(zip(pushed, oracle)):
+    runs = {}
+    for config in CONFIGS:
+        observables, run_leaks = _run_program(kind, program, config)
+        if run_leaks:
+            return f"cross-viewer leak on the {config!r} path: {run_leaks!r}"
+        runs[config] = observables
+    oracle = runs["off"]
+    for config in CONFIGS[1:]:
+        observed = runs[config]
+        if observed == oracle:
+            continue
+        for index, (left, right) in enumerate(zip(observed, oracle)):
             if left != right:
                 return (
-                    f"observable #{index} diverges: "
+                    f"observable #{index} diverges under {config!r}: "
                     f"pushdown={left!r} oracle={right!r}"
                 )
-        return f"observable counts diverge: {len(pushed)} vs {len(oracle)}"
+        return (
+            f"observable counts diverge under {config!r}: "
+            f"{len(observed)} vs {len(oracle)}"
+        )
     return None
 
 
